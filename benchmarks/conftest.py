@@ -1,0 +1,44 @@
+"""Benchmark fixtures: run an experiment once, save + emit its report.
+
+Each benchmark file regenerates one paper table/figure (quick scale by
+default; set REPRO_FULL_SCALE=1 for the paper's concurrency-200 runs).
+The rendered figure/table and the paper-vs-measured comparison land in
+``benchmarks/results/<experiment>.txt`` and in the pytest output.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments import get_experiment
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+FULL_SCALE = os.environ.get("REPRO_FULL_SCALE", "") not in ("", "0")
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Benchmark one experiment end-to-end and persist its report."""
+
+    def _run(experiment_id):
+        result_box = {}
+
+        def execute():
+            result_box["result"] = get_experiment(experiment_id).run(
+                quick=not FULL_SCALE
+            )
+
+        benchmark.pedantic(execute, rounds=1, iterations=1)
+        result = result_box["result"]
+        report = (
+            f"{result.render()}\n\n{result.comparison_table()}\n"
+        )
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{experiment_id}.txt").write_text(report)
+        print(f"\n{report}")
+        # Every benchmark asserts the experiment produced comparisons.
+        assert result.comparisons()
+        return result
+
+    return _run

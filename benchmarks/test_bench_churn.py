@@ -1,0 +1,6 @@
+"""Benchmark: extension experiment 'churn'."""
+
+
+def test_bench_churn(run_experiment):
+    result = run_experiment("churn")
+    assert result.experiment_id == "churn"

@@ -1,0 +1,6 @@
+"""Benchmark: extension experiment 'dataplane'."""
+
+
+def test_bench_dataplane(run_experiment):
+    result = run_experiment("dataplane")
+    assert result.experiment_id == "dataplane"

@@ -1,0 +1,6 @@
+"""Benchmark: regenerate paper artifact 'fig1'."""
+
+
+def test_bench_fig1(run_experiment):
+    result = run_experiment("fig1")
+    assert result.experiment_id == "fig1"

@@ -1,0 +1,6 @@
+"""Benchmark: regenerate paper artifact 'fig11'."""
+
+
+def test_bench_fig11(run_experiment):
+    result = run_experiment("fig11")
+    assert result.experiment_id == "fig11"

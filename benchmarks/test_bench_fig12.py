@@ -1,0 +1,6 @@
+"""Benchmark: regenerate paper artifact 'fig12'."""
+
+
+def test_bench_fig12(run_experiment):
+    result = run_experiment("fig12")
+    assert result.experiment_id == "fig12"

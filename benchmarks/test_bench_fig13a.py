@@ -1,0 +1,6 @@
+"""Benchmark: regenerate paper artifact 'fig13a'."""
+
+
+def test_bench_fig13a(run_experiment):
+    result = run_experiment("fig13a")
+    assert result.experiment_id == "fig13a"

@@ -1,0 +1,6 @@
+"""Benchmark: regenerate paper artifact 'fig13b'."""
+
+
+def test_bench_fig13b(run_experiment):
+    result = run_experiment("fig13b")
+    assert result.experiment_id == "fig13b"

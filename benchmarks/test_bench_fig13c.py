@@ -1,0 +1,6 @@
+"""Benchmark: regenerate paper artifact 'fig13c'."""
+
+
+def test_bench_fig13c(run_experiment):
+    result = run_experiment("fig13c")
+    assert result.experiment_id == "fig13c"

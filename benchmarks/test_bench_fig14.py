@@ -1,0 +1,6 @@
+"""Benchmark: regenerate paper artifact 'fig14'."""
+
+
+def test_bench_fig14(run_experiment):
+    result = run_experiment("fig14")
+    assert result.experiment_id == "fig14"

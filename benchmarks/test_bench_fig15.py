@@ -1,0 +1,6 @@
+"""Benchmark: regenerate paper artifact 'fig15'."""
+
+
+def test_bench_fig15(run_experiment):
+    result = run_experiment("fig15")
+    assert result.experiment_id == "fig15"

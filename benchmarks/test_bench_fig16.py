@@ -1,0 +1,6 @@
+"""Benchmark: regenerate paper artifact 'fig16'."""
+
+
+def test_bench_fig16(run_experiment):
+    result = run_experiment("fig16")
+    assert result.experiment_id == "fig16"

@@ -1,0 +1,6 @@
+"""Benchmark: regenerate paper artifact 'fig5'."""
+
+
+def test_bench_fig5(run_experiment):
+    result = run_experiment("fig5")
+    assert result.experiment_id == "fig5"

@@ -1,0 +1,6 @@
+"""Benchmark: regenerate paper artifact 'impl_rebind'."""
+
+
+def test_bench_impl_rebind(run_experiment):
+    result = run_experiment("impl_rebind")
+    assert result.experiment_id == "impl_rebind"

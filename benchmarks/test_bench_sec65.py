@@ -1,0 +1,6 @@
+"""Benchmark: regenerate paper artifact 'sec65'."""
+
+
+def test_bench_sec65(run_experiment):
+    result = run_experiment("sec65")
+    assert result.experiment_id == "sec65"

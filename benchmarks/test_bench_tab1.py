@@ -1,0 +1,6 @@
+"""Benchmark: regenerate paper artifact 'tab1'."""
+
+
+def test_bench_tab1(run_experiment):
+    result = run_experiment("tab1")
+    assert result.experiment_id == "tab1"

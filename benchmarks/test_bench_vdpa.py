@@ -1,0 +1,6 @@
+"""Benchmark: extension experiment 'vdpa'."""
+
+
+def test_bench_vdpa(run_experiment):
+    result = run_experiment("vdpa")
+    assert result.experiment_id == "vdpa"

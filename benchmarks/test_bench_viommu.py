@@ -1,0 +1,6 @@
+"""Benchmark: extension experiment 'viommu'."""
+
+
+def test_bench_viommu(run_experiment):
+    result = run_experiment("viommu")
+    assert result.experiment_id == "viommu"

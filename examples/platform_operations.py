@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Operating a FastIOV platform: churn, recycling, and the vDPA future.
+
+A scenario beyond the paper's burst benchmarks: a platform operator
+sustains continuous Poisson load through the full container lifecycle
+(start -> task -> teardown, VFs and frames recycled), then evaluates
+the §7 future-work configuration — vDPA, where the guest drives the
+passthrough VF with the standard virtio driver and no vendor VF driver
+needs initializing (or modifying, for lazy-zeroing safety).
+
+Run:
+    python examples/platform_operations.py
+"""
+
+from repro.core import build_host
+from repro.experiments.churn import run_churn
+from repro.metrics.reporting import format_table
+from repro.metrics.stats import Distribution
+
+
+def sustained_churn():
+    print("1. Sustained churn: 120 Poisson arrivals at 20/s, full lifecycle\n")
+    rows = []
+    for preset in ("vanilla", "fastiov"):
+        records, host = run_churn(preset, total=120, rate_per_s=20.0,
+                                  app_name="image", seed=7)
+        steady = records[40:]
+        startup = Distribution([r.startup_time for r in steady])
+        tct = Distribution([r.task_completion_time for r in steady])
+        rows.append((preset, startup.mean, startup.p99, tct.mean,
+                     host.cni.free_vf_count))
+    print(format_table(
+        ["solution", "startup mean (s)", "startup p99 (s)", "TCT mean (s)",
+         "VFs free after run"],
+        rows, title="Steady-state behaviour under churn",
+    ))
+    print("\nEvery VF returned to the pool; every recycled frame was "
+          "re-scrubbed before its next tenant could read it (the "
+          "simulation checks each guest read).\n")
+
+
+def vdpa_outlook():
+    print("2. The §7 outlook: vDPA control plane\n")
+    rows = []
+    for preset in ("vanilla", "vanilla-vdpa", "fastiov", "fastiov-vdpa"):
+        host = build_host(preset, seed=7)
+        result = host.launch(60)
+        d = result.startup_times()
+        rows.append((preset, d.mean, d.p99,
+                     result.mean_step_time("5-vf-driver"),
+                     host.binding.mailbox_stats.contended))
+    print(format_table(
+        ["solution", "mean (s)", "p99 (s)", "5-vf-driver (s)",
+         "PF-mailbox waits"],
+        rows, title="vDPA replaces the vendor VF driver bring-up",
+    ))
+    print("\nvDPA removes Bottleneck 3 at the source (no vendor driver, "
+          "no PF admin-queue serialization) and keeps lazy zeroing safe "
+          "without driver modifications — the virtio frontend's buffer "
+          "protocol already proactively faults every page a device may "
+          "write.")
+
+
+def main():
+    sustained_churn()
+    vdpa_outlook()
+
+
+if __name__ == "__main__":
+    main()

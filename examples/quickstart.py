@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: start secure containers with and without FastIOV.
+
+Builds two simulated hosts from presets — the vanilla SR-IOV CNI and
+FastIOV — launches 50 SR-IOV-enabled secure containers concurrently on
+each, and prints the startup-time distributions plus the per-step
+breakdown that explains the difference.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro.core import build_host
+from repro.metrics.reporting import format_table
+from repro.metrics.timeline import PAPER_STEPS
+
+CONCURRENCY = 50
+
+
+def main():
+    print(f"Launching {CONCURRENCY} secure containers per solution...\n")
+    results = {}
+    for preset in ("no-net", "vanilla", "fastiov"):
+        host = build_host(preset, seed=1)
+        launch = host.launch(CONCURRENCY)
+        results[preset] = launch
+
+    # -- headline numbers -------------------------------------------------
+    rows = []
+    for preset, launch in results.items():
+        d = launch.startup_times(preset)
+        rows.append((preset, d.mean, d.p50, d.p99, d.maximum))
+    print(format_table(
+        ["solution", "mean (s)", "p50 (s)", "p99 (s)", "max (s)"],
+        rows, title=f"Startup time, {CONCURRENCY} concurrent containers",
+    ))
+
+    vanilla = results["vanilla"].startup_times()
+    fastiov = results["fastiov"].startup_times()
+    print(f"\nFastIOV reduces the average startup time by "
+          f"{(1 - fastiov.mean / vanilla.mean) * 100:.1f}% "
+          f"and the 99th percentile by "
+          f"{(1 - fastiov.p99 / vanilla.p99) * 100:.1f}%.")
+
+    # -- where the time went ----------------------------------------------
+    rows = []
+    for step in PAPER_STEPS:
+        rows.append((
+            step,
+            results["vanilla"].mean_step_time(step),
+            results["fastiov"].mean_step_time(step),
+        ))
+    print()
+    print(format_table(
+        ["step", "vanilla (s)", "fastiov (s)"],
+        rows, title="Mean time per startup step (the paper's Fig. 5 steps)",
+    ))
+
+    # -- lock contention telemetry -----------------------------------------
+    report = results["vanilla"].host.contention_report()
+    devset = next(v for k, v in report.items() if "global-mutex" in k)
+    print(f"\nVanilla devset mutex: {devset.contended} contended "
+          f"acquisitions, max wait {devset.max_wait:.2f}s "
+          f"(Bottleneck 1, resolved by FastIOV's lock decomposition).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so
+that legacy (non-PEP-517) editable installs work in offline
+environments that lack the ``wheel`` package::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

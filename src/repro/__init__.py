@@ -1,0 +1,29 @@
+"""FastIOV (EuroSys '25) reproduction.
+
+Top-level convenience re-exports::
+
+    import repro
+
+    host = repro.build_host("fastiov")
+    result = host.launch(200)
+    print(result.startup_times().summary())
+
+See :mod:`repro.core` for solution presets, :mod:`repro.experiments`
+for the per-figure/table reproduction harness, and DESIGN.md for the
+simulation substitution rationale.
+"""
+
+from repro.core import PRESETS, Host, SolutionConfig, build_host, get_preset
+from repro.spec import PAPER_TESTBED, HostSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Host",
+    "HostSpec",
+    "PAPER_TESTBED",
+    "PRESETS",
+    "SolutionConfig",
+    "build_host",
+    "get_preset",
+]

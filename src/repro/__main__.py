@@ -1,0 +1,67 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro list                     # catalog of experiments
+    python -m repro run fig11 [--quick]      # one experiment, printed
+    python -m repro launch fastiov -c 200    # raw concurrent launch
+"""
+
+import argparse
+import sys
+
+from repro.core import PRESETS, build_host
+from repro.experiments import get_experiment, list_experiments
+
+
+def cmd_list(_args):
+    print("Experiments (paper artifacts):")
+    for exp_id, title in list_experiments():
+        print(f"  {exp_id:12s} {title}")
+    print("\nSolution presets:")
+    for name, config in sorted(PRESETS.items()):
+        print(f"  {name:14s} {config.description}")
+    return 0
+
+
+def cmd_run(args):
+    experiment = get_experiment(args.experiment)
+    result = experiment.run(quick=args.quick, seed=args.seed)
+    print(result.render())
+    print()
+    print(result.comparison_table())
+    return 0
+
+
+def cmd_launch(args):
+    host = build_host(args.preset, seed=args.seed)
+    result = host.launch(args.concurrency)
+    summary = result.startup_times(args.preset).summary()
+    print(f"{args.preset}: {args.concurrency} containers")
+    for key in ("mean", "p50", "p99", "min", "max"):
+        print(f"  {key:5s} {summary[key]:.3f} s")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="catalog experiments and presets")
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("experiment")
+    run_p.add_argument("--quick", action="store_true")
+
+    launch_p = sub.add_parser("launch", help="concurrent container launch")
+    launch_p.add_argument("preset", choices=sorted(PRESETS))
+    launch_p.add_argument("-c", "--concurrency", type=int, default=50)
+
+    args = parser.parse_args(argv)
+    handler = {"list": cmd_list, "run": cmd_run, "launch": cmd_launch}
+    return handler[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

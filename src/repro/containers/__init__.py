@@ -1,0 +1,36 @@
+"""Container stack: engine, runtime, network namespaces, CNI plugins.
+
+The left half of Fig. 4: Containerd creates the cgroup and network
+namespace, invokes the CNI plugin to configure the VF (or software
+device), and hands off to the Kata runtime, which builds the microVM,
+boots the guest, and (a)synchronously initializes the network
+interface.  The :mod:`~repro.containers.orchestrator` launches many
+containers concurrently and collects :class:`StartupRecord`\\ s, which
+is the measurement loop behind every figure in the paper.
+"""
+
+from repro.containers.cni import (
+    CniPlugin,
+    IpvtapCni,
+    NetworkAttachment,
+    NoNetworkCni,
+    SriovCni,
+)
+from repro.containers.engine import Containerd, ContainerRequest
+from repro.containers.nns import NetworkNamespace
+from repro.containers.orchestrator import LaunchResult, Orchestrator
+from repro.containers.runtime import KataRuntime
+
+__all__ = [
+    "CniPlugin",
+    "Containerd",
+    "ContainerRequest",
+    "IpvtapCni",
+    "KataRuntime",
+    "LaunchResult",
+    "NetworkAttachment",
+    "NetworkNamespace",
+    "NoNetworkCni",
+    "Orchestrator",
+    "SriovCni",
+]

@@ -1,0 +1,14 @@
+"""CNI plugins: no-network, SR-IOV (vanilla / fixed / FastIOV), IPvtap."""
+
+from repro.containers.cni.base import CniPlugin, NetworkAttachment
+from repro.containers.cni.ipvtap import IpvtapCni
+from repro.containers.cni.none import NoNetworkCni
+from repro.containers.cni.sriov import SriovCni
+
+__all__ = [
+    "CniPlugin",
+    "IpvtapCni",
+    "NetworkAttachment",
+    "NoNetworkCni",
+    "SriovCni",
+]

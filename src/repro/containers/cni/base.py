@@ -1,0 +1,65 @@
+"""CNI plugin interface and the attachment handed to the runtime."""
+
+from repro.oskernel.vfio import EAGER_ZEROING
+from repro.virt.hypervisor import VirtNetworkPlan
+
+
+class NetworkAttachment:
+    """What the CNI produced for one container.
+
+    Carries the allocated VF (if any), the host-side interface placed in
+    the container NNS (dummy/ipvtap/VF netdev), the IP configuration,
+    and the :class:`VirtNetworkPlan` the runtime must apply when
+    building the microVM.
+    """
+
+    def __init__(self, plan, vf=None, netdev=None, ip_address=None):
+        self.plan = plan
+        self.vf = vf
+        self.netdev = netdev
+        self.ip_address = ip_address
+
+    @property
+    def has_network(self):
+        return self.vf is not None or self.netdev is not None
+
+    def __repr__(self):
+        return (
+            f"<NetworkAttachment vf={getattr(self.vf, 'bdf', None)} "
+            f"netdev={getattr(self.netdev, 'name', None)} ip={self.ip_address}>"
+        )
+
+
+class CniPlugin:
+    """Base class for CNI plugins.
+
+    Subclasses implement :meth:`setup_network` / :meth:`teardown_network`
+    as generators yielding sim commands (they run inside the container
+    startup pipeline and are timed by the engine's ``cni`` step).
+    """
+
+    name = "base"
+
+    def __init__(self, host):
+        self._host = host
+        self._ip_counter = 0
+
+    def next_ip(self):
+        self._ip_counter += 1
+        return f"10.0.{self._ip_counter // 256}.{self._ip_counter % 256}/16"
+
+    def setup_network(self, container, timer):
+        raise NotImplementedError
+
+    def teardown_network(self, container, attachment):
+        raise NotImplementedError
+
+    @staticmethod
+    def no_network_plan():
+        return VirtNetworkPlan(passthrough=False)
+
+    @staticmethod
+    def eager_plan(vf):
+        return VirtNetworkPlan(
+            passthrough=True, vf=vf, zeroing_policy=EAGER_ZEROING
+        )

@@ -1,0 +1,22 @@
+"""The no-network baseline (the paper's *No-Net* lower bound)."""
+
+from repro.containers.cni.base import CniPlugin, NetworkAttachment
+
+
+class NoNetworkCni(CniPlugin):
+    """Starts containers without any network device.
+
+    Represents the lower bound for network-startup optimization
+    (Fig. 11's *No-Net* bar): the pipeline still pays cgroups, NNS,
+    microVM creation, virtioFS, and guest boot.
+    """
+
+    name = "no-network"
+
+    def setup_network(self, container, timer):
+        return NetworkAttachment(plan=self.no_network_plan())
+        yield  # pragma: no cover - generator protocol
+
+    def teardown_network(self, container, attachment):
+        return
+        yield  # pragma: no cover - generator protocol

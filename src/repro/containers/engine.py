@@ -1,0 +1,111 @@
+"""The container engine (Containerd): the end-to-end startup pipeline.
+
+One :meth:`Containerd.run_container` call is one horizontal line of
+Fig. 5: cgroup creation, NNS creation, CNI invocation, runtime sandbox
+creation, and (optionally) the serverless application, with every stage
+timed into the container's :class:`StartupRecord`.
+"""
+
+from repro.containers.nns import NetworkNamespace
+from repro.metrics.timeline import StepTimer
+from repro.sim.core import Timeout
+
+
+class ContainerRequest:
+    """Parameters of one container invocation."""
+
+    def __init__(self, name, memory_bytes=None, app=None, softcni=False):
+        self.name = name
+        self.memory_bytes = memory_bytes
+        self.app = app
+        self.softcni = softcni
+
+    def __repr__(self):
+        return (
+            f"<ContainerRequest {self.name} "
+            f"mem={self.memory_bytes} app={getattr(self.app, 'name', None)}>"
+        )
+
+
+class Container:
+    """Runtime state of one container."""
+
+    def __init__(self, request):
+        self.name = request.name
+        self.request = request
+        self.memory_bytes = request.memory_bytes
+        self.nns = None
+        self.attachment = None
+        self.microvm = None
+
+    def __repr__(self):
+        return f"<Container {self.name}>"
+
+
+class Containerd:
+    """The container engine driving the full pipeline."""
+
+    def __init__(self, host, cni, runtime):
+        from repro.sim.sync import Mutex
+
+        self._host = host
+        self.cni = cni
+        self.runtime = runtime
+        self.containers = {}
+        #: Containerd's sandbox-store critical section [42].
+        self._store_mutex = Mutex(host.sim, name="containerd-store")
+
+    def run_container(self, request, record):
+        """The end-to-end startup (and app) pipeline for one container.
+
+        Generator suitable for ``sim.spawn``; fills ``record`` with
+        per-step spans, ``t_ready`` at startup completion, and (when an
+        app is given) ``t_app_done`` at task completion (§6.6).
+        """
+        host = self._host
+        spec = host.spec
+        if request.memory_bytes is None:
+            request.memory_bytes = spec.default_vm_memory_bytes
+        container = Container(request)
+        self.containers[request.name] = container
+        timer = StepTimer(host.sim, record)
+        timer.mark_start()
+        try:
+            with timer.step("engine-store"):
+                yield self._store_mutex.acquire()
+                try:
+                    yield Timeout(spec.engine_serialized_s)
+                finally:
+                    self._store_mutex.release()
+            with timer.step("0-cgroup"):
+                yield from host.cgroups.create(
+                    request.name, softcni=request.softcni
+                )
+            with timer.step("nns-create"):
+                yield Timeout(spec.nns_create_s)
+                container.nns = NetworkNamespace(f"nns-{request.name}")
+            with timer.step("cni"):
+                container.attachment = yield from self.cni.setup_network(
+                    container, timer
+                )
+            yield from self.runtime.create_sandbox(
+                container, container.attachment, timer
+            )
+            timer.mark_ready()
+            if request.app is not None:
+                yield from self.runtime.launch_app(container, request.app, timer)
+        except Exception as exc:
+            record.failed = repr(exc)
+            raise
+        return container
+
+    def remove_container(self, name):
+        """Tear the container down and recycle its resources."""
+        container = self.containers.pop(name)
+        yield from self.runtime.destroy_sandbox(container)
+        if container.attachment is not None and container.attachment.has_network:
+            yield from self.cni.teardown_network(container, container.attachment)
+        yield from self._host.cgroups.destroy(name)
+
+    def __repr__(self):
+        return f"<Containerd containers={len(self.containers)} cni={self.cni.name}>"

@@ -1,0 +1,21 @@
+"""Container network namespaces."""
+
+
+class NetworkNamespace:
+    """One container's isolated network namespace."""
+
+    def __init__(self, name):
+        self.name = name
+        self.interfaces = {}
+
+    def add_interface(self, device):
+        self.interfaces[device.name] = device
+
+    def find_interface_by_kind(self, kind):
+        for device in self.interfaces.values():
+            if device.kind == kind:
+                return device
+        return None
+
+    def __repr__(self):
+        return f"<NetworkNamespace {self.name} ifaces={list(self.interfaces)}>"

@@ -1,0 +1,122 @@
+"""The Kata runtime: builds the sandbox microVM and launches the app.
+
+Owns two FastIOV-relevant decisions:
+
+* the **rebind fix** — with the upstream plugin flaw active, the
+  runtime must unbind the VF from the host driver and rebind vfio-pci
+  at every launch (the dashed boxes of Fig. 4);
+* **asynchronous VF driver initialization** (§4.2.2) — with
+  ``async_vf_init`` the guest-side interface bring-up is spawned as a
+  separate process that overlaps container-image transfer and process
+  creation, and the agent polls readiness just before app exec.
+"""
+
+from repro.oskernel.binding import HOST_NETDEV_DRIVER
+from repro.oskernel.vfio import VFIO_DRIVER_NAME
+from repro.sim.core import Timeout
+
+
+class KataRuntime:
+    """Secure-container runtime (Kata-style, microVM-based)."""
+
+    def __init__(self, host, async_vf_init=False):
+        self._host = host
+        self.async_vf_init = async_vf_init
+        self.sandboxes_created = 0
+
+    # ------------------------------------------------------------------
+    # sandbox creation (t_attach in Fig. 4)
+    # ------------------------------------------------------------------
+    def create_sandbox(self, container, attachment, timer):
+        """Build the microVM, boot the guest, bring up networking."""
+        host = self._host
+        spec = host.spec
+        plan = attachment.plan
+
+        if plan.passthrough:
+            # Detect the VF via the interface the CNI left in the NNS.
+            yield Timeout(spec.runtime_vf_detect_s)
+            if attachment.vf.driver == HOST_NETDEV_DRIVER:
+                # Upstream flaw: rebind to vfio-pci for passthrough.
+                with timer.step("unbind-host-driver"):
+                    yield from host.binding.unbind(attachment.vf)
+                with timer.step("bind-vfio"):
+                    yield from host.binding.bind(attachment.vf, VFIO_DRIVER_NAME)
+            elif attachment.vf.driver != VFIO_DRIVER_NAME:
+                raise RuntimeError(
+                    f"VF {attachment.vf.bdf} bound to {attachment.vf.driver!r}; "
+                    f"cannot attach"
+                )
+
+        # virtiofsd is spawned before the VM (Kata ordering); its
+        # shared-state registration is host-serialized.
+        yield from host.hypervisor.spawn_virtiofsd(timer)
+
+        microvm = yield from host.hypervisor.create_microvm(
+            container.name, container.memory_bytes, plan, timer
+        )
+        container.microvm = microvm
+
+        yield from microvm.guest.boot(timer)
+
+        if plan.passthrough:
+            if plan.vdpa:
+                init = microvm.guest.vdpa_nic_init(timer)
+            else:
+                init = microvm.guest.vf_driver_init(timer)
+            if self.async_vf_init:
+                # §4.2.2: overlap interface bring-up with the rest of
+                # the launch; the agent polls readiness before app exec.
+                host.sim.spawn(
+                    init, name=f"{container.name}-vf-init", daemon=True
+                )
+            else:
+                yield from init
+        elif attachment.has_network:
+            yield from microvm.guest.virtual_nic_init()
+
+        with timer.step("agent-start"):
+            yield Timeout(spec.agent_start_s)
+        yield Timeout(spec.sandbox_finalize_s)
+        self.sandboxes_created += 1
+        return microvm
+
+    # ------------------------------------------------------------------
+    # application launch (§4.2.2's masking window)
+    # ------------------------------------------------------------------
+    def launch_app(self, container, app, timer):
+        """Pull the container image, create the process, run the app.
+
+        The network-readiness poll sits between process creation and
+        app execution, exactly where FastIOV's agent checks it.
+        """
+        host = self._host
+        spec = host.spec
+        microvm = container.microvm
+        with timer.step("app-image-transfer"):
+            yield from microvm.virtiofs.guest_read_file(
+                f"image:{app.name}", spec.container_image_bytes
+            )
+        with timer.step("app-create"):
+            yield Timeout(spec.app_create_process_s)
+            yield host.cpu.work(spec.app_create_cpu_s)
+        if container.attachment.has_network:
+            with timer.step("net-ready-wait"):
+                yield from microvm.guest.wait_network_ready()
+        with timer.step("app-run"):
+            yield from app.run(container, host)
+        timer.mark_app_done()
+
+    # ------------------------------------------------------------------
+    # teardown
+    # ------------------------------------------------------------------
+    def destroy_sandbox(self, container):
+        if container.microvm is not None:
+            yield from self._host.hypervisor.destroy_microvm(container.microvm)
+            container.microvm = None
+
+    def __repr__(self):
+        return (
+            f"<KataRuntime sandboxes={self.sandboxes_created} "
+            f"async_vf_init={self.async_vf_init}>"
+        )

@@ -1,0 +1,22 @@
+"""FastIOV as a library: solution configs, presets, host assembly.
+
+This is the package downstream users interact with::
+
+    from repro.core import build_host
+
+    host = build_host("fastiov", concurrency=200)
+    result = host.orchestrator.launch(200)
+    print(result.startup_times().mean)
+
+Presets mirror the paper's evaluation matrix (§6.1): ``no-net``,
+``vanilla`` (fixed SR-IOV CNI), ``true-vanilla`` (with the §5 rebinding
+flaw), ``fastiov`` and its four ablation variants ``fastiov-l/a/s/d``,
+the pre-zeroing baselines ``pre10/50/100``, and the ``ipvtap`` software
+CNI.
+"""
+
+from repro.core.config import SolutionConfig
+from repro.core.host import Host, build_host
+from repro.core.presets import PRESETS, get_preset
+
+__all__ = ["Host", "PRESETS", "SolutionConfig", "build_host", "get_preset"]

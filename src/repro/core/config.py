@@ -1,0 +1,110 @@
+"""Solution configuration: which optimizations are enabled.
+
+One :class:`SolutionConfig` fully determines a host's network solution:
+the CNI type, the VFIO devset lock policy, the DMA zeroing strategy,
+image-mapping skip, and VF-driver-init scheduling.  The paper's
+evaluation presets (:mod:`repro.core.presets`) are instances of this.
+"""
+
+import dataclasses
+
+_NETWORKS = ("none", "sriov", "ipvtap")
+
+
+@dataclasses.dataclass(frozen=True)
+class SolutionConfig:
+    """A complete network-solution configuration for one host."""
+
+    name: str
+    description: str = ""
+    #: CNI family: "none", "sriov", or "ipvtap".
+    network: str = "sriov"
+
+    # -- FastIOV's four optimizations (§4.1) ---------------------------
+    #: L: hierarchical devset lock instead of the global mutex (§4.2.1).
+    lock_decomposition: bool = False
+    #: A: VF driver init overlapped with app launch (§4.2.2).
+    async_vf_init: bool = False
+    #: S: skip DMA mapping of the microVM image region (§4.3.1).
+    skip_image_mapping: bool = False
+    #: D: decoupled (lazy) page zeroing via fastiovd (§4.3.2).
+    decoupled_zeroing: bool = False
+
+    # -- baselines ------------------------------------------------------
+    #: HawkEye-style idle-time pre-zeroing fraction (Pre10/50/100).
+    prezeroed_fraction: float = 0.0
+    #: §5 upstream SR-IOV CNI rebinding flaw (true vanilla).
+    rebind_flaw: bool = False
+    #: §7 future work: vDPA — hardware data plane through the VF, but
+    #: the guest drives it with the standard virtio driver, so there is
+    #: no vendor VF driver to initialize (and no driver changes needed
+    #: for lazy zeroing: the virtio frontend's proactive faults cover
+    #: device-first-write buffers).
+    vdpa: bool = False
+    #: §8 related-work baseline: vIOMMU/coIOMMU-style *deferred DMA
+    #: mapping* — no up-front pin/map/zero; guest memory is demand-paged
+    #: and pages are mapped into the IOMMU only when DMA first targets
+    #: them (requires an IOMMU emulation layer and couples with memory
+    #: overcommitment, which is the paper's argument for decoupling
+    #: zeroing instead).
+    deferred_mapping: bool = False
+
+    # -- failure-injection knobs (correctness experiments) --------------
+    use_instant_zeroing_list: bool = True
+    proactive_virtio_faults: bool = True
+
+    def __post_init__(self):
+        if self.network not in _NETWORKS:
+            raise ValueError(
+                f"network must be one of {_NETWORKS}, got {self.network!r}"
+            )
+        if not 0.0 <= self.prezeroed_fraction <= 1.0:
+            raise ValueError(
+                f"prezeroed_fraction must be in [0, 1], "
+                f"got {self.prezeroed_fraction}"
+            )
+        if self.network != "sriov":
+            enabled = [
+                flag
+                for flag in (
+                    "lock_decomposition",
+                    "async_vf_init",
+                    "skip_image_mapping",
+                    "decoupled_zeroing",
+                    "rebind_flaw",
+                    "vdpa",
+                    "deferred_mapping",
+                )
+                if getattr(self, flag)
+            ]
+            if enabled:
+                raise ValueError(
+                    f"{self.name!r}: flags {enabled} require network='sriov'"
+                )
+        if self.deferred_mapping and self.decoupled_zeroing:
+            raise ValueError(
+                f"{self.name!r}: deferred mapping already defers zeroing "
+                f"(demand paging); decoupled_zeroing is redundant"
+            )
+
+    @property
+    def needs_fastiovd(self):
+        """The kernel module is loaded only for decoupled zeroing."""
+        return self.decoupled_zeroing
+
+    @property
+    def is_passthrough(self):
+        return self.network == "sriov"
+
+    def derive(self, **overrides):
+        """Copy with fields replaced (for ablations/injections)."""
+        return dataclasses.replace(self, **overrides)
+
+    def optimization_flags(self):
+        """The L/A/S/D vector, for reporting."""
+        return {
+            "L": self.lock_decomposition,
+            "A": self.async_vf_init,
+            "S": self.skip_image_mapping,
+            "D": self.decoupled_zeroing,
+        }

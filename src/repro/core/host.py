@@ -1,0 +1,181 @@
+"""Host assembly: build a fully wired simulated server for one preset.
+
+Reproduces the testbed of §3.1: hardware (CPU socket, physical memory,
+PCI topology, SR-IOV NIC with pre-created VFs), the kernel substrate
+(VFIO with the configured lock policy, KVM, MMU, cgroups, binding,
+host network stack, optionally fastiovd), the hypervisor, the selected
+CNI plugin, the Kata runtime, the container engine, and the
+orchestrator.  A second "storage server" is modeled as a fair-shared
+network link (two-server setup of §6.1).
+"""
+
+from repro.containers.cni import IpvtapCni, NoNetworkCni, SriovCni
+from repro.containers.engine import Containerd
+from repro.containers.orchestrator import Orchestrator
+from repro.containers.runtime import KataRuntime
+from repro.core.presets import get_preset
+from repro.hw.iommu import IOMMU
+from repro.hw.memory import PhysicalMemory
+from repro.hw.nic import SriovNic
+from repro.hw.pci import PciDevice, PciTopology
+from repro.oskernel.binding import DriverRegistry
+from repro.oskernel.cgroup import CgroupManager
+from repro.oskernel.fastiovd import Fastiovd
+from repro.oskernel.hostnet import HostNetworkStack
+from repro.oskernel.kvm import KVM
+from repro.oskernel.locks import CoarseLockPolicy, HierarchicalLockPolicy
+from repro.oskernel.mmu import HostMMU
+from repro.oskernel.vfio import VFIO_DRIVER_NAME, VfioDriver
+from repro.sim.core import Simulator
+from repro.sim.cpu import FairShareCPU
+from repro.sim.rng import Jitter
+from repro.spec import PAPER_TESTBED
+from repro.virt.hypervisor import Hypervisor
+
+NIC_BUS = 0x3B
+
+
+class Host:
+    """One fully assembled simulated server."""
+
+    def __init__(self, config, spec=None, seed=0, vf_count=None):
+        """Args:
+        config: A :class:`SolutionConfig` (or preset name via
+            :func:`build_host`).
+        spec: Host cost constants; defaults to the paper testbed.
+        seed: Jitter seed; every run with the same (config, spec,
+            seed) is bit-identical.
+        vf_count: VFs to pre-create (defaults to the NIC maximum,
+            256 on the modeled E810).
+        """
+        self.config = config
+        self.spec = spec if spec is not None else PAPER_TESTBED
+        self.seed = seed
+        spec = self.spec
+
+        # -- simulation substrate --------------------------------------
+        self.sim = Simulator()
+        self.jitter = Jitter(seed)
+        self.cpu = FairShareCPU(self.sim, cores=spec.cores, name="host-cpu")
+        #: The storage-server link: fair-shared among concurrent
+        #: downloads (one "core" = the full link).
+        self.storage_link = FairShareCPU(self.sim, cores=1, name="storage-link")
+        #: Memory-controller write bandwidth for bulk zeroing: up to
+        #: ``dram_channels`` streams at full per-stream rate, shared
+        #: beyond that.
+        self.dram = FairShareCPU(
+            self.sim, cores=spec.dram_channels, name="dram-bandwidth"
+        )
+
+        # -- hardware ---------------------------------------------------
+        self.memory = PhysicalMemory(spec.memory_bytes, spec.page_size)
+        self.iommu = IOMMU()
+        self.topology = PciTopology()
+        self.topology.add_bus(NIC_BUS)
+        self.nic = SriovNic(
+            model=spec.nic_model,
+            max_vfs=spec.nic_max_vfs,
+            bandwidth_gbps=spec.nic_bandwidth_gbps,
+            topology=self.topology,
+            bus_number=NIC_BUS,
+            pf_bdf="3b:00.0",
+        )
+        for index in range(spec.pci_extra_devices):
+            # Device numbers above the VF range (VFs occupy 01..20).
+            self.topology.attach(
+                NIC_BUS, PciDevice(f"3b:40.{index}", f"bridge-{index}")
+            )
+        if vf_count is None:
+            vf_count = spec.nic_max_vfs
+        self.vfs = self.nic.pf.create_vfs(vf_count, self.topology, NIC_BUS)
+
+        # -- kernel substrate --------------------------------------------
+        self.fastiovd = (
+            Fastiovd(self.sim, self.cpu, spec, dram=self.dram)
+            if config.needs_fastiovd
+            else None
+        )
+        lock_factory = (
+            HierarchicalLockPolicy
+            if config.lock_decomposition
+            else CoarseLockPolicy
+        )
+        self.vfio = VfioDriver(
+            self.sim, self.cpu, self.memory, self.iommu, spec,
+            lock_policy_factory=lock_factory, jitter=self.jitter,
+            fastiovd=self.fastiovd, dram=self.dram,
+        )
+        self.kvm = KVM(self.sim, self.cpu, spec, fastiovd=self.fastiovd)
+        self.mmu = HostMMU(self.sim, self.cpu, self.memory, spec, dram=self.dram)
+        self.binding = DriverRegistry(self.sim, spec, self.jitter, self.vfio)
+        self.cgroups = CgroupManager(self.sim, spec, self.jitter, cpu=self.cpu)
+        self.hostnet = HostNetworkStack(self.sim, spec, self.jitter)
+        self.hypervisor = Hypervisor(
+            self.sim, self.cpu, self.kvm, self.vfio, self.mmu, spec,
+            self.jitter, fastiovd=self.fastiovd,
+            pf_mailbox=self.binding.pf_mailbox,
+        )
+
+        # -- boot-time VF binding ----------------------------------------
+        if config.is_passthrough and not config.rebind_flaw:
+            # §5 fix: bind every VF to vfio-pci exactly once after the
+            # server boots; this one-time cost is outside the startup
+            # path (like VF pre-creation, §2.3).
+            for vf in self.vfs:
+                vf.driver = VFIO_DRIVER_NAME
+                self.vfio.register_device(vf)
+
+        # -- container stack ----------------------------------------------
+        self.cni = self._build_cni(config)
+        self.runtime = KataRuntime(self, async_vf_init=config.async_vf_init)
+        self.engine = Containerd(self, self.cni, self.runtime)
+        self.orchestrator = Orchestrator(self, self.engine)
+
+    def _build_cni(self, config):
+        if config.network == "none":
+            return NoNetworkCni(self)
+        if config.network == "ipvtap":
+            return IpvtapCni(self)
+        return SriovCni(
+            self,
+            rebind_flaw=config.rebind_flaw,
+            decoupled_zeroing=config.decoupled_zeroing,
+            prezeroed_fraction=config.prezeroed_fraction,
+            skip_image_mapping=config.skip_image_mapping,
+            use_instant_zeroing_list=config.use_instant_zeroing_list,
+            proactive_virtio_faults=config.proactive_virtio_faults,
+            vdpa=config.vdpa,
+            deferred_mapping=config.deferred_mapping,
+        )
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    def launch(self, count, **kwargs):
+        """Shortcut for ``host.orchestrator.launch``."""
+        return self.orchestrator.launch(count, **kwargs)
+
+    def contention_report(self):
+        """Host-wide lock/CPU telemetry for bottleneck analysis."""
+        report = {
+            "cgroup-mutex": self.cgroups.lock_stats,
+            "rtnl": self.hostnet.rtnl_stats,
+            "pf-mailbox": self.binding.mailbox_stats,
+            "cpu-utilization": self.cpu.utilization(),
+        }
+        for devset in self.vfio._devsets.values():
+            for lock_name, stats in devset.lock.contention_stats.items():
+                report[f"{devset.name}/{lock_name}"] = stats
+        return report
+
+    def __repr__(self):
+        return f"<Host config={self.config.name!r} seed={self.seed}>"
+
+
+def build_host(preset_or_config, spec=None, seed=0, vf_count=None):
+    """Build a host from a preset name or a :class:`SolutionConfig`."""
+    if isinstance(preset_or_config, str):
+        config = get_preset(preset_or_config)
+    else:
+        config = preset_or_config
+    return Host(config, spec=spec, seed=seed, vf_count=vf_count)

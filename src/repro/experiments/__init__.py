@@ -1,0 +1,24 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every experiment follows the same protocol::
+
+    from repro.experiments import get_experiment
+
+    exp = get_experiment("fig11")
+    result = exp.run(quick=True)   # smaller concurrency for CI/benches
+    print(result.render())          # the figure/table as text
+    for row in result.comparisons():
+        print(row)                  # (metric, paper, measured) triples
+
+``quick=False`` reproduces the paper's full scale (concurrency 200,
+512 MiB per container on the §3.1 testbed spec).  Results are
+deterministic per seed.
+"""
+
+from repro.experiments.registry import (
+    ALL_EXPERIMENTS,
+    get_experiment,
+    list_experiments,
+)
+
+__all__ = ["ALL_EXPERIMENTS", "get_experiment", "list_experiments"]

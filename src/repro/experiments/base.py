@@ -1,0 +1,91 @@
+"""Experiment protocol shared by every figure/table reproduction."""
+
+from repro.metrics.reporting import format_table
+
+
+class Comparison:
+    """One paper-vs-measured row for EXPERIMENTS.md."""
+
+    def __init__(self, metric, paper, measured, note=""):
+        self.metric = metric
+        self.paper = paper
+        self.measured = measured
+        self.note = note
+
+    def as_row(self):
+        return (self.metric, self.paper, self.measured, self.note)
+
+    def __repr__(self):
+        return f"<Comparison {self.metric}: paper={self.paper} measured={self.measured}>"
+
+
+class ExperimentResult:
+    """What an experiment run produced."""
+
+    def __init__(self, experiment_id, title, data, text, comparisons):
+        self.experiment_id = experiment_id
+        self.title = title
+        #: Structured results (series, tables) for programmatic use.
+        self.data = data
+        self._text = text
+        self._comparisons = comparisons
+
+    def render(self):
+        """The figure/table as printable text."""
+        return self._text
+
+    def comparisons(self):
+        """Paper-vs-measured rows."""
+        return list(self._comparisons)
+
+    def comparison_table(self):
+        return format_table(
+            ["metric", "paper", "measured", "note"],
+            [c.as_row() for c in self._comparisons],
+            title=f"{self.experiment_id}: {self.title} — paper vs measured",
+        )
+
+    def __repr__(self):
+        return f"<ExperimentResult {self.experiment_id}>"
+
+
+class Experiment:
+    """Base class: subclasses implement :meth:`_execute`."""
+
+    #: Short id ("fig11"); set by subclasses.
+    experiment_id = None
+    #: Human title.
+    title = ""
+    #: What the paper reports (documented expectations).
+    paper_reference = ""
+
+    def run(self, quick=False, seed=0):
+        """Run the experiment and return an :class:`ExperimentResult`.
+
+        Args:
+            quick: Reduced concurrency/sweep for fast benches; the full
+                setting reproduces the paper's scale.
+            seed: Jitter seed for exact reproducibility.
+        """
+        data, text, comparisons = self._execute(quick=quick, seed=seed)
+        return ExperimentResult(
+            self.experiment_id, self.title, data, text, comparisons
+        )
+
+    def _execute(self, quick, seed):
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"<Experiment {self.experiment_id}: {self.title}>"
+
+
+def reduction(baseline, value):
+    """Fractional reduction of ``value`` relative to ``baseline``."""
+    if baseline == 0:
+        raise ValueError("baseline is zero")
+    return 1.0 - value / baseline
+
+
+def pct(fraction):
+    """Format a fraction as a percent string."""
+    return f"{fraction * 100:.1f}%"

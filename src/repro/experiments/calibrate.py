@@ -1,0 +1,98 @@
+"""Calibration harness: HostSpec constants vs the paper's anchors.
+
+Run:
+    python -m repro.experiments.calibrate [--concurrency 200]
+
+Launches the anchor presets at the paper's headline concurrency and
+prints every calibration target next to the measured value, with the
+`HostSpec` knob(s) that move it.  This is the tool that produced the
+``# cal`` constants in :mod:`repro.spec`; re-run it after touching any
+of them.
+"""
+
+import argparse
+
+from repro.core import build_host
+from repro.metrics.reporting import format_table
+from repro.metrics.timeline import PAPER_STEPS
+
+#: (target description, paper value, knobs) — measured values are
+#: computed from the runs below.
+ANCHORS = [
+    ("vanilla mean (s)", "16.2",
+     "vfio_bus_scan_per_device_s, zeroing rates, virtiofs_lock_hold_s"),
+    ("no-net mean (s)", "4.0",
+     "virtiofs_lock_hold_s, guest_boot_cpu_s, cgroup_lock_hold_s"),
+    ("fastiov mean (s)", "5.56", "fastiovd scanner knobs, vfio open costs"),
+    ("fastiov avg reduction", "65.7%", "(derived)"),
+    ("fastiov p99 reduction", "75.4%", "(derived)"),
+    ("VF-related share of vanilla avg", "70.1%", "(derived)"),
+    ("1-dma-ram share", "13.0%", "zeroing_bytes_per_cpu_s, dram_channels"),
+    ("2-virtiofs share", "13.3%", "virtiofs_lock_hold_s, virtiofs_setup_cpu_s"),
+    ("3-dma-image share", "5.6%", "image_bytes, zeroing rates"),
+    ("4-vfio-dev share", "48.1%", "vfio_bus_scan_per_device_s"),
+    ("5-vf-driver share", "3.4%", "vf_driver_* costs"),
+    ("0-cgroup share", "2.9%", "cgroup_lock_hold_s"),
+]
+
+
+def measure(concurrency, seed=0):
+    """Run the anchor presets; return the measured values in ANCHORS
+    order plus the raw results."""
+    results = {}
+    for preset in ("vanilla", "no-net", "fastiov"):
+        host = build_host(preset, seed=seed)
+        results[preset] = host.launch(concurrency)
+    vanilla = results["vanilla"].startup_times()
+    no_net = results["no-net"].startup_times()
+    fastiov = results["fastiov"].startup_times()
+    vf_share = (
+        sum(results["vanilla"].vf_related_times())
+        / len(results["vanilla"].records) / vanilla.mean
+    )
+
+    def share(step):
+        return results["vanilla"].mean_step_time(step) / vanilla.mean
+
+    measured = [
+        f"{vanilla.mean:.1f}",
+        f"{no_net.mean:.1f}",
+        f"{fastiov.mean:.2f}",
+        f"{(1 - fastiov.mean / vanilla.mean) * 100:.1f}%",
+        f"{(1 - fastiov.p99 / vanilla.p99) * 100:.1f}%",
+        f"{vf_share * 100:.1f}%",
+        f"{share('1-dma-ram') * 100:.1f}%",
+        f"{share('2-virtiofs') * 100:.1f}%",
+        f"{share('3-dma-image') * 100:.1f}%",
+        f"{share('4-vfio-dev') * 100:.1f}%",
+        f"{share('5-vf-driver') * 100:.1f}%",
+        f"{share('0-cgroup') * 100:.1f}%",
+    ]
+    return measured, results
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--concurrency", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    measured, results = measure(args.concurrency, args.seed)
+    rows = [
+        (name, paper, value, knobs)
+        for (name, paper, knobs), value in zip(ANCHORS, measured)
+    ]
+    print(format_table(
+        ["anchor", "paper", "measured", "HostSpec knobs"],
+        rows,
+        title=f"Calibration anchors (c={args.concurrency}, "
+              f"seed={args.seed})",
+    ))
+    print("\nVanilla step means (s):")
+    for step in PAPER_STEPS:
+        print(f"  {step:12s} {results['vanilla'].mean_step_time(step):6.3f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

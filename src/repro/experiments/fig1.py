@@ -1,0 +1,72 @@
+"""Fig. 1: overhead of enabling SR-IOV on secure-container startup.
+
+The motivating figure: average startup time of No-Net vs vanilla
+SR-IOV at concurrency 10..200.  The paper reports a 12.2 s overhead at
+concurrency 200 (+305% on the average), growing with concurrency, and a
+fastest no-network container of ~460 ms at concurrency 10.
+"""
+
+from repro.experiments.base import Comparison, Experiment, pct
+from repro.experiments.runs import concurrency_sweep, launch_preset
+from repro.metrics.reporting import format_table
+
+
+class Fig1(Experiment):
+    """Regenerates Fig. 1 (see module docstring for the claims)."""
+
+    experiment_id = "fig1"
+    title = "Overhead of enabling SR-IOV vs startup concurrency"
+    paper_reference = (
+        "Fig. 1: overhead 12.2 s at c=200 (+305% avg); grows with "
+        "concurrency; fastest no-net container ~0.46 s at c=10."
+    )
+
+    def _execute(self, quick, seed):
+        series = []
+        for concurrency in concurrency_sweep(quick):
+            _h1, no_net = launch_preset("no-net", concurrency, seed=seed)
+            _h2, vanilla = launch_preset("vanilla", concurrency, seed=seed)
+            nn = no_net.startup_times("no-net")
+            va = vanilla.startup_times("vanilla")
+            series.append({
+                "concurrency": concurrency,
+                "no_net_mean": nn.mean,
+                "vanilla_mean": va.mean,
+                "overhead": va.mean - nn.mean,
+                "overhead_pct": (va.mean - nn.mean) / nn.mean,
+                "no_net_min": nn.minimum,
+            })
+
+        rows = [
+            (s["concurrency"], s["no_net_mean"], s["vanilla_mean"],
+             s["overhead"], pct(s["overhead_pct"]))
+            for s in series
+        ]
+        text = format_table(
+            ["concurrency", "no-net mean (s)", "vanilla mean (s)",
+             "overhead (s)", "overhead (%)"],
+            rows, title="Fig. 1 — SR-IOV startup overhead vs concurrency",
+        )
+
+        last = series[-1]
+        overheads = [s["overhead"] for s in series]
+        comparisons = [
+            Comparison(
+                "overhead at max concurrency (s)", "12.2 (c=200)",
+                f"{last['overhead']:.1f} (c={last['concurrency']})",
+            ),
+            Comparison(
+                "avg increase at max concurrency", "+305%",
+                f"+{last['overhead_pct'] * 100:.0f}%",
+            ),
+            Comparison(
+                "overhead grows with concurrency", "yes",
+                "yes" if overheads == sorted(overheads) else "NO",
+            ),
+            Comparison(
+                "fastest no-net startup at c=10 (s)", "0.46",
+                f"{series[0]['no_net_min']:.2f}",
+                note="low-concurrency floor",
+            ),
+        ]
+        return {"series": series}, text, comparisons

@@ -1,0 +1,98 @@
+"""Fig. 11: average startup time across all solutions at c=200.
+
+Paper claims:
+* FastIOV reduces the average startup time by 65.7% vs vanilla and the
+  VF-related time by 96.1%;
+* each ablation variant loses part of the gain: FastIOV-L/A/S/D reduce
+  the average by only 21.8/40.3/58.2/43.7% respectively;
+* FastIOV is 39.1% above No-Net on the average;
+* FastIOV is 56.4% below Pre100 (and pre-zeroing helps with fraction).
+"""
+
+from repro.core.presets import FIG11_PRESETS
+from repro.experiments.base import Comparison, Experiment, pct, reduction
+from repro.experiments.runs import launch_preset, main_concurrency
+from repro.metrics.reporting import format_table
+
+PAPER_VARIANT_REDUCTIONS = {
+    "fastiov": 0.657,
+    "fastiov-l": 0.218,
+    "fastiov-a": 0.403,
+    "fastiov-s": 0.582,
+    "fastiov-d": 0.437,
+}
+
+
+class Fig11(Experiment):
+    """Regenerates Fig. 11 (see module docstring for the claims)."""
+
+    experiment_id = "fig11"
+    title = "Average startup time by solution (VF-related vs others)"
+    paper_reference = "Fig. 11 (see PAPER_VARIANT_REDUCTIONS)."
+
+    def _execute(self, quick, seed):
+        concurrency = main_concurrency(quick)
+        results = {}
+        for preset in FIG11_PRESETS:
+            _host, result = launch_preset(preset, concurrency, seed=seed)
+            startups = result.startup_times(preset)
+            vf_mean = sum(result.vf_related_times()) / len(result.records)
+            results[preset] = {
+                "mean": startups.mean,
+                "p99": startups.p99,
+                "vf_related_mean": vf_mean,
+                "others_mean": startups.mean - vf_mean,
+            }
+
+        vanilla = results["vanilla"]
+        no_net = results["no-net"]
+        fastiov = results["fastiov"]
+        rows = []
+        for preset in FIG11_PRESETS:
+            r = results[preset]
+            red = reduction(vanilla["mean"], r["mean"])
+            rows.append((preset, r["vf_related_mean"], r["others_mean"],
+                         r["mean"], pct(red)))
+        from repro.metrics.plots import ascii_bars
+
+        text = "\n\n".join([
+            format_table(
+                ["solution", "VF-related (s)", "others (s)", "mean (s)",
+                 "reduction vs vanilla"],
+                rows, title=f"Fig. 11 — average startup time (c={concurrency})",
+            ),
+            ascii_bars({p: results[p]["mean"] for p in FIG11_PRESETS}),
+        ])
+
+        comparisons = [
+            Comparison("vanilla mean startup (s)", "16.2 (c=200)",
+                       f"{vanilla['mean']:.1f} (c={concurrency})"),
+        ]
+        for preset, paper_red in PAPER_VARIANT_REDUCTIONS.items():
+            comparisons.append(Comparison(
+                f"{preset} reduction vs vanilla", pct(paper_red),
+                pct(reduction(vanilla["mean"], results[preset]["mean"])),
+            ))
+        comparisons.extend([
+            Comparison(
+                "FastIOV VF-related time reduction", "96.1%",
+                pct(reduction(vanilla["vf_related_mean"],
+                              fastiov["vf_related_mean"])),
+            ),
+            Comparison(
+                "FastIOV above No-Net (avg)", "+39.1%",
+                f"+{(fastiov['mean'] / no_net['mean'] - 1) * 100:.1f}%",
+            ),
+            Comparison(
+                "FastIOV below Pre100 (avg)", "56.4%",
+                pct(reduction(results["pre100"]["mean"], fastiov["mean"])),
+            ),
+            Comparison(
+                "pre-zeroing helps monotonically (pre10>pre50>pre100)",
+                "yes",
+                "yes" if results["pre10"]["mean"] >= results["pre50"]["mean"]
+                >= results["pre100"]["mean"] else "NO",
+            ),
+        ])
+        data = {"results": results, "concurrency": concurrency}
+        return data, text, comparisons

@@ -1,0 +1,70 @@
+"""Fig. 12: startup-time distribution (CDF) at c=200.
+
+Paper claims: FastIOV reduces the 99th-percentile startup time by 75.4%
+vs vanilla and sits only 11.6% above No-Net at the 99th percentile.
+"""
+
+from repro.experiments.base import Comparison, Experiment, pct, reduction
+from repro.experiments.runs import launch_preset, main_concurrency
+from repro.metrics.reporting import format_table
+
+CDF_PRESETS = ("no-net", "vanilla", "fastiov", "pre100")
+
+
+class Fig12(Experiment):
+    """Regenerates Fig. 12 (see module docstring for the claims)."""
+
+    experiment_id = "fig12"
+    title = "Startup time distribution (CDF)"
+    paper_reference = "Fig. 12: p99 -75.4% vs vanilla, +11.6% vs No-Net."
+
+    def _execute(self, quick, seed):
+        concurrency = main_concurrency(quick)
+        distributions = {}
+        for preset in CDF_PRESETS:
+            _host, result = launch_preset(preset, concurrency, seed=seed)
+            distributions[preset] = result.startup_times(preset)
+
+        quantiles = (10, 25, 50, 75, 90, 99)
+        rows = [
+            (f"p{q}",) + tuple(
+                distributions[p].percentile(q) for p in CDF_PRESETS
+            )
+            for q in quantiles
+        ]
+        from repro.metrics.plots import ascii_cdf
+
+        text = "\n\n".join([
+            format_table(
+                ("quantile",) + CDF_PRESETS, rows,
+                title=f"Fig. 12 — startup time quantiles (s, c={concurrency})",
+            ),
+            ascii_cdf(
+                {p: distributions[p].values for p in CDF_PRESETS},
+                x_label="startup time (s)",
+            ),
+        ])
+
+        vanilla = distributions["vanilla"]
+        fastiov = distributions["fastiov"]
+        no_net = distributions["no-net"]
+        comparisons = [
+            Comparison("FastIOV p99 reduction vs vanilla", "75.4%",
+                       pct(reduction(vanilla.p99, fastiov.p99))),
+            Comparison("FastIOV p99 above No-Net", "+11.6%",
+                       f"+{(fastiov.p99 / no_net.p99 - 1) * 100:.1f}%"),
+            Comparison("vanilla p99 above No-Net", "+354.5%",
+                       f"+{(vanilla.p99 / no_net.p99 - 1) * 100:.1f}%"),
+            Comparison(
+                "FastIOV CDF strictly left of vanilla", "yes",
+                "yes" if all(
+                    fastiov.percentile(q) < vanilla.percentile(q)
+                    for q in quantiles
+                ) else "NO",
+            ),
+        ]
+        data = {
+            "cdfs": {p: d.cdf() for p, d in distributions.items()},
+            "concurrency": concurrency,
+        }
+        return data, text, comparisons

@@ -1,0 +1,161 @@
+"""Fig. 13: impacting factors — concurrency, memory, fully loaded server.
+
+Paper claims:
+* (a) FastIOV's reduction grows from 46.7% at c=10 to 65.6% at c=200
+  (512 MiB per container);
+* (b) at c=50, growing memory 512 MiB -> 2 GiB raises vanilla's average
+  by 60.5% but FastIOV's by only 21.5%;
+* (c) with the server's memory evenly divided, FastIOV's reduction is
+  largest at low concurrency (79.5% at c=10, ~65.7% at c=200).
+"""
+
+from repro.experiments.base import Comparison, Experiment, pct, reduction
+from repro.experiments.runs import (
+    concurrency_sweep,
+    fully_loaded_memory,
+    launch_preset,
+    memory_sweep,
+)
+from repro.metrics.reporting import format_table
+from repro.spec import MIB
+
+
+def _pair(concurrency, memory_bytes, seed):
+    _h1, vanilla = launch_preset("vanilla", concurrency,
+                                 memory_bytes=memory_bytes, seed=seed)
+    _h2, fastiov = launch_preset("fastiov", concurrency,
+                                 memory_bytes=memory_bytes, seed=seed)
+    v = vanilla.startup_times("vanilla")
+    f = fastiov.startup_times("fastiov")
+    return {
+        "vanilla_mean": v.mean, "fastiov_mean": f.mean,
+        "vanilla_p99": v.p99, "fastiov_p99": f.p99,
+        "reduction": reduction(v.mean, f.mean),
+    }
+
+
+class Fig13a(Experiment):
+    """Regenerates Fig. 13a (concurrency sweep)."""
+
+    experiment_id = "fig13a"
+    title = "Impact of concurrency (512 MiB per container)"
+    paper_reference = "Fig. 13a: reductions 46.7% (c=10) -> 65.6% (c=200)."
+
+    def _execute(self, quick, seed):
+        series = []
+        for concurrency in concurrency_sweep(quick):
+            point = _pair(concurrency, None, seed)
+            point["concurrency"] = concurrency
+            series.append(point)
+        rows = [
+            (s["concurrency"], s["vanilla_mean"], s["fastiov_mean"],
+             pct(s["reduction"]))
+            for s in series
+        ]
+        text = format_table(
+            ["concurrency", "vanilla mean (s)", "fastiov mean (s)",
+             "reduction"],
+            rows, title="Fig. 13a — concurrency sweep",
+        )
+        comparisons = [
+            Comparison("reduction at lowest concurrency", "46.7% (c=10)",
+                       pct(series[0]["reduction"])),
+            Comparison("reduction at highest concurrency", "65.6% (c=200)",
+                       f"{pct(series[-1]['reduction'])} "
+                       f"(c={series[-1]['concurrency']})"),
+            Comparison(
+                "reduction grows with concurrency", "yes",
+                "yes" if series[-1]["reduction"] > series[0]["reduction"]
+                else "NO",
+            ),
+        ]
+        return {"series": series}, text, comparisons
+
+
+class Fig13b(Experiment):
+    """Regenerates Fig. 13b (memory sweep)."""
+
+    experiment_id = "fig13b"
+    title = "Impact of per-container memory (c=50)"
+    paper_reference = (
+        "Fig. 13b: 512 MiB -> 2 GiB raises vanilla +60.5%, FastIOV +21.5%."
+    )
+
+    def _execute(self, quick, seed):
+        concurrency = 20 if quick else 50
+        series = []
+        for memory_bytes in memory_sweep(quick):
+            point = _pair(concurrency, memory_bytes, seed)
+            point["memory_mib"] = memory_bytes // MIB
+            series.append(point)
+        rows = [
+            (s["memory_mib"], s["vanilla_mean"], s["fastiov_mean"],
+             pct(s["reduction"]))
+            for s in series
+        ]
+        text = format_table(
+            ["memory (MiB)", "vanilla mean (s)", "fastiov mean (s)",
+             "reduction"],
+            rows, title=f"Fig. 13b — memory sweep (c={concurrency})",
+        )
+        vanilla_rise = series[-1]["vanilla_mean"] / series[0]["vanilla_mean"] - 1
+        fastiov_rise = series[-1]["fastiov_mean"] / series[0]["fastiov_mean"] - 1
+        comparisons = [
+            Comparison("vanilla increase 512MiB->2GiB", "+60.5%",
+                       f"+{vanilla_rise * 100:.1f}%"),
+            Comparison("FastIOV increase 512MiB->2GiB", "+21.5%",
+                       f"+{fastiov_rise * 100:.1f}%"),
+            Comparison("FastIOV less memory-sensitive than vanilla", "yes",
+                       "yes" if fastiov_rise < vanilla_rise else "NO"),
+            Comparison(
+                "reduction ratio grows with memory", "yes",
+                "yes" if series[-1]["reduction"] > series[0]["reduction"]
+                else "NO",
+            ),
+        ]
+        return {"series": series, "concurrency": concurrency}, text, comparisons
+
+
+class Fig13c(Experiment):
+    """Regenerates Fig. 13c (fully loaded server)."""
+
+    experiment_id = "fig13c"
+    title = "Fully loaded server (resources evenly divided)"
+    paper_reference = (
+        "Fig. 13c: reductions across all settings; largest (79.5%) at "
+        "c=10, ~65.7% at c=200."
+    )
+
+    def _execute(self, quick, seed):
+        series = []
+        for concurrency in concurrency_sweep(quick):
+            memory_bytes = fully_loaded_memory(concurrency)
+            point = _pair(concurrency, memory_bytes, seed)
+            point["concurrency"] = concurrency
+            point["memory_mib"] = memory_bytes // MIB
+            series.append(point)
+        rows = [
+            (s["concurrency"], s["memory_mib"], s["vanilla_mean"],
+             s["fastiov_mean"], pct(s["reduction"]))
+            for s in series
+        ]
+        text = format_table(
+            ["concurrency", "mem/ctr (MiB)", "vanilla mean (s)",
+             "fastiov mean (s)", "reduction"],
+            rows, title="Fig. 13c — fully loaded server",
+        )
+        comparisons = [
+            Comparison("reduction at c=10 (fully loaded)", "79.5%",
+                       pct(series[0]["reduction"])),
+            Comparison(
+                "reduction at max concurrency", "~65.7% (c=200)",
+                f"{pct(series[-1]['reduction'])} "
+                f"(c={series[-1]['concurrency']})",
+            ),
+            Comparison(
+                "reduction most pronounced at low concurrency", "yes",
+                "yes" if series[0]["reduction"] >= series[-1]["reduction"]
+                else "NO",
+            ),
+        ]
+        return {"series": series}, text, comparisons

@@ -1,0 +1,87 @@
+"""Fig. 15: serverless application performance at c=200 (§6.6).
+
+Paper claims: across Image/Compression/Scientific/Inference, FastIOV
+reduces the average task completion time by 12.1–53.5% and the 99th
+percentile by 20.3–53.7% vs vanilla, with the reduction ratio
+*decreasing* from Image to Inference (longer tasks dilute the startup
+share).
+"""
+
+from repro.experiments.base import Comparison, Experiment, pct, reduction
+from repro.experiments.runs import launch_preset, main_concurrency
+from repro.metrics.reporting import format_table
+from repro.workloads.serverless import make_app
+
+APPS = ("image", "compression", "scientific", "inference")
+
+
+def run_apps(concurrency, seed, presets=("vanilla", "fastiov"),
+             memory_bytes=None):
+    """TCT distributions per (app, preset)."""
+    out = {}
+    for app_name in APPS:
+        for preset in presets:
+            _host, result = launch_preset(
+                preset, concurrency, seed=seed, memory_bytes=memory_bytes,
+                app_factory=lambda index: make_app(app_name),
+            )
+            out[(app_name, preset)] = result.task_completion_times(
+                f"{app_name}/{preset}"
+            )
+    return out
+
+
+class Fig15(Experiment):
+    """Regenerates Fig. 15 (see module docstring for the claims)."""
+
+    experiment_id = "fig15"
+    title = "Serverless task completion time distributions"
+    paper_reference = (
+        "Fig. 15: avg reductions 12.1-53.5%, p99 20.3-53.7%, decreasing "
+        "Image -> Inference."
+    )
+
+    def _execute(self, quick, seed):
+        concurrency = main_concurrency(quick)
+        tcts = run_apps(concurrency, seed)
+
+        rows = []
+        avg_reductions = []
+        p99_reductions = []
+        for app_name in APPS:
+            vanilla = tcts[(app_name, "vanilla")]
+            fastiov = tcts[(app_name, "fastiov")]
+            avg_red = reduction(vanilla.mean, fastiov.mean)
+            p99_red = reduction(vanilla.p99, fastiov.p99)
+            avg_reductions.append(avg_red)
+            p99_reductions.append(p99_red)
+            rows.append((app_name, vanilla.mean, fastiov.mean, pct(avg_red),
+                         vanilla.p99, fastiov.p99, pct(p99_red)))
+        text = format_table(
+            ["app", "vanilla avg (s)", "fastiov avg (s)", "avg red.",
+             "vanilla p99 (s)", "fastiov p99 (s)", "p99 red."],
+            rows,
+            title=f"Fig. 15 — task completion times (c={concurrency})",
+        )
+
+        comparisons = [
+            Comparison(
+                "avg TCT reduction range", "12.1%-53.5%",
+                f"{pct(min(avg_reductions))}-{pct(max(avg_reductions))}",
+            ),
+            Comparison(
+                "p99 TCT reduction range", "20.3%-53.7%",
+                f"{pct(min(p99_reductions))}-{pct(max(p99_reductions))}",
+            ),
+            Comparison(
+                "reduction decreases Image -> Inference", "yes",
+                "yes" if avg_reductions[0] > avg_reductions[-1] else "NO",
+            ),
+        ]
+        data = {
+            "tcts": {f"{a}/{p}": d.summary() for (a, p), d in tcts.items()},
+            "avg_reductions": dict(zip(APPS, avg_reductions)),
+            "p99_reductions": dict(zip(APPS, p99_reductions)),
+            "concurrency": concurrency,
+        }
+        return data, text, comparisons

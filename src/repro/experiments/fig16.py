@@ -1,0 +1,145 @@
+"""Fig. 16: serverless apps under varying conditions (12 panels).
+
+Panels a–d: average TCT vs concurrency per app; gain grows with
+concurrency.  Panels e–h: TCT vs per-container resources at c=50;
+FastIOV's TCT stays flat (Image/Compression) or decreases
+(Scientific/Inference) while the gain grows.  Panels i–l: fully loaded
+server; reductions across all settings, most pronounced at low
+concurrency.
+"""
+
+from repro.experiments.base import Comparison, Experiment, pct, reduction
+from repro.experiments.runs import (
+    concurrency_sweep,
+    fully_loaded_memory,
+    launch_preset,
+    memory_sweep,
+)
+from repro.metrics.reporting import format_table
+from repro.spec import MIB
+from repro.workloads.serverless import make_app
+
+APPS = ("image", "compression", "scientific", "inference")
+
+
+def _tct_pair(app_name, concurrency, memory_bytes, seed):
+    means = {}
+    for preset in ("vanilla", "fastiov"):
+        _host, result = launch_preset(
+            preset, concurrency, seed=seed, memory_bytes=memory_bytes,
+            app_factory=lambda index: make_app(app_name),
+        )
+        means[preset] = result.task_completion_times().mean
+    return means["vanilla"], means["fastiov"]
+
+
+class Fig16(Experiment):
+    """Regenerates Fig. 16's twelve panels (see module docstring)."""
+
+    experiment_id = "fig16"
+    title = "Serverless apps: concurrency / resources / fully loaded"
+    paper_reference = (
+        "Fig. 16a-l: (i) gain grows with concurrency; (ii) gain grows "
+        "with per-container resources, FastIOV TCT flat or decreasing; "
+        "(iii) fully loaded: reduction most pronounced at low concurrency."
+    )
+
+    def _execute(self, quick, seed):
+        apps = APPS[:2] if quick else APPS
+        panels = {}
+
+        # -- a-d: concurrency sweep --------------------------------------
+        for app_name in apps:
+            series = []
+            for concurrency in concurrency_sweep(quick):
+                vanilla, fastiov = _tct_pair(app_name, concurrency, None, seed)
+                series.append({
+                    "x": concurrency, "vanilla": vanilla, "fastiov": fastiov,
+                    "r_ratio": reduction(vanilla, fastiov),
+                })
+            panels[f"concurrency/{app_name}"] = series
+
+        # -- e-h: resource sweep at c=50 ----------------------------------
+        resource_c = 20 if quick else 50
+        for app_name in apps:
+            series = []
+            for memory_bytes in memory_sweep(quick):
+                vanilla, fastiov = _tct_pair(
+                    app_name, resource_c, memory_bytes, seed
+                )
+                series.append({
+                    "x": memory_bytes // MIB, "vanilla": vanilla,
+                    "fastiov": fastiov, "r_ratio": reduction(vanilla, fastiov),
+                })
+            panels[f"resources/{app_name}"] = series
+
+        # -- i-l: fully loaded server --------------------------------------
+        for app_name in apps:
+            series = []
+            for concurrency in concurrency_sweep(quick):
+                memory_bytes = fully_loaded_memory(concurrency)
+                vanilla, fastiov = _tct_pair(
+                    app_name, concurrency, memory_bytes, seed
+                )
+                series.append({
+                    "x": concurrency, "vanilla": vanilla, "fastiov": fastiov,
+                    "r_ratio": reduction(vanilla, fastiov),
+                })
+            panels[f"fully-loaded/{app_name}"] = series
+
+        # -- render ----------------------------------------------------------
+        blocks = []
+        for panel, series in panels.items():
+            rows = [
+                (s["x"], s["vanilla"], s["fastiov"], pct(s["r_ratio"]))
+                for s in series
+            ]
+            blocks.append(format_table(
+                ["x", "vanilla TCT (s)", "fastiov TCT (s)", "R-ratio"],
+                rows, title=f"Fig. 16 [{panel}]",
+            ))
+        text = "\n\n".join(blocks)
+
+        # -- claims -----------------------------------------------------------
+        def trend_ok(prefix, check):
+            return all(check(panels[f"{prefix}/{app}"]) for app in apps)
+
+        comparisons = [
+            Comparison(
+                "(a-d) gain grows with concurrency", "yes",
+                "yes" if trend_ok(
+                    "concurrency",
+                    lambda s: max(p["r_ratio"] for p in s[1:])
+                    > s[0]["r_ratio"],
+                ) else "NO",
+                note=(
+                    "checked low-concurrency vs peak; at the very top of "
+                    "the sweep, compute-heavy apps can saturate the CPU "
+                    "and flatten the gain"
+                ),
+            ),
+            Comparison(
+                "(e-h) gain grows with per-container resources", "yes",
+                "yes" if trend_ok(
+                    "resources",
+                    lambda s: s[-1]["r_ratio"] > s[0]["r_ratio"],
+                ) else "NO",
+            ),
+            Comparison(
+                "(e-h) FastIOV TCT flat or decreasing with resources",
+                "yes",
+                "yes" if trend_ok(
+                    "resources",
+                    lambda s: s[-1]["fastiov"] <= s[0]["fastiov"] * 1.10,
+                ) else "NO",
+            ),
+            Comparison(
+                "(i-l) fully-loaded reduction most pronounced at low "
+                "concurrency", "yes",
+                "yes" if trend_ok(
+                    "fully-loaded",
+                    lambda s: s[0]["r_ratio"] >= s[-1]["r_ratio"] - 0.02,
+                ) else "NO",
+            ),
+        ]
+        return {"panels": panels}, text, comparisons

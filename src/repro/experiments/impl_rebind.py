@@ -1,0 +1,66 @@
+"""§5: the SR-IOV CNI rebinding flaw (implementation experiment).
+
+Paper claims: the upstream plugin, which binds each VF to the host
+network driver at every launch and rebinds vfio-pci afterwards, takes
+*several minutes* to start 200 secure containers; pre-binding VFs to
+vfio-pci once (plus dummy interfaces) brings this to 16.2 s.
+"""
+
+from repro.experiments.base import Comparison, Experiment
+from repro.experiments.runs import launch_preset, main_concurrency
+from repro.metrics.reporting import format_table
+
+
+class ImplRebind(Experiment):
+    """Regenerates the §5 rebinding-flaw comparison."""
+
+    experiment_id = "impl_rebind"
+    title = "Upstream CNI rebinding flaw vs the pre-bind fix"
+    paper_reference = (
+        "§5: original plugin takes minutes at c=200; the fix reduces it "
+        "to 16.2 s."
+    )
+
+    def _execute(self, quick, seed):
+        concurrency = main_concurrency(quick)
+        _h1, true_vanilla = launch_preset("true-vanilla", concurrency,
+                                          seed=seed)
+        _h2, vanilla = launch_preset("vanilla", concurrency, seed=seed)
+        tv = true_vanilla.startup_times("true-vanilla")
+        va = vanilla.startup_times("vanilla")
+        tv_makespan = max(r.t_ready for r in true_vanilla.records)
+        rebind_time = sum(
+            r.step_time("bind-host-driver") + r.step_time("unbind-host-driver")
+            + r.step_time("bind-vfio") + r.step_time("unbind-vfio")
+            for r in true_vanilla.records
+        ) / len(true_vanilla.records)
+
+        rows = [
+            ("true-vanilla (rebind flaw)", tv.mean, tv.p99, tv_makespan),
+            ("vanilla (pre-bind fix)", va.mean, va.p99,
+             max(r.t_ready for r in vanilla.records)),
+        ]
+        text = format_table(
+            ["solution", "mean (s)", "p99 (s)", "makespan (s)"],
+            rows, title=f"§5 — rebinding flaw (c={concurrency})",
+        )
+        comparisons = [
+            Comparison(
+                "upstream plugin startup scale", "minutes (c=200)",
+                f"{tv_makespan / 60:.1f} min makespan "
+                f"(c={concurrency})",
+            ),
+            Comparison(
+                "fix brings mean to", "16.2 s",
+                f"{va.mean:.1f} s",
+            ),
+            Comparison(
+                "rebinding dominates the flawed startup", ">50%",
+                f"{rebind_time / tv.mean * 100:.0f}% of mean",
+            ),
+        ]
+        data = {
+            "true_vanilla": tv.summary(), "vanilla": va.summary(),
+            "makespan": tv_makespan, "concurrency": concurrency,
+        }
+        return data, text, comparisons

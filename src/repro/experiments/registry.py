@@ -1,0 +1,42 @@
+"""Registry mapping experiment ids to classes."""
+
+from repro.experiments.churn import Churn
+from repro.experiments.dataplane import Dataplane
+from repro.experiments.fig1 import Fig1
+from repro.experiments.fig5_tab1 import Fig5, Tab1
+from repro.experiments.fig11 import Fig11
+from repro.experiments.fig12 import Fig12
+from repro.experiments.fig13 import Fig13a, Fig13b, Fig13c
+from repro.experiments.fig14 import Fig14
+from repro.experiments.fig15 import Fig15
+from repro.experiments.fig16 import Fig16
+from repro.experiments.impl_rebind import ImplRebind
+from repro.experiments.sec65 import Sec65
+from repro.experiments.vdpa import Vdpa
+from repro.experiments.viommu import Viommu
+
+ALL_EXPERIMENTS = {
+    cls.experiment_id: cls
+    for cls in (
+        Fig1, Fig5, Tab1, Fig11, Fig12, Fig13a, Fig13b, Fig13c,
+        Fig14, Sec65, Fig15, Fig16, ImplRebind,
+        # Extensions beyond the paper's figures:
+        Vdpa, Churn, Dataplane, Viommu,
+    )
+}
+
+
+def list_experiments():
+    """(id, title) pairs in paper order."""
+    return [(exp_id, cls.title) for exp_id, cls in ALL_EXPERIMENTS.items()]
+
+
+def get_experiment(experiment_id):
+    """Instantiate an experiment by id."""
+    try:
+        return ALL_EXPERIMENTS[experiment_id]()
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {sorted(ALL_EXPERIMENTS)}"
+        ) from None

@@ -1,0 +1,51 @@
+"""Shared launch helpers for experiments."""
+
+from repro.core import build_host
+from repro.spec import GIB, PAPER_TESTBED
+
+
+def launch_preset(preset, concurrency, memory_bytes=None, seed=0,
+                  app_factory=None, spec=None):
+    """Build a fresh host for ``preset`` and launch ``concurrency``
+    containers; returns (host, LaunchResult)."""
+    spec = spec if spec is not None else PAPER_TESTBED
+    host = build_host(preset, spec=spec, seed=seed)
+    result = host.launch(
+        concurrency, memory_bytes=memory_bytes, app_factory=app_factory
+    )
+    return host, result
+
+
+def fully_loaded_memory(concurrency, spec=None, headroom=0.95):
+    """Per-container memory when the server is evenly divided (§6.3).
+
+    Budgets the per-VM image region (which vanilla DMA-maps as real
+    frames) and a host margin before dividing; the result is
+    page-aligned.
+    """
+    spec = spec if spec is not None else PAPER_TESTBED
+    budget = spec.memory_bytes * headroom - concurrency * spec.image_bytes
+    budget -= 4 * GIB  # host page cache / daemon overheads
+    per_container = int(budget / concurrency)
+    per_container -= per_container % spec.page_size
+    cap = 20 * GIB  # a microVM larger than this is unrealistic for FaaS
+    return max(spec.page_size, min(per_container, cap))
+
+
+def concurrency_sweep(quick):
+    """The Fig. 1 / Fig. 13a / Fig. 13c concurrency axis."""
+    if quick:
+        return (10, 50)
+    return (10, 50, 100, 150, 200)
+
+
+def memory_sweep(quick):
+    """The Fig. 13b memory axis (bytes)."""
+    if quick:
+        return (512 * 1024 * 1024, 2 * GIB)
+    return (512 * 1024 * 1024, 1 * GIB, int(1.5 * GIB), 2 * GIB)
+
+
+def main_concurrency(quick):
+    """The paper's headline concurrency (200; 60 in quick mode)."""
+    return 60 if quick else 200

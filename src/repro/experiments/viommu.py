@@ -1,0 +1,104 @@
+"""Extension experiment: the §8 deferred-mapping (vIOMMU) baseline.
+
+The paper's related-work section contrasts FastIOV with virtual-IOMMU
+designs (vIOMMU/coIOMMU/V-Probe): those defer DMA memory mapping until
+the device actually accesses a region, which removes the startup cost —
+but couples the benefit to memory-overcommitment machinery and moves
+pinning/mapping (and, with demand paging, zeroing) onto the data path.
+FastIOV instead decouples only the *zeroing*, keeping memory fully
+pinned up front.
+
+This experiment measures both sides of that trade-off: startup time
+(where deferred mapping looks as good as FastIOV) and the first data
+transfer (where deferred mapping pays its debt while FastIOV's rings
+are already mapped).
+"""
+
+from repro.experiments.base import Comparison, Experiment, pct, reduction
+from repro.experiments.runs import launch_preset, main_concurrency
+from repro.metrics.reporting import format_table
+from repro.metrics.stats import Distribution
+from repro.spec import MIB
+from repro.workloads.serverless import ServerlessApp
+
+PRESETS = ("vanilla", "fastiov", "viommu")
+
+
+def _first_transfer_app(_index):
+    """A tiny download that isolates the first-DMA cost."""
+    return ServerlessApp(
+        "first-touch", input_bytes=8 * MIB, compute_cpu_s=0.0,
+        footprint_bytes=2 * MIB,
+    )
+
+
+class Viommu(Experiment):
+    """Runs the §8 deferred-mapping baseline (extension)."""
+
+    experiment_id = "viommu"
+    title = "Deferred DMA mapping (vIOMMU-style) vs FastIOV (§8)"
+    paper_reference = (
+        "§8: delayed mapping 'can reduce the startup cost of "
+        "passthrough I/O' but 'such reduction is coupled with enabling "
+        "memory-overcommitment'; FastIOV decouples only zeroing.  No "
+        "paper numbers — expectations are directional."
+    )
+
+    def _execute(self, quick, seed):
+        concurrency = main_concurrency(quick)
+        startup = {}
+        for preset in PRESETS:
+            _host, result = launch_preset(preset, concurrency, seed=seed)
+            startup[preset] = result.startup_times(preset)
+
+        transfer_c = 16 if quick else 50
+        first_transfer = {}
+        for preset in PRESETS:
+            _host, result = launch_preset(
+                preset, transfer_c, seed=seed,
+                app_factory=_first_transfer_app,
+            )
+            first_transfer[preset] = Distribution(
+                [r.step_time("app-run") for r in result.records],
+                label=preset,
+            )
+
+        rows = [
+            (preset, startup[preset].mean, startup[preset].p99,
+             first_transfer[preset].mean * 1000)
+            for preset in PRESETS
+        ]
+        text = format_table(
+            ["solution", "startup mean (s)", "startup p99 (s)",
+             "first 8 MiB transfer (ms)"],
+            rows,
+            title=(f"§8 baseline — deferred mapping "
+                   f"(startup c={concurrency}, transfer c={transfer_c})"),
+        )
+
+        comparisons = [
+            Comparison(
+                "deferred mapping removes the startup mapping cost",
+                "expected: startup ~ FastIOV's",
+                pct(reduction(startup["vanilla"].mean,
+                              startup["viommu"].mean)) + " vs vanilla",
+            ),
+            Comparison(
+                "but pays pin/map/zero on the data path",
+                "expected: first transfer slower than FastIOV",
+                f"{first_transfer['viommu'].mean * 1000:.1f} ms vs "
+                f"{first_transfer['fastiov'].mean * 1000:.1f} ms",
+            ),
+            Comparison(
+                "FastIOV's memory stays fully pinned (no overcommit "
+                "coupling)", "yes",
+                "yes — vanilla-equivalent pinning, only zeroing deferred",
+            ),
+        ]
+        data = {
+            "startup": {p: d.summary() for p, d in startup.items()},
+            "first_transfer": {
+                p: d.summary() for p, d in first_transfer.items()
+            },
+        }
+        return data, text, comparisons

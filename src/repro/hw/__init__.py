@@ -1,0 +1,52 @@
+"""Hardware substrate: physical memory, PCI, SR-IOV NIC, IOMMU, EPT.
+
+Every class in this package is a *pure state machine* — allocation
+tables, page flags, translation tables, device registries.  No virtual
+time passes here; all latency/CPU costs of operating this hardware are
+charged by the kernel-level drivers in :mod:`repro.oskernel`, which run
+as simulated processes.  This mirrors the real split the paper studies:
+the hardware defines *what must be done* (pages zeroed, IOMMU entries
+written, buses scanned) and the software stack determines *how long it
+takes under concurrency*.
+
+Security-relevant page state (residual data from a previous tenant vs
+zeroed vs legitimately written) is tracked explicitly so that the lazy
+zeroing design of §4.3.2 can be validated as an executable invariant:
+a guest read of a residual page raises
+:class:`~repro.hw.memory.ResidualDataLeak`.
+"""
+
+from repro.hw.ept import EPT, EptFault
+from repro.hw.errors import (
+    DmaTranslationFault,
+    HardwareError,
+    OutOfMemory,
+    ResidualDataLeak,
+)
+from repro.hw.iommu import IOMMU, IOMMUDomain
+from repro.hw.memory import AllocatedRegion, Page, PageContent, PhysicalMemory
+from repro.hw.nic import DmaEngine, PhysicalFunction, SriovNic, VirtualFunction
+from repro.hw.pci import PciBus, PciDevice, PciTopology, ResetScope
+
+__all__ = [
+    "EPT",
+    "EptFault",
+    "AllocatedRegion",
+    "DmaEngine",
+    "DmaTranslationFault",
+    "HardwareError",
+    "IOMMU",
+    "IOMMUDomain",
+    "OutOfMemory",
+    "Page",
+    "PageContent",
+    "PciBus",
+    "PciDevice",
+    "PciTopology",
+    "PhysicalFunction",
+    "PhysicalMemory",
+    "ResetScope",
+    "ResidualDataLeak",
+    "SriovNic",
+    "VirtualFunction",
+]

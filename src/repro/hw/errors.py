@@ -1,0 +1,42 @@
+"""Errors raised by the hardware substrate."""
+
+
+class HardwareError(Exception):
+    """Base class for hardware-model errors."""
+
+
+class OutOfMemory(HardwareError):
+    """The physical-page allocator could not satisfy a request."""
+
+
+class ResidualDataLeak(HardwareError):
+    """A guest-visible read observed another tenant's residual data.
+
+    This is the multi-tenant security violation that eager page zeroing
+    prevents and that FastIOV's lazy zeroing must also prevent (§4.3.2).
+    Tests inject faults into the lazy-zeroing machinery and assert this
+    is raised, demonstrating why the instant-zeroing list and proactive
+    EPT faults are load-bearing.
+    """
+
+    def __init__(self, page, reader):
+        super().__init__(
+            f"reader {reader!r} observed residual data on page hpa={page.hpa:#x} "
+            f"(left by {page.content_tag!r})"
+        )
+        self.page = page
+        self.reader = reader
+
+
+class DmaTranslationFault(HardwareError):
+    """The IOMMU had no mapping for an IOVA used in a DMA operation.
+
+    Unlike CPU page faults, IOMMU translation faults are not recoverable
+    in this generation of hardware (§3.2.3): DMA-mapped memory must be
+    fully populated up front.
+    """
+
+    def __init__(self, domain_name, iova):
+        super().__init__(f"IOMMU domain {domain_name!r}: no mapping for IOVA {iova:#x}")
+        self.domain_name = domain_name
+        self.iova = iova

@@ -1,0 +1,127 @@
+"""IOMMU: per-guest I/O page tables and DMA address translation.
+
+The IOMMU translates the I/O Virtual Addresses (IOVAs) a device uses in
+DMA operations to Host Physical Addresses (HPAs), via an I/O page table
+maintained per guest (§2.2).  Two properties matter for the paper:
+
+* Translation entries are installed by the VFIO driver during *DMA
+  memory mapping* — one entry per mapped page, so mapping cost scales
+  with page count.
+* The IOMMU cannot handle page faults: a DMA access to an unmapped IOVA
+  is a hard :class:`~repro.hw.errors.DmaTranslationFault`, which is why
+  all guest memory must be allocated (and, without FastIOV, zeroed) up
+  front.
+"""
+
+from repro.hw.errors import DmaTranslationFault, HardwareError
+
+
+class IOMMUDomain:
+    """One guest's I/O page table (IOVA -> physical page)."""
+
+    def __init__(self, name):
+        self.name = name
+        self._entries = {}  # iova (page-aligned) -> Page
+        self.mapped_bytes = 0
+
+    @property
+    def entry_count(self):
+        return len(self._entries)
+
+    def map_page(self, iova, page):
+        """Install a translation for one page.
+
+        ``iova`` must be aligned to the page's size.  Per §2.2 the IOVA
+        is typically chosen equal to the GPA, but the domain does not
+        assume that.
+        """
+        if iova % page.size != 0:
+            raise HardwareError(
+                f"domain {self.name!r}: IOVA {iova:#x} not aligned to {page.size}"
+            )
+        if iova in self._entries:
+            raise HardwareError(f"domain {self.name!r}: IOVA {iova:#x} already mapped")
+        if not page.pinned:
+            raise HardwareError(
+                f"domain {self.name!r}: mapping unpinned page {page.hpa:#x}; "
+                f"DMA to swappable memory is unsafe"
+            )
+        self._entries[iova] = page
+        self.mapped_bytes += page.size
+
+    def unmap_page(self, iova):
+        try:
+            page = self._entries.pop(iova)
+        except KeyError:
+            raise HardwareError(
+                f"domain {self.name!r}: unmapping unmapped IOVA {iova:#x}"
+            ) from None
+        self.mapped_bytes -= page.size
+        return page
+
+    def translate(self, iova):
+        """Translate an IOVA to (page, offset); hard fault if unmapped."""
+        for base, page in self._lookup_candidates(iova):
+            if base <= iova < base + page.size:
+                return page, iova - base
+        raise DmaTranslationFault(self.name, iova)
+
+    def _lookup_candidates(self, iova):
+        # Entries are keyed by their aligned base; page sizes are
+        # uniform per region, but mixed sizes are tolerated by checking
+        # both common alignments.
+        seen = set()
+        for size in {page.size for page in self._entries.values()}:
+            base = (iova // size) * size
+            if base not in seen and base in self._entries:
+                seen.add(base)
+                yield base, self._entries[base]
+
+    def is_mapped(self, iova):
+        try:
+            self.translate(iova)
+            return True
+        except DmaTranslationFault:
+            return False
+
+    def pages(self):
+        """All mapped pages (for unmap-all teardown)."""
+        return list(self._entries.items())
+
+    def __repr__(self):
+        return (
+            f"<IOMMUDomain {self.name!r} entries={self.entry_count} "
+            f"mapped={self.mapped_bytes >> 20} MiB>"
+        )
+
+
+class IOMMU:
+    """The host IOMMU: a collection of per-guest domains."""
+
+    def __init__(self):
+        self._domains = {}
+
+    def create_domain(self, name):
+        if name in self._domains:
+            raise HardwareError(f"IOMMU domain {name!r} already exists")
+        domain = IOMMUDomain(name)
+        self._domains[name] = domain
+        return domain
+
+    def destroy_domain(self, name):
+        try:
+            domain = self._domains.pop(name)
+        except KeyError:
+            raise HardwareError(f"no IOMMU domain {name!r}") from None
+        if domain.entry_count:
+            raise HardwareError(
+                f"destroying IOMMU domain {name!r} with "
+                f"{domain.entry_count} live mappings"
+            )
+
+    @property
+    def domain_count(self):
+        return len(self._domains)
+
+    def __repr__(self):
+        return f"<IOMMU domains={self.domain_count}>"

@@ -1,0 +1,363 @@
+"""Physical memory: page frames, allocation, and security-relevant state.
+
+The allocator hands out page frames in *contiguous batches*, because
+batch count is what drives the VFIO driver's page-retrieval cost (P2 in
+Fig. 6 of the paper): fragmented free memory means many small batches
+and high retrieval overhead, while 2 MiB hugepages mean few batches.
+
+Each :class:`Page` carries the state the paper's zeroing analysis needs:
+
+* ``content`` — :data:`PageContent.RESIDUAL` (stale data from a prior
+  tenant), :data:`PageContent.ZERO`, or :data:`PageContent.DATA` with a
+  ``content_tag`` naming the writer.
+* ``pin_count`` — DMA pinning reference count (§2.2 step "pinning").
+
+Reads are checked: a read on a residual page raises
+:class:`~repro.hw.errors.ResidualDataLeak`, which is how the test suite
+proves both that vanilla eager zeroing is safe and that FastIOV's lazy
+zeroing (with its instant-zeroing list and proactive EPT faults) is
+safe, while deliberately broken variants are not.
+"""
+
+import enum
+
+from repro.hw.errors import HardwareError, OutOfMemory, ResidualDataLeak
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: Base page size of the simulated host (x86-64).
+BASE_PAGE_SIZE = 4 * KIB
+#: Hugepage size used throughout the paper's testbed (§3.1).
+HUGE_PAGE_SIZE = 2 * MIB
+
+
+class PageContent(enum.Enum):
+    """What a physical page currently holds, for leak checking."""
+
+    RESIDUAL = "residual"
+    ZERO = "zero"
+    DATA = "data"
+
+
+class Page:
+    """One physical page frame.
+
+    Attributes:
+        hpa: Host physical address of the frame (aligned to ``size``).
+        size: Frame size in bytes (4 KiB or 2 MiB in practice).
+        content: Current :class:`PageContent` classification.
+        content_tag: Writer identity for DATA pages, previous owner for
+            RESIDUAL pages, None for ZERO pages.
+        pin_count: DMA pin reference count; pinned pages cannot be
+            freed or migrated.
+        owner: Identifier of the region owner (e.g. a microVM id).
+    """
+
+    __slots__ = ("hpa", "size", "content", "content_tag", "pin_count", "owner")
+
+    def __init__(self, hpa, size, content=PageContent.RESIDUAL, content_tag=None):
+        self.hpa = hpa
+        self.size = size
+        self.content = content
+        self.content_tag = content_tag
+        self.pin_count = 0
+        self.owner = None
+
+    @property
+    def is_residual(self):
+        return self.content is PageContent.RESIDUAL
+
+    @property
+    def is_zeroed(self):
+        return self.content is PageContent.ZERO
+
+    @property
+    def pinned(self):
+        return self.pin_count > 0
+
+    def zero(self):
+        """Fill the frame with zeros (clears any residual data)."""
+        self.content = PageContent.ZERO
+        self.content_tag = None
+
+    def write(self, tag):
+        """Overwrite the frame with data attributed to ``tag``."""
+        self.content = PageContent.DATA
+        self.content_tag = tag
+
+    def read(self, reader):
+        """Read the frame, enforcing the residual-data security check.
+
+        Returns the content tag (None for a zeroed page).  Raises
+        :class:`ResidualDataLeak` if the frame still holds a previous
+        tenant's data — the exact condition eager/lazy zeroing exists to
+        prevent.
+        """
+        if self.is_residual:
+            raise ResidualDataLeak(self, reader)
+        return self.content_tag
+
+    def pin(self):
+        self.pin_count += 1
+
+    def unpin(self):
+        if self.pin_count <= 0:
+            raise HardwareError(f"page {self.hpa:#x} unpinned while not pinned")
+        self.pin_count -= 1
+
+    def __repr__(self):
+        return (
+            f"<Page hpa={self.hpa:#x} size={self.size} "
+            f"content={self.content.value} pins={self.pin_count}>"
+        )
+
+
+class AllocatedRegion:
+    """A set of page frames backing one memory region.
+
+    Attributes:
+        region_id: Unique id within the owning :class:`PhysicalMemory`.
+        owner: Owner identifier (microVM id, hypervisor, ...).
+        label: Human-readable purpose ("ram", "image", "bios-kernel").
+        pages: All frames, in address order.
+        batches: Contiguous runs as lists of pages; ``len(batches)`` is
+            the number of retrieval operations the allocator performed.
+    """
+
+    def __init__(self, region_id, owner, label, batches):
+        self.region_id = region_id
+        self.owner = owner
+        self.label = label
+        self.batches = batches
+        self.pages = [page for batch in batches for page in batch]
+        for page in self.pages:
+            page.owner = owner
+
+    @property
+    def size_bytes(self):
+        return sum(page.size for page in self.pages)
+
+    @property
+    def page_count(self):
+        return len(self.pages)
+
+    @property
+    def batch_count(self):
+        return len(self.batches)
+
+    def __repr__(self):
+        return (
+            f"<AllocatedRegion {self.label!r} owner={self.owner!r} "
+            f"{self.size_bytes >> 20} MiB in {self.batch_count} batches>"
+        )
+
+
+class _FreeExtent:
+    """A run of free frames: [start_hpa, start_hpa + length_bytes)."""
+
+    __slots__ = ("start", "length")
+
+    def __init__(self, start, length):
+        self.start = start
+        self.length = length
+
+    @property
+    def end(self):
+        return self.start + self.length
+
+
+class PhysicalMemory:
+    """Page-frame allocator over a flat host physical address space.
+
+    Frames are handed out in address order, largest-contiguous-first
+    within the request, grouped into batches per contiguous free extent.
+    Freed extents are coalesced with neighbours, and freed frames are
+    marked RESIDUAL with the dead owner's tag — recycled memory is dirty
+    until someone zeroes it, exactly the hazard §3.2.3 describes.
+
+    Args:
+        total_bytes: Size of the physical address space.
+        page_size: Frame granularity.  The paper's testbed runs with
+            2 MiB hugepages (§3.1); tests may use 4 KiB with smaller
+            totals.
+    """
+
+    def __init__(self, total_bytes, page_size=HUGE_PAGE_SIZE):
+        if total_bytes <= 0 or total_bytes % page_size != 0:
+            raise ValueError(
+                f"total_bytes ({total_bytes}) must be a positive multiple of "
+                f"page_size ({page_size})"
+            )
+        self.total_bytes = total_bytes
+        self.page_size = page_size
+        self._free = [_FreeExtent(0, total_bytes)]
+        self._regions = {}
+        self._pages = {}  # hpa -> Page, for currently-allocated frames
+        self._residual_tags = {}  # hpa -> tag left by the previous owner
+        self._clean_frames = set()  # hpas freed in the zeroed state
+        self._next_region_id = 0
+        self.allocated_bytes = 0
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def free_bytes(self):
+        return self.total_bytes - self.allocated_bytes
+
+    @property
+    def free_extent_count(self):
+        return len(self._free)
+
+    def page_at(self, hpa):
+        """Return the allocated :class:`Page` containing ``hpa``."""
+        frame_start = (hpa // self.page_size) * self.page_size
+        try:
+            return self._pages[frame_start]
+        except KeyError:
+            raise HardwareError(f"hpa {hpa:#x} is not an allocated frame") from None
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def allocate(self, nbytes, owner, label="anon"):
+        """Allocate ``nbytes`` (rounded up to whole frames).
+
+        Returns an :class:`AllocatedRegion` whose ``batches`` reflect
+        the contiguity of the free extents consumed.  Frames come back
+        in whatever content state they were freed with — RESIDUAL if a
+        previous tenant used them.
+        """
+        if nbytes <= 0:
+            raise ValueError(f"allocation size must be positive, got {nbytes}")
+        remaining = -(-nbytes // self.page_size) * self.page_size
+        if remaining > self.free_bytes:
+            raise OutOfMemory(
+                f"requested {remaining} bytes for {owner!r}/{label!r}, "
+                f"only {self.free_bytes} free"
+            )
+        batches = []
+        consumed = 0
+        new_free = []
+        for extent in self._free:
+            if remaining <= 0:
+                new_free.append(extent)
+                continue
+            take = min(extent.length, remaining)
+            batches.append(self._materialize(extent.start, take))
+            remaining -= take
+            consumed += take
+            if take < extent.length:
+                new_free.append(_FreeExtent(extent.start + take, extent.length - take))
+        if remaining > 0:  # pragma: no cover - guarded by free_bytes check
+            raise OutOfMemory("free list inconsistent with accounting")
+        self._free = new_free
+        self.allocated_bytes += consumed
+        region = AllocatedRegion(self._next_region_id, owner, label, batches)
+        self._next_region_id += 1
+        self._regions[region.region_id] = region
+        return region
+
+    def _materialize(self, start, length):
+        batch = []
+        for hpa in range(start, start + length, self.page_size):
+            if hpa in self._clean_frames:
+                self._clean_frames.discard(hpa)
+                page = Page(hpa, self.page_size, PageContent.ZERO)
+            else:
+                # Pristine boot-time frames are conservatively residual
+                # (content unknown); recycled dirty frames carry the
+                # previous tenant's tag.
+                tag = self._residual_tags.pop(hpa, None)
+                page = Page(hpa, self.page_size, PageContent.RESIDUAL, tag)
+            self._pages[hpa] = page
+            batch.append(page)
+        return batch
+
+    def free(self, region):
+        """Return a region's frames to the free pool.
+
+        Pinned frames cannot be freed (DMA could still target them);
+        attempting to do so is a modeling error and raises.
+        Freed frames are recorded as residual-with-tag so the next
+        tenant's allocator sees dirty memory.
+        """
+        if region.region_id not in self._regions:
+            raise HardwareError(f"double free of region {region.region_id}")
+        for page in region.pages:
+            if page.pinned:
+                raise HardwareError(
+                    f"freeing pinned page {page.hpa:#x} (owner {region.owner!r})"
+                )
+        del self._regions[region.region_id]
+        for page in region.pages:
+            del self._pages[page.hpa]
+            if page.content is PageContent.ZERO:
+                self._residual_tags.pop(page.hpa, None)
+                self._clean_frames.add(page.hpa)
+            else:
+                self._clean_frames.discard(page.hpa)
+                self._residual_tags[page.hpa] = (
+                    page.content_tag if page.content_tag is not None else region.owner
+                )
+            self._insert_free(_FreeExtent(page.hpa, page.size))
+        self.allocated_bytes -= region.size_bytes
+
+    def _insert_free(self, extent):
+        """Insert and coalesce with adjacent free extents."""
+        free = self._free
+        lo, hi = 0, len(free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if free[mid].start < extent.start:
+                lo = mid + 1
+            else:
+                hi = mid
+        free.insert(lo, extent)
+        # Coalesce with successor first, then predecessor.
+        if lo + 1 < len(free) and free[lo].end == free[lo + 1].start:
+            free[lo].length += free[lo + 1].length
+            del free[lo + 1]
+        if lo > 0 and free[lo - 1].end == free[lo].start:
+            free[lo - 1].length += free[lo].length
+            del free[lo]
+
+    # ------------------------------------------------------------------
+    # fragmentation injection (for the P2 retrieval-cost ablation)
+    # ------------------------------------------------------------------
+    def fragment(self, max_run_bytes, jitter=None):
+        """Artificially split free extents into runs <= ``max_run_bytes``.
+
+        Models a long-running host whose free memory is fragmented, to
+        reproduce the paper's P2 sub-bottleneck (high retrieval cost
+        from many small batches).  With ``jitter`` the run lengths vary
+        uniformly in [page_size, max_run_bytes].
+        """
+        if max_run_bytes < self.page_size or max_run_bytes % self.page_size != 0:
+            raise ValueError(
+                f"max_run_bytes must be a multiple of page_size >= {self.page_size}"
+            )
+        fragmented = []
+        for extent in self._free:
+            offset = extent.start
+            remaining = extent.length
+            while remaining > 0:
+                if jitter is None:
+                    run = max_run_bytes
+                else:
+                    pages = jitter.randint(1, max_run_bytes // self.page_size)
+                    run = pages * self.page_size
+                run = min(run, remaining)
+                fragmented.append(_FreeExtent(offset, run))
+                offset += run
+                remaining -= run
+        self._free = fragmented
+
+    def __repr__(self):
+        return (
+            f"<PhysicalMemory {self.total_bytes >> 30} GiB page={self.page_size} "
+            f"allocated={self.allocated_bytes >> 20} MiB "
+            f"extents={len(self._free)}>"
+        )

@@ -1,0 +1,105 @@
+"""PCI topology: buses, devices, and reset-scope semantics.
+
+The VFIO devset bottleneck (§3.2.2) is rooted in PCI reset semantics:
+devices that support *slot-level* reset form singleton devsets, while
+devices that only support *bus-level* reset — including the paper's
+Intel E810 and IPU E2100 VFs — share one devset per bus, and therefore
+one coarse lock in the vanilla VFIO driver.  This module models just
+enough of PCI to reproduce that: buses with attached devices, per-device
+reset scope, and bus scans whose cost (charged by the VFIO driver model)
+is proportional to the number of devices on the bus.
+"""
+
+import enum
+
+from repro.hw.errors import HardwareError
+
+
+class ResetScope(enum.Enum):
+    """How a device can be function-level reset."""
+
+    #: The device can be reset alone; it forms a devset by itself.
+    SLOT = "slot"
+    #: Reset affects every device on the bus; the whole bus shares a devset.
+    BUS = "bus"
+
+
+class PciDevice:
+    """One PCI(e) function.
+
+    Attributes:
+        bdf: "bus:device.function" address string, unique per topology.
+        name: Human-readable model name.
+        bus: Owning :class:`PciBus` (set when attached).
+        reset_scope: :class:`ResetScope` capability.
+        driver: Name of the currently bound host driver, or None.
+    """
+
+    def __init__(self, bdf, name, reset_scope=ResetScope.BUS):
+        self.bdf = bdf
+        self.name = name
+        self.reset_scope = reset_scope
+        self.bus = None
+        self.driver = None
+
+    @property
+    def is_bound(self):
+        return self.driver is not None
+
+    def __repr__(self):
+        return f"<PciDevice {self.bdf} {self.name!r} driver={self.driver!r}>"
+
+
+class PciBus:
+    """A PCI bus holding devices that share bus-level reset fate."""
+
+    def __init__(self, number):
+        self.number = number
+        self.devices = []
+
+    def attach(self, device):
+        if device.bus is not None:
+            raise HardwareError(f"device {device.bdf} already on bus {device.bus.number}")
+        device.bus = self
+        self.devices.append(device)
+
+    @property
+    def device_count(self):
+        return len(self.devices)
+
+    def __repr__(self):
+        return f"<PciBus {self.number:#04x} devices={self.device_count}>"
+
+
+class PciTopology:
+    """All buses and devices of one host."""
+
+    def __init__(self):
+        self.buses = {}
+        self._by_bdf = {}
+
+    def add_bus(self, number):
+        if number in self.buses:
+            raise HardwareError(f"bus {number:#04x} already exists")
+        bus = PciBus(number)
+        self.buses[number] = bus
+        return bus
+
+    def attach(self, bus_number, device):
+        if device.bdf in self._by_bdf:
+            raise HardwareError(f"duplicate BDF {device.bdf}")
+        self.buses[bus_number].attach(device)
+        self._by_bdf[device.bdf] = device
+
+    def find(self, bdf):
+        try:
+            return self._by_bdf[bdf]
+        except KeyError:
+            raise HardwareError(f"no device at {bdf}") from None
+
+    @property
+    def device_count(self):
+        return len(self._by_bdf)
+
+    def __repr__(self):
+        return f"<PciTopology buses={len(self.buses)} devices={self.device_count}>"

@@ -1,0 +1,41 @@
+"""Measurement infrastructure: step timelines, statistics, reporting.
+
+Mirrors the paper's methodology (§3.1): an asynchronous logging layer
+integrated into every component records fine-grained per-container step
+spans, which experiments aggregate into the breakdowns of Fig. 5/Tab. 1
+and the distributions of Fig. 12/13/15/16.
+"""
+
+from repro.metrics.reporting import format_series, format_table
+from repro.metrics.stats import Distribution, cdf_points, mean, percentile
+from repro.metrics.timeline import (
+    STEP_CGROUP,
+    STEP_DMA_IMAGE,
+    STEP_DMA_RAM,
+    STEP_VF_DRIVER,
+    STEP_VFIO_DEV,
+    STEP_VIRTIOFS,
+    PAPER_STEPS,
+    VF_RELATED_STEPS,
+    StartupRecord,
+    StepTimer,
+)
+
+__all__ = [
+    "Distribution",
+    "PAPER_STEPS",
+    "STEP_CGROUP",
+    "STEP_DMA_IMAGE",
+    "STEP_DMA_RAM",
+    "STEP_VF_DRIVER",
+    "STEP_VFIO_DEV",
+    "STEP_VIRTIOFS",
+    "StartupRecord",
+    "StepTimer",
+    "VF_RELATED_STEPS",
+    "cdf_points",
+    "format_series",
+    "format_table",
+    "mean",
+    "percentile",
+]

@@ -1,0 +1,90 @@
+"""ASCII rendering of the paper's figure types.
+
+Terminal-friendly stand-ins for the paper's plots, used by the
+experiment harness so that ``python -m repro run fig12`` shows an
+actual CDF and ``fig5`` an actual per-container timeline (Gantt), not
+just tables.
+"""
+
+
+def ascii_cdf(series, width=64, height=16, x_label="seconds"):
+    """Render CDF curves for ``{label: sorted_values}``.
+
+    Each series is drawn with its own marker; the y axis is cumulative
+    fraction 0..1, the x axis spans the pooled value range.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    markers = "*o+x#@%&"
+    all_values = [v for values in series.values() for v in values]
+    lo, hi = min(all_values), max(all_values)
+    span = (hi - lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    for index, (label, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        n = len(values)
+        for rank, value in enumerate(sorted(values)):
+            x = int((value - lo) / span * (width - 1))
+            y = int((rank + 1) / n * (height - 1))
+            grid[height - 1 - y][x] = marker
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        fraction = 1.0 - row_index / (height - 1)
+        lines.append(f"{fraction:4.2f} |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    left = f"{lo:.2f}"
+    right = f"{hi:.2f}"
+    pad = width - len(left) - len(right)
+    lines.append("      " + left + " " * max(pad, 1) + right)
+    lines.append(f"      ({x_label})")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={label}"
+        for i, label in enumerate(series)
+    )
+    lines.append("      " + legend)
+    return "\n".join(lines)
+
+
+def ascii_gantt(timelines, step_order, width=72, max_rows=20):
+    """Render per-container step timelines (the Fig. 5 visual).
+
+    ``timelines`` is ``[(container_id, [(step, start, end), ...]), ...]``;
+    each step is drawn with the digit prefix of its name (e.g. '4' for
+    '4-vfio-dev').
+    """
+    if not timelines:
+        raise ValueError("no timelines to plot")
+    t_end = max(
+        end for _cid, spans in timelines for _s, _start, end in spans
+    )
+    t_end = t_end or 1.0
+    lines = [f"time 0 {'-' * (width - 12)} {t_end:.1f}s"]
+    for cid, spans in timelines[:max_rows]:
+        row = [" "] * width
+        for step, start, end in spans:
+            if step not in step_order:
+                continue
+            mark = step[0]
+            x0 = int(start / t_end * (width - 1))
+            x1 = max(x0 + 1, int(end / t_end * (width - 1)))
+            for x in range(x0, min(x1, width)):
+                row[x] = mark
+        lines.append(f"{cid:>6s} |" + "".join(row))
+    legend = "  ".join(f"{step[0]}={step}" for step in step_order)
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def ascii_bars(values, width=48, unit="s"):
+    """Render a horizontal bar chart for ``{label: value}`` (Fig. 11)."""
+    if not values:
+        raise ValueError("no bars to plot")
+    peak = max(values.values()) or 1.0
+    label_width = max(len(label) for label in values)
+    lines = []
+    for label, value in values.items():
+        bar = "#" * max(1, int(value / peak * width))
+        lines.append(f"{label:>{label_width}s} |{bar} {value:.2f}{unit}")
+    return "\n".join(lines)

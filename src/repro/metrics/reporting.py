@@ -1,0 +1,46 @@
+"""Plain-text rendering of experiment results (tables and series).
+
+Benchmarks print these alongside the paper's reported values so that
+paper-vs-measured comparisons appear directly in ``pytest benchmarks/``
+output and in EXPERIMENTS.md.
+"""
+
+
+def format_table(headers, rows, title=None):
+    """Render an aligned ASCII table.
+
+    Floats are shown with 3 decimals; everything else via ``str``.
+    """
+    def fmt(cell):
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    str_rows = [[fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in str_rows)) if str_rows
+        else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name, xs, ys, x_label="x", y_label="y"):
+    """Render one figure series as aligned columns."""
+    rows = [(x, y) for x, y in zip(xs, ys)]
+    return format_table([x_label, y_label], rows, title=name)
+
+
+def format_comparison(title, rows):
+    """Render paper-vs-measured rows: (label, paper, measured, note)."""
+    return format_table(
+        ["metric", "paper", "measured", "note"], rows, title=title
+    )

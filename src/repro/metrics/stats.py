@@ -1,0 +1,116 @@
+"""Statistics helpers for experiment reporting (means, tails, CDFs)."""
+
+import math
+
+
+def mean(values):
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def percentile(values, q):
+    """Linear-interpolation percentile, ``q`` in [0, 100].
+
+    Matches numpy's default ("linear") method so results are stable if
+    a consumer cross-checks with numpy.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("percentile of empty sequence")
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100.0
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+def cdf_points(values):
+    """[(value, cumulative_fraction), ...] for distribution plots."""
+    ordered = sorted(values)
+    n = len(ordered)
+    if n == 0:
+        raise ValueError("cdf of empty sequence")
+    return [(value, (index + 1) / n) for index, value in enumerate(ordered)]
+
+
+class Distribution:
+    """Summary of one metric across containers."""
+
+    def __init__(self, values, label=""):
+        self.values = sorted(values)
+        self.label = label
+        if not self.values:
+            raise ValueError(f"distribution {label!r} is empty")
+
+    @property
+    def count(self):
+        return len(self.values)
+
+    @property
+    def mean(self):
+        return mean(self.values)
+
+    @property
+    def minimum(self):
+        return self.values[0]
+
+    @property
+    def maximum(self):
+        return self.values[-1]
+
+    def percentile(self, q):
+        return percentile(self.values, q)
+
+    @property
+    def p50(self):
+        return self.percentile(50)
+
+    @property
+    def p99(self):
+        return self.percentile(99)
+
+    def cdf(self):
+        return cdf_points(self.values)
+
+    def reduction_vs(self, baseline, metric="mean"):
+        """Fractional reduction of this distribution vs a baseline.
+
+        ``metric`` is "mean" or a percentile like "p99".  Positive means
+        this distribution is smaller (faster).
+        """
+        ours = getattr(self, metric) if metric in ("mean",) else self.percentile(
+            float(metric.lstrip("p"))
+        )
+        theirs = (
+            baseline.mean
+            if metric == "mean"
+            else baseline.percentile(float(metric.lstrip("p")))
+        )
+        if theirs == 0:
+            raise ValueError("baseline metric is zero")
+        return 1.0 - ours / theirs
+
+    def summary(self):
+        return {
+            "label": self.label,
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p99": self.p99,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+    def __repr__(self):
+        return (
+            f"<Distribution {self.label!r} n={self.count} "
+            f"mean={self.mean:.3f} p99={self.p99:.3f}>"
+        )

@@ -1,0 +1,54 @@
+"""Host-kernel substrate: VFIO, KVM, MMU, cgroups, binding, fastiovd.
+
+These modules are the simulated equivalents of the kernel components
+the paper measures and modifies.  Unlike :mod:`repro.hw` (pure state),
+everything here runs as simulated *processes*: methods are generators
+that yield :mod:`repro.sim` commands, charging lock waits, latencies,
+and CPU work on the shared :class:`~repro.sim.cpu.FairShareCPU`.
+
+Layout:
+
+* :mod:`~repro.oskernel.locks` — the coarse devset lock and FastIOV's
+  hierarchical parent-child decomposition (§4.2.1, Fig. 8).
+* :mod:`~repro.oskernel.vfio` — devset management and the DMA memory
+  mapping pipeline (retrieve, zero, pin, map; Fig. 6).
+* :mod:`~repro.oskernel.kvm` — memory slots and EPT-fault servicing,
+  including the fastiovd lazy-zeroing hook (Fig. 9).
+* :mod:`~repro.oskernel.mmu` — host anonymous memory with demand
+  faulting (the non-passthrough path where lazy zeroing is free).
+* :mod:`~repro.oskernel.fastiovd` — the portable kernel module: two-tier
+  hash table, instant-zeroing list, background scanner (§5).
+* :mod:`~repro.oskernel.cgroup` — globally locked cgroup creation.
+* :mod:`~repro.oskernel.binding` — driver bind/unbind with the §5
+  rebinding flaw's costs.
+* :mod:`~repro.oskernel.hostnet` — RTNL-locked host network stack.
+"""
+
+from repro.oskernel.binding import DriverRegistry
+from repro.oskernel.cgroup import CgroupManager
+from repro.oskernel.errors import GuestCrash, KernelError, VfioError
+from repro.oskernel.fastiovd import Fastiovd
+from repro.oskernel.hostnet import HostNetworkStack, NetDevice
+from repro.oskernel.kvm import KVM, KvmVM
+from repro.oskernel.locks import CoarseLockPolicy, HierarchicalLockPolicy
+from repro.oskernel.mmu import AnonMapping, HostMMU
+from repro.oskernel.vfio import VfioDevset, VfioDriver
+
+__all__ = [
+    "AnonMapping",
+    "CgroupManager",
+    "CoarseLockPolicy",
+    "DriverRegistry",
+    "Fastiovd",
+    "GuestCrash",
+    "HierarchicalLockPolicy",
+    "HostMMU",
+    "HostNetworkStack",
+    "NetDevice",
+    "KVM",
+    "KernelError",
+    "KvmVM",
+    "VfioDevset",
+    "VfioDriver",
+    "VfioError",
+]

@@ -1,0 +1,30 @@
+"""Errors raised by the kernel substrate."""
+
+
+class KernelError(Exception):
+    """Base class for kernel-model errors."""
+
+
+class VfioError(KernelError):
+    """Invalid VFIO operation (unbound device, bad devset state...)."""
+
+
+class GuestCrash(KernelError):
+    """The guest observed corrupted memory and crashed.
+
+    Raised when lazy zeroing clobbers data the guest legitimately
+    expected — e.g. kernel code loaded by the hypervisor (missing
+    instant-zeroing-list entry) or file data written by the virtioFS
+    backend (missing proactive EPT fault).  §4.3.2 describes both
+    scenarios; the failure-injection tests reproduce them.
+    """
+
+    def __init__(self, vm_name, gpa, expected, found):
+        super().__init__(
+            f"guest {vm_name!r} crashed: GPA {gpa:#x} expected "
+            f"{expected!r} but found {found!r}"
+        )
+        self.vm_name = vm_name
+        self.gpa = gpa
+        self.expected = expected
+        self.found = found

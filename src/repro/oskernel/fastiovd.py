@@ -1,0 +1,239 @@
+"""fastiovd: the portable FastIOV kernel module (§5).
+
+Holds the machinery for decoupled (lazy) page zeroing:
+
+* A **two-tier hash table** — first tier keyed by the microVM's PID,
+  second tier by HPA — of pages whose zeroing was deferred at DMA-map
+  time.
+* The **instant-zeroing list**: pages the hypervisor will write before
+  guest boot (BIOS/kernel ROM).  They are zeroed at allocation and never
+  enter the lazy table, so an EPT fault cannot clobber them (§4.3.2).
+* The **EPT-fault hook** KVM calls before inserting an entry: if the
+  faulting page is in the table, zero it now, remove it, and only then
+  let the guest proceed.
+* A **background scanner** daemon that drains remaining table entries
+  during idle/overlappable time, bounded to ``fastiovd_scan_workers``
+  cores so it cannot starve foreground startup work.
+
+Concurrency safety: a page is *claimed* (removed from the table and
+given an in-flight completion event) before any zeroing starts, so a
+simultaneous EPT fault waits on the in-flight event rather than racing
+with the scanner — the guest can never observe a page that is neither
+residual-protected nor fully zeroed.
+"""
+
+from repro.sim.core import Timeout
+from repro.sim.sync import SimEvent
+
+
+class FastiovdStats:
+    """Counters reported by experiments and asserted by tests."""
+
+    def __init__(self):
+        self.registered_pages = 0
+        self.instant_pages = 0
+        self.fault_zeroed_pages = 0
+        self.background_zeroed_pages = 0
+        self.fault_wait_events = 0
+
+    @property
+    def zeroed_pages(self):
+        return self.fault_zeroed_pages + self.background_zeroed_pages
+
+    def __repr__(self):
+        return (
+            f"FastiovdStats(registered={self.registered_pages}, "
+            f"instant={self.instant_pages}, fault={self.fault_zeroed_pages}, "
+            f"background={self.background_zeroed_pages})"
+        )
+
+
+class Fastiovd:
+    """The fastiovd kernel module."""
+
+    def __init__(self, sim, cpu, spec, start_scanner=True, dram=None):
+        self._sim = sim
+        self._cpu = cpu
+        self._dram = dram if dram is not None else cpu
+        self._spec = spec
+        self._table = {}  # pid -> {hpa: Page}
+        self._inflight = {}  # (pid, hpa) -> SimEvent
+        self._instant = set()  # (pid, hpa) on the instant-zeroing list
+        self.stats = FastiovdStats()
+        self._scanner_enabled = start_scanner
+        if start_scanner:
+            sim.spawn(self._scan_loop(), name="fastiovd-scanner", daemon=True)
+
+    # ------------------------------------------------------------------
+    # registration (called from the VFIO dma_map path / hypervisor)
+    # ------------------------------------------------------------------
+    def register_lazy(self, pid, pages):
+        """Defer zeroing of ``pages`` for microVM ``pid``.
+
+        State change only; the (tiny) registration cost is charged by
+        the caller inside the dma_map pipeline.
+        """
+        bucket = self._table.setdefault(pid, {})
+        for page in pages:
+            bucket[page.hpa] = page
+        self.stats.registered_pages += len(pages)
+
+    def register_instant(self, pid, pages):
+        """Put pages on the instant-zeroing list and scrub them now.
+
+        Used for hypervisor-written regions (BIOS, kernel).  Returns a
+        generator charging the synchronous zeroing cost.
+
+        Ordering is what makes this safe against the background
+        scanner: the pages leave the lazy table *first* (so no new claim
+        can be taken while we block), then any already-claimed pages
+        have their in-flight zeroing waited out, and only then do we
+        scrub and hand the pages to the hypervisor.  Any other order
+        lets a scanner worker zero a page after the hypervisor's write.
+        """
+        bucket = self._table.get(pid)
+        if bucket is not None:
+            # Instant pages are "not managed by FastIOV" (§4.3.2): an
+            # EPT fault or scan must never re-zero them after the
+            # hypervisor writes.
+            for page in pages:
+                bucket.pop(page.hpa, None)
+            if not bucket:
+                self._table.pop(pid, None)
+        for page in pages:
+            event = self._inflight.get((pid, page.hpa))
+            if event is not None:
+                yield event.wait()
+        nbytes = sum(page.size for page in pages)
+        if nbytes:
+            yield self._dram.work(self._spec.zeroing_cpu_seconds(nbytes))
+        for page in pages:
+            page.zero()
+            self._instant.add((pid, page.hpa))
+        self.stats.instant_pages += len(pages)
+
+    def forget_pages(self, pid, pages):
+        """Drop any table/list state for pages being unmapped/freed."""
+        bucket = self._table.get(pid)
+        for page in pages:
+            if bucket is not None:
+                bucket.pop(page.hpa, None)
+            self._instant.discard((pid, page.hpa))
+        if bucket is not None and not bucket:
+            self._table.pop(pid, None)
+
+    def drop_pid(self, pid):
+        """Remove a dead microVM's entire second-tier table."""
+        self._table.pop(pid, None)
+        self._instant = {entry for entry in self._instant if entry[0] != pid}
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def manages(self, pid, page):
+        bucket = self._table.get(pid)
+        return bool(bucket and page.hpa in bucket)
+
+    def pending_pages(self, pid=None):
+        if pid is not None:
+            return len(self._table.get(pid, {}))
+        return sum(len(bucket) for bucket in self._table.values())
+
+    def pending_bytes(self):
+        return sum(
+            page.size
+            for bucket in self._table.values()
+            for page in bucket.values()
+        )
+
+    # ------------------------------------------------------------------
+    # EPT-fault hook (called by KVM, Fig. 9 step between 5 and 6)
+    # ------------------------------------------------------------------
+    def on_ept_fault(self, pid, page):
+        """Zero the page if its zeroing was deferred; always safe to call.
+
+        Charges the hash lookup; if the page is lazily pending, claims
+        and zeroes it before returning.  If the scanner already claimed
+        it, waits for the scanner to finish instead of double-zeroing.
+        """
+        yield Timeout(self._spec.fastiovd_lookup_s)
+        key = (pid, page.hpa)
+        event = self._inflight.get(key)
+        if event is not None:
+            self.stats.fault_wait_events += 1
+            yield event.wait()
+            return
+        bucket = self._table.get(pid)
+        if not bucket or page.hpa not in bucket:
+            return
+        del bucket[page.hpa]
+        event = SimEvent(self._sim, name=f"zeroing-{pid}-{page.hpa:#x}")
+        self._inflight[key] = event
+        # Fault-path zeroing is cache-adjacent to the guest's first use
+        # and much cheaper than a bulk clear — but it still shares the
+        # memory controller with the background scanner's bulk work.
+        yield self._dram.work(self._spec.fault_zeroing_cpu_seconds(page.size))
+        page.zero()
+        del self._inflight[key]
+        event.trigger()
+        self.stats.fault_zeroed_pages += 1
+
+    # ------------------------------------------------------------------
+    # background scanner (§5 "background clearing")
+    # ------------------------------------------------------------------
+    def _scan_loop(self):
+        spec = self._spec
+        while True:
+            yield Timeout(spec.fastiovd_scan_interval_s)
+            claimed = self._claim_chunk(spec.fastiovd_scan_chunk_bytes)
+            if not claimed:
+                continue
+            # Split the chunk across the bounded worker pool; each
+            # worker is one single-threaded zeroing job on the shared
+            # CPU, so interference is capped at scan_workers cores.
+            workers = min(spec.fastiovd_scan_workers, len(claimed))
+            shares = [claimed[i::workers] for i in range(workers)]
+            procs = [
+                self._sim.spawn(
+                    self._zero_share(share),
+                    name=f"fastiovd-worker-{i}",
+                    daemon=True,
+                )
+                for i, share in enumerate(shares)
+            ]
+            for proc in procs:
+                yield proc.join()
+
+    def _claim_chunk(self, budget_bytes):
+        claimed = []
+        taken = 0
+        for pid in list(self._table):
+            bucket = self._table[pid]
+            for hpa in list(bucket):
+                if taken >= budget_bytes:
+                    break
+                page = bucket.pop(hpa)
+                key = (pid, hpa)
+                event = SimEvent(self._sim, name=f"zeroing-{pid}-{hpa:#x}")
+                self._inflight[key] = event
+                claimed.append((key, page, event))
+                taken += page.size
+            if not bucket:
+                self._table.pop(pid, None)
+            if taken >= budget_bytes:
+                break
+        return claimed
+
+    def _zero_share(self, share):
+        for key, page, event in share:
+            yield self._dram.work(self._spec.zeroing_cpu_seconds(page.size))
+            page.zero()
+            del self._inflight[key]
+            event.trigger()
+            self.stats.background_zeroed_pages += 1
+
+    def __repr__(self):
+        return (
+            f"<Fastiovd pending={self.pending_pages()} pages, "
+            f"{self.stats!r}>"
+        )

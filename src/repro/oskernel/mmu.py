@@ -1,0 +1,214 @@
+"""Host MMU: anonymous memory with demand paging.
+
+This is the memory path secure containers use when SR-IOV is *not*
+enabled (No-Net, IPvtap): physical pages are allocated — and zeroed —
+only when first touched, which is exactly the "lazy zeroing based on
+on-demand page allocation" the paper notes is lost once DMA mapping
+forces up-front allocation (§3.2.3).  Modeling it faithfully is what
+makes the No-Net baseline's cheap memory setup emerge rather than being
+assumed.
+"""
+
+from repro.oskernel.errors import KernelError
+from repro.sim.core import Timeout
+
+
+class AnonMapping:
+    """A demand-paged anonymous mapping (one guest memory region)."""
+
+    def __init__(self, mmu, owner, label, nbytes):
+        if nbytes <= 0:
+            raise ValueError(f"mapping size must be positive, got {nbytes}")
+        self._mmu = mmu
+        self.owner = owner
+        self.label = label
+        page_size = mmu.page_size
+        self.size_bytes = -(-nbytes // page_size) * page_size
+        self._pages = {}  # page index -> Page
+        self._allocations = {}  # page index -> AllocatedRegion (one page each)
+        self._faulting = {}  # page index -> SimEvent, for concurrent faults
+
+    @property
+    def page_size(self):
+        return self._mmu.page_size
+
+    @property
+    def resident_pages(self):
+        return len(self._pages)
+
+    @property
+    def resident_bytes(self):
+        return self.resident_pages * self.page_size
+
+    def page_if_resident(self, offset):
+        """Return the backing page if already faulted in, else None."""
+        return self._pages.get(offset // self.page_size)
+
+    def page_at_offset(self, offset):
+        """Get the page backing ``offset``, demand-faulting if needed.
+
+        Generator: on a fault it charges the host page-fault cost plus
+        the kernel's zero-on-anon-fault scrub of the new frame.
+        """
+        if not 0 <= offset < self.size_bytes:
+            raise KernelError(
+                f"mapping {self.owner}/{self.label}: offset {offset:#x} out of "
+                f"range {self.size_bytes:#x}"
+            )
+        index = offset // self.page_size
+        page = self._pages.get(index)
+        if page is None:
+            page = yield from self._mmu._demand_fault(self, index)
+        return page
+
+    def _install(self, index, allocation):
+        page = allocation.pages[0]
+        self._pages[index] = page
+        self._allocations[index] = allocation
+        return page
+
+    def free_all(self):
+        """Release every resident frame (VM teardown)."""
+        for allocation in self._allocations.values():
+            self._mmu._memory.free(allocation)
+        self._pages.clear()
+        self._allocations.clear()
+
+    def __repr__(self):
+        return (
+            f"<AnonMapping {self.owner}/{self.label} "
+            f"{self.resident_bytes >> 20}/{self.size_bytes >> 20} MiB resident>"
+        )
+
+
+class PageCacheFile:
+    """A read-only file resident in the host page cache.
+
+    Backs the microVM system image when it is *not* DMA-mapped (the
+    non-SR-IOV path, and FastIOV's skipped image region, §4.3.1): one
+    shared copy of each page serves every microVM, no per-VM allocation
+    or zeroing.  Pages materialize on first access host-wide, with the
+    file's content tag (no residual data: the page is filled from disk).
+    """
+
+    def __init__(self, mmu, name, nbytes, content_tag=None):
+        if nbytes <= 0:
+            raise ValueError(f"file size must be positive, got {nbytes}")
+        self._mmu = mmu
+        self.name = name
+        self.content_tag = content_tag if content_tag is not None else f"file:{name}"
+        page_size = mmu.page_size
+        self.size_bytes = -(-nbytes // page_size) * page_size
+        self._pages = {}
+        self._allocations = []
+
+    @property
+    def page_size(self):
+        return self._mmu.page_size
+
+    @property
+    def resident_pages(self):
+        return len(self._pages)
+
+    def page_at_offset(self, offset):
+        """Get the shared cache page for ``offset`` (read-in on miss)."""
+        if not 0 <= offset < self.size_bytes:
+            raise KernelError(
+                f"file {self.name!r}: offset {offset:#x} out of range"
+            )
+        index = offset // self.page_size
+        page = self._pages.get(index)
+        if page is None:
+            yield Timeout(self._mmu._spec.host_page_fault_s)
+            allocation = self._mmu._memory.allocate(
+                self.page_size, owner=f"pagecache:{self.name}", label="pagecache"
+            )
+            self._allocations.append(allocation)
+            page = allocation.pages[0]
+            page.write(self.content_tag)  # filled from disk, never residual
+            self._pages[index] = page
+        return page
+
+    def page_if_resident(self, offset):
+        return self._pages.get(offset // self.page_size)
+
+    def evict_all(self):
+        """Drop the cached pages (host page-cache eviction)."""
+        for allocation in self._allocations:
+            self._mmu._memory.free(allocation)
+        self._pages.clear()
+        self._allocations = []
+
+    def __repr__(self):
+        return (
+            f"<PageCacheFile {self.name!r} "
+            f"{self.resident_pages * self.page_size >> 20}/"
+            f"{self.size_bytes >> 20} MiB resident>"
+        )
+
+
+class HostMMU:
+    """Host virtual-memory manager for anonymous guest backing."""
+
+    def __init__(self, sim, cpu, memory, spec, dram=None):
+        self._sim = sim
+        self._cpu = cpu
+        self._dram = dram if dram is not None else cpu
+        self._memory = memory
+        self._spec = spec
+        self.page_size = memory.page_size
+        self.fault_count = 0
+        self._file_cache = {}
+
+    def create_mapping(self, owner, label, nbytes):
+        """mmap(MAP_ANONYMOUS)-equivalent: no frames until touched."""
+        return AnonMapping(self, owner, label, nbytes)
+
+    def open_cached_file(self, name, nbytes, content_tag=None):
+        """Get (or create) the page-cache object for a host file.
+
+        Repeated opens of the same name share one cache entry — this is
+        what makes the skipped image region cheap across 200 microVMs.
+        """
+        cache = self._file_cache.get(name)
+        if cache is None:
+            cache = PageCacheFile(self, name, nbytes, content_tag)
+            self._file_cache[name] = cache
+        elif cache.size_bytes < nbytes:
+            raise KernelError(
+                f"file {name!r} reopened with larger size "
+                f"{nbytes} > {cache.size_bytes}"
+            )
+        return cache
+
+    def _demand_fault(self, mapping, index):
+        """Allocate + zero one frame on first touch (charged here).
+
+        Concurrent faults on the same page (e.g. guest touch racing a
+        para-virt backend write) are collapsed: the second fault waits
+        for the first to install the frame.
+        """
+        from repro.sim.sync import SimEvent
+
+        pending = mapping._faulting.get(index)
+        if pending is not None:
+            yield pending.wait()
+            return mapping._pages[index]
+        event = SimEvent(self._sim, name=f"fault-{mapping.owner}-{index}")
+        mapping._faulting[index] = event
+        self.fault_count += 1
+        yield Timeout(self._spec.host_page_fault_s)
+        allocation = self._memory.allocate(
+            self.page_size, owner=mapping.owner, label=f"{mapping.label}#anon"
+        )
+        # Fault-time zeroing still moves through the memory controller:
+        # it shares DRAM write bandwidth with any bulk zeroing running.
+        yield self._dram.work(self._spec.fault_zeroing_cpu_seconds(self.page_size))
+        allocation.pages[0].zero()
+        page = mapping._install(index, allocation)
+        del mapping._faulting[index]
+        event.trigger()
+        return page
+
+    def __repr__(self):
+        return f"<HostMMU faults={self.fault_count}>"

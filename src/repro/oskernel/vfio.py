@@ -1,0 +1,410 @@
+"""VFIO driver model: devset management and DMA memory mapping.
+
+Two of the paper's three bottlenecks live here:
+
+* **Devset management (§3.2.2).**  VFs without slot-level reset share
+  one devset per PCI bus.  Opening a device verifies devset/reset state
+  with a bus scan (cost ∝ devices on the bus) and updates open counts.
+  Which operations serialize is decided by the devset's *lock policy*
+  (:mod:`repro.oskernel.locks`): the vanilla coarse mutex serializes
+  concurrent opens of different VFs; FastIOV's hierarchical policy runs
+  them in parallel.
+
+* **DMA memory mapping (§3.2.3, Fig. 6).**  :meth:`VfioDriver.dma_map`
+  executes the four-step pipeline — page retrieving (batched, so
+  fragmentation raises cost: P2), page zeroing (CPU-bound, the dominant
+  cost: P3), page pinning, and IOMMU mapping.  The
+  :class:`ZeroingPolicy` selects eager zeroing (vanilla), pre-zeroed
+  fractions (the HawkEye-style baseline of §6.1), or decoupled lazy
+  zeroing via fastiovd (FastIOV, §4.3.2).
+"""
+
+import dataclasses
+import enum
+
+from repro.hw.pci import ResetScope
+from repro.oskernel.errors import VfioError
+from repro.sim.core import Timeout
+
+VFIO_DRIVER_NAME = "vfio-pci"
+
+
+class ZeroingMode(enum.Enum):
+    """When retrieved pages are scrubbed."""
+
+    #: Zero at mapping time, before pinning (vanilla kernel behaviour).
+    EAGER = "eager"
+    #: Register dirty pages with fastiovd; zero lazily on first EPT
+    #: fault or via the background scanner (FastIOV).
+    DECOUPLED = "decoupled"
+
+
+@dataclasses.dataclass(frozen=True)
+class ZeroingPolicy:
+    """How dma_map handles the zeroing step.
+
+    Attributes:
+        mode: Eager or decoupled (lazy).
+        prezeroed_fraction: Fraction of retrieved pages assumed already
+            scrubbed during memory idle time (the Pre10/50/100 baselines
+            of §6.1).  Applies to the eager mode; zeroed pages cost
+            nothing at map time.
+    """
+
+    mode: ZeroingMode = ZeroingMode.EAGER
+    prezeroed_fraction: float = 0.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.prezeroed_fraction <= 1.0:
+            raise ValueError(
+                f"prezeroed_fraction must be in [0, 1], "
+                f"got {self.prezeroed_fraction}"
+            )
+
+
+EAGER_ZEROING = ZeroingPolicy()
+DECOUPLED_ZEROING = ZeroingPolicy(mode=ZeroingMode.DECOUPLED)
+
+
+class VfioDevset:
+    """A group of VFIO devices sharing reset fate (one per PCI bus for
+    bus-level-reset devices, singleton for slot-level devices)."""
+
+    def __init__(self, name, lock_policy):
+        self.name = name
+        self.lock = lock_policy
+        self.devices = set()
+        self.open_counts = {}
+
+    def add(self, device):
+        self.devices.add(device)
+        self.open_counts.setdefault(device, 0)
+        self.lock.register_child(device)
+
+    @property
+    def total_open_count(self):
+        """Devset-global state; reading it consistently is what the
+        coarse lock protects (and what reset must check)."""
+        return sum(self.open_counts.values())
+
+    def __repr__(self):
+        return (
+            f"<VfioDevset {self.name} devices={len(self.devices)} "
+            f"opens={self.total_open_count} policy={self.lock.name}>"
+        )
+
+
+class VfioDeviceHandle:
+    """The fd-equivalent the hypervisor gets from opening a device."""
+
+    def __init__(self, device, devset, opener):
+        self.device = device
+        self.devset = devset
+        self.opener = opener
+        self.closed = False
+
+    def __repr__(self):
+        return f"<VfioDeviceHandle {self.device.bdf} opener={self.opener!r}>"
+
+
+class MappedRegion:
+    """Result of dma_map: allocated frames plus their IOVA window."""
+
+    def __init__(self, allocation, gpa_base, domain, lazy_pages):
+        self.allocation = allocation
+        self.gpa_base = gpa_base
+        self.domain = domain
+        #: Pages registered with fastiovd instead of eagerly zeroed.
+        self.lazy_pages = lazy_pages
+
+    @property
+    def size_bytes(self):
+        return self.allocation.size_bytes
+
+    @property
+    def pages(self):
+        return self.allocation.pages
+
+    @property
+    def page_count(self):
+        return self.allocation.page_count
+
+    def __repr__(self):
+        return (
+            f"<MappedRegion {self.allocation.label!r} gpa={self.gpa_base:#x} "
+            f"{self.size_bytes >> 20} MiB lazy={len(self.lazy_pages)}>"
+        )
+
+
+class VfioDriver:
+    """The VFIO kernel driver: device opens, resets, and DMA mapping."""
+
+    def __init__(
+        self,
+        sim,
+        cpu,
+        memory,
+        iommu,
+        spec,
+        lock_policy_factory,
+        jitter,
+        fastiovd=None,
+        dram=None,
+    ):
+        """Args:
+        sim: The simulator.
+        cpu: Shared :class:`FairShareCPU` for CPU-bound steps.
+        memory: Host :class:`PhysicalMemory`.
+        iommu: Host :class:`IOMMU`.
+        spec: :class:`HostSpec` cost constants.
+        lock_policy_factory: ``(sim, devset_name) -> policy``; selects
+            coarse (vanilla) or hierarchical (FastIOV) locking.
+        jitter: Per-host :class:`Jitter` stream.
+        fastiovd: Optional :class:`Fastiovd` module for decoupled
+            zeroing; required if a DECOUPLED policy is ever used.
+        dram: Memory-bandwidth pool (a :class:`FairShareCPU` of
+            ``spec.dram_channels`` streams) that bulk zeroing runs on;
+            defaults to the CPU, which is fine for unit-scale tests.
+        """
+        self._sim = sim
+        self._cpu = cpu
+        self._dram = dram if dram is not None else cpu
+        self._memory = memory
+        self._iommu = iommu
+        self._spec = spec
+        self._lock_policy_factory = lock_policy_factory
+        self._jitter = jitter.fork("vfio")
+        self._fastiovd = fastiovd
+        self._devsets = {}
+        self.open_elapsed_total = 0.0
+
+    # ------------------------------------------------------------------
+    # devset membership
+    # ------------------------------------------------------------------
+    def register_device(self, device):
+        """Place a vfio-bound device into its devset.
+
+        Called when the device is bound to vfio-pci.  Slot-reset-capable
+        devices form singleton devsets; bus-reset devices share the
+        per-bus devset (§3.2.2).
+        """
+        if device.driver != VFIO_DRIVER_NAME:
+            raise VfioError(f"{device.bdf} is not bound to {VFIO_DRIVER_NAME}")
+        key = self._devset_key(device)
+        devset = self._devsets.get(key)
+        if devset is None:
+            devset = VfioDevset(key, self._lock_policy_factory(self._sim, key))
+            self._devsets[key] = devset
+        devset.add(device)
+        return devset
+
+    def _devset_key(self, device):
+        if device.reset_scope is ResetScope.SLOT:
+            return f"slot:{device.bdf}"
+        return f"bus:{device.bus.number:#04x}"
+
+    def unregister_device(self, device):
+        """Remove a device from its devset (on unbind from vfio-pci).
+
+        Refused while the device is open — mirrors the kernel refusing
+        to release a device with live users.
+        """
+        devset = self.devset_of(device)
+        if devset.open_counts.get(device, 0) > 0:
+            raise VfioError(f"{device.bdf}: unregister while open")
+        devset.devices.discard(device)
+        devset.open_counts.pop(device, None)
+
+    def devset_of(self, device):
+        try:
+            return self._devsets[self._devset_key(device)]
+        except KeyError:
+            raise VfioError(f"{device.bdf} is in no devset (not registered)") from None
+
+    # ------------------------------------------------------------------
+    # device open / close / reset
+    # ------------------------------------------------------------------
+    def open_device(self, device, opener):
+        """Open a VFIO device on behalf of ``opener`` (the hypervisor).
+
+        This is the `4-vfio-dev` step of Fig. 5.  The open validates the
+        devset (bus scan proportional to devices on the bus) and bumps
+        the device's open count; all of it runs under the devset lock
+        policy's *child* section, so the coarse policy serializes
+        concurrent opens while the hierarchical policy does not.
+        """
+        devset = self.devset_of(device)
+        started = self._sim.now
+        yield from devset.lock.acquire_child(device)
+        try:
+            yield Timeout(self._spec.vfio_open_base_s * self._jitter.factor(self._spec.jitter_sigma))
+            scan = self._spec.vfio_bus_scan_per_device_s * device.bus.device_count
+            yield Timeout(scan * self._jitter.factor(self._spec.jitter_sigma))
+            devset.open_counts[device] += 1
+        finally:
+            devset.lock.release_child(device)
+        yield Timeout(self._spec.vfio_register_ioctls_s)
+        self.open_elapsed_total += self._sim.now - started
+        return VfioDeviceHandle(device, devset, opener)
+
+    def close_device(self, handle):
+        """Release an open handle (child section: per-device state)."""
+        if handle.closed:
+            raise VfioError(f"double close of {handle}")
+        devset = handle.devset
+        yield from devset.lock.acquire_child(handle.device)
+        try:
+            if devset.open_counts[handle.device] <= 0:
+                raise VfioError(f"{handle.device.bdf}: close with zero open count")
+            devset.open_counts[handle.device] -= 1
+            handle.closed = True
+        finally:
+            devset.lock.release_child(handle.device)
+
+    def reset_device(self, device):
+        """Bus-level reset: a *parent* operation on the whole devset.
+
+        Scans the bus and checks the devset-global open count; refuses
+        if any device in the set is open (the consistency requirement
+        that motivated the coarse lock in the first place).
+        """
+        devset = self.devset_of(device)
+        yield from devset.lock.acquire_parent()
+        try:
+            scan = self._spec.vfio_bus_scan_per_device_s * device.bus.device_count
+            yield Timeout(scan)
+            for dev in device.bus.devices:
+                if dev.driver == VFIO_DRIVER_NAME and dev not in devset.devices:
+                    raise VfioError(
+                        f"bus {device.bus.number:#04x}: {dev.bdf} bound to vfio "
+                        f"but outside devset {devset.name}"
+                    )
+            if devset.total_open_count > 0:
+                raise VfioError(
+                    f"devset {devset.name}: reset refused with "
+                    f"{devset.total_open_count} open device(s)"
+                )
+            yield Timeout(self._spec.vfio_open_base_s)  # the reset itself
+        finally:
+            devset.lock.release_parent()
+        return True
+
+    # ------------------------------------------------------------------
+    # DMA memory mapping (Fig. 6)
+    # ------------------------------------------------------------------
+    def create_domain(self, name):
+        """Create the IOMMU domain (VFIO container) for one microVM."""
+        return self._iommu.create_domain(name)
+
+    def destroy_domain(self, name):
+        """Destroy a microVM's IOMMU domain (must be fully unmapped)."""
+        self._iommu.destroy_domain(name)
+
+    def dma_map(self, domain, owner, label, nbytes, gpa_base, policy=EAGER_ZEROING):
+        """Map ``nbytes`` of freshly allocated guest memory for DMA.
+
+        Executes retrieve -> zero -> pin -> map and returns a
+        :class:`MappedRegion`.  IOVA is chosen identical to GPA (§2.2).
+        """
+        spec = self._spec
+        jitter = self._jitter.factor(spec.jitter_sigma)
+
+        # -- Step 1: page retrieving (batched; P2).
+        allocation = self._memory.allocate(nbytes, owner=owner, label=label)
+        retrieve_cost = (
+            allocation.batch_count * spec.dma_retrieve_per_batch_s
+            + allocation.page_count * spec.dma_retrieve_per_page_s
+        )
+        yield self._cpu.work(retrieve_cost * jitter)
+
+        # -- Step 2: page zeroing (P3) under the selected policy.
+        dirty = [page for page in allocation.pages if not page.is_zeroed]
+        prezero_count = int(len(dirty) * policy.prezeroed_fraction)
+        for page in dirty[:prezero_count]:
+            # Scrubbed during earlier idle time: no cost now.
+            page.zero()
+        remaining = dirty[prezero_count:]
+        lazy_pages = []
+        if policy.mode is ZeroingMode.EAGER:
+            dirty_bytes = sum(page.size for page in remaining)
+            if dirty_bytes:
+                # Bulk zeroing is DRAM-bandwidth-bound: concurrent
+                # mappings share the memory controller.
+                yield self._dram.work(spec.zeroing_cpu_seconds(dirty_bytes) * jitter)
+                for page in remaining:
+                    page.zero()
+        else:
+            if self._fastiovd is None:
+                raise VfioError("decoupled zeroing requires the fastiovd module")
+            if remaining:
+                yield self._cpu.work(
+                    len(remaining) * spec.fastiovd_register_per_page_s * jitter
+                )
+                self._fastiovd.register_lazy(owner, remaining)
+                lazy_pages = list(remaining)
+
+        # -- Step 3: page pinning.
+        yield self._cpu.work(allocation.page_count * spec.dma_pin_per_page_s * jitter)
+        for page in allocation.pages:
+            page.pin()
+
+        # -- Step 4: IOMMU mapping (IOVA == GPA).
+        yield self._cpu.work(allocation.page_count * spec.iommu_map_per_page_s * jitter)
+        for index, page in enumerate(allocation.pages):
+            domain.map_page(gpa_base + index * page.size, page)
+
+        return MappedRegion(allocation, gpa_base, domain, lazy_pages)
+
+    # ------------------------------------------------------------------
+    # vIOMMU emulation (§8 related-work baseline)
+    # ------------------------------------------------------------------
+    def viommu_map_range(self, vm, domain, gpa_base, nbytes):
+        """Deferred mapping: make [gpa_base, +nbytes) DMA-able *now*.
+
+        The vIOMMU/coIOMMU approach (§8): nothing is pinned or mapped at
+        startup; when the device is about to DMA into a range, the
+        IOMMU emulation resolves each page through the VM's memory
+        slots (demand-faulting host memory, which allocates and zeroes
+        it), pins it, and installs the translation.  Already-mapped
+        pages cost only the emulation intercept.
+        """
+        spec = self._spec
+        page_size = vm.ept.page_size
+        yield Timeout(spec.viommu_intercept_s)
+        gpa = (gpa_base // page_size) * page_size
+        end = gpa_base + nbytes
+        while gpa < end:
+            if not domain.is_mapped(gpa):
+                slot, offset = vm.find_slot(gpa)
+                page = yield from slot.backing.page_at_offset(offset)
+                yield self._cpu.work(
+                    spec.dma_pin_per_page_s + spec.iommu_map_per_page_s
+                )
+                page.pin()
+                domain.map_page(gpa, page)
+            gpa += page_size
+
+    def viommu_unmap_all(self, domain):
+        """Tear down every on-demand mapping (VM destruction)."""
+        entries = domain.pages()
+        if entries:
+            yield self._cpu.work(
+                len(entries) * self._spec.iommu_unmap_per_page_s
+            )
+        for iova, page in entries:
+            domain.unmap_page(iova)
+            page.unpin()
+
+    def dma_unmap(self, region):
+        """Tear down one mapped region and free its frames."""
+        spec = self._spec
+        yield self._cpu.work(region.allocation.page_count * spec.iommu_unmap_per_page_s)
+        for index, page in enumerate(region.pages):
+            region.domain.unmap_page(region.gpa_base + index * page.size)
+            page.unpin()
+        if self._fastiovd is not None:
+            self._fastiovd.forget_pages(region.allocation.owner, region.pages)
+        self._memory.free(region.allocation)
+
+    def __repr__(self):
+        return f"<VfioDriver devsets={len(self._devsets)}>"

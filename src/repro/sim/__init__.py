@@ -1,0 +1,43 @@
+"""Discrete-event simulation kernel.
+
+This package is the substrate every other layer of the reproduction runs
+on.  It provides:
+
+* :class:`~repro.sim.core.Simulator` — the event loop and virtual clock.
+* :class:`~repro.sim.core.Process` — generator-based cooperative
+  processes that model kernel threads, hypervisor threads, guest vCPU
+  work, and container-startup pipelines.
+* :mod:`~repro.sim.sync` — blocking primitives (:class:`Mutex`,
+  :class:`RWLock`, :class:`Resource`, :class:`SimEvent`) with wait-time
+  accounting, used to reproduce the paper's lock-contention bottlenecks.
+* :mod:`~repro.sim.cpu` — :class:`FairShareCPU`, a processor-sharing
+  model of a multi-core socket, used to reproduce CPU-bound costs such
+  as page zeroing and guest-side driver initialization.
+* :mod:`~repro.sim.rng` — deterministic jitter so every experiment is
+  reproducible from a seed.
+
+The kernel is deliberately dependency-free and synchronous: a process is
+a Python generator that ``yield``\\ s command objects (``Timeout``,
+``lock.acquire()``, ``cpu.work(...)``, ``event.wait()``, ``proc.join()``)
+and the simulator interprets them.
+"""
+
+from repro.sim.core import Process, Simulator, Timeout
+from repro.sim.cpu import FairShareCPU
+from repro.sim.errors import SimError, SimulationDeadlock
+from repro.sim.rng import Jitter
+from repro.sim.sync import Mutex, Resource, RWLock, SimEvent
+
+__all__ = [
+    "FairShareCPU",
+    "Jitter",
+    "Mutex",
+    "Process",
+    "Resource",
+    "RWLock",
+    "SimError",
+    "SimEvent",
+    "SimulationDeadlock",
+    "Simulator",
+    "Timeout",
+]

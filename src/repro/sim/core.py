@@ -1,0 +1,247 @@
+"""Event loop, virtual clock, and generator-based processes.
+
+A *process* is a Python generator.  It models one thread of control in
+the simulated system (a kernel thread, a QEMU thread, a guest agent, a
+container-startup pipeline).  The generator ``yield``\\ s *command*
+objects and the simulator resumes it when the command completes::
+
+    def worker(sim, lock):
+        yield Timeout(0.5)           # sleep 500 ms of virtual time
+        yield lock.acquire()         # block until the mutex is granted
+        try:
+            yield Timeout(0.1)       # hold it for 100 ms
+        finally:
+            lock.release()
+        return "done"                # becomes the process result
+
+Processes are spawned with :meth:`Simulator.spawn` and the whole system
+is executed with :meth:`Simulator.run`.  The simulator is single-threaded
+and deterministic: events at equal timestamps fire in scheduling order.
+"""
+
+import heapq
+from itertools import count
+
+from repro.sim.errors import (
+    InvalidCommand,
+    ProcessFailed,
+    SimulationDeadlock,
+)
+
+
+class Command:
+    """Base class for objects a process may ``yield``.
+
+    Subclasses implement :meth:`subscribe`, which arranges for
+    ``process`` to be resumed (via ``process._resume(value)``) once the
+    command completes.  ``subscribe`` must not step the process
+    synchronously; resumption always goes through the event queue so
+    that command semantics are identical whether or not they complete
+    immediately.
+    """
+
+    def subscribe(self, sim, process):
+        raise NotImplementedError
+
+
+class Timeout(Command):
+    """Resume the process after ``delay`` units of virtual time."""
+
+    def __init__(self, delay):
+        if delay < 0:
+            raise ValueError(f"negative timeout: {delay}")
+        self.delay = delay
+
+    def subscribe(self, sim, process):
+        sim.schedule(sim.now + self.delay, process._resume, None)
+
+    def __repr__(self):
+        return f"Timeout({self.delay})"
+
+
+class Join(Command):
+    """Resume when ``process`` finishes; the result is its return value."""
+
+    def __init__(self, process):
+        self.process = process
+
+    def subscribe(self, sim, waiter):
+        target = self.process
+        if target.finished:
+            sim.schedule(sim.now, waiter._resume, target.result)
+        else:
+            target._joiners.append(waiter)
+
+    def __repr__(self):
+        return f"Join({self.process.name})"
+
+
+class Process:
+    """A running simulated process.
+
+    Created by :meth:`Simulator.spawn`; not instantiated directly.
+
+    Attributes:
+        name: Diagnostic name, unique-ish within a simulation.
+        daemon: Daemon processes (background scanners, pollers) do not
+            keep the simulation alive and are exempt from deadlock
+            detection.
+        finished: True once the generator returned.
+        result: The generator's return value (valid once finished).
+    """
+
+    def __init__(self, sim, generator, name, daemon=False):
+        self._sim = sim
+        self._gen = generator
+        self.name = name
+        self.daemon = daemon
+        self.finished = False
+        self.result = None
+        self._joiners = []
+        self._blocked_on = None
+        self._started_at = sim.now
+
+    def join(self):
+        """Return a command that waits for this process to finish."""
+        return Join(self)
+
+    def _resume(self, value):
+        if self.finished:
+            return
+        self._blocked_on = None
+        self._step(value)
+
+    def _step(self, send_value):
+        sim = self._sim
+        prev = sim._current
+        sim._current = self
+        try:
+            command = self._gen.send(send_value)
+        except StopIteration as stop:
+            self._finish(getattr(stop, "value", None))
+            return
+        except Exception as exc:  # noqa: BLE001 - fail the simulation loudly
+            sim._fail(ProcessFailed(self.name, exc), exc)
+            return
+        finally:
+            sim._current = prev
+        if not isinstance(command, Command):
+            sim._fail(
+                InvalidCommand(
+                    f"process {self.name!r} yielded {command!r}, "
+                    f"which is not a sim Command"
+                ),
+                None,
+            )
+            return
+        self._blocked_on = command
+        command.subscribe(sim, self)
+
+    def _finish(self, result):
+        self.finished = True
+        self.result = result
+        sim = self._sim
+        if not self.daemon:
+            sim._live_processes -= 1
+        for waiter in self._joiners:
+            sim.schedule(sim.now, waiter._resume, result)
+        self._joiners = []
+
+    def __repr__(self):
+        state = "finished" if self.finished else f"blocked on {self._blocked_on!r}"
+        return f"<Process {self.name} {state}>"
+
+
+class Simulator:
+    """The discrete-event loop and virtual clock.
+
+    Time is a float in *seconds* of virtual time.  All model components
+    (locks, CPUs, devices) hold a reference to the simulator so they can
+    schedule events and read the clock.
+    """
+
+    def __init__(self):
+        self.now = 0.0
+        self._queue = []
+        self._seq = count()
+        self._processes = []
+        self._live_processes = 0
+        self._current = None
+        self._failure = None
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, when, callback, *args):
+        """Run ``callback(*args)`` at virtual time ``when``."""
+        if when < self.now:
+            raise ValueError(f"cannot schedule into the past: {when} < {self.now}")
+        heapq.heappush(self._queue, (when, next(self._seq), callback, args))
+
+    def spawn(self, generator, name=None, daemon=False):
+        """Start a new process from ``generator`` and return it.
+
+        The process takes its first step via the event queue at the
+        current time, so the caller's own step finishes first.
+        """
+        if name is None:
+            name = f"proc-{len(self._processes)}"
+        process = Process(self, generator, name, daemon=daemon)
+        self._processes.append(process)
+        if not daemon:
+            self._live_processes += 1
+        self.schedule(self.now, process._step, None)
+        return process
+
+    @property
+    def current_process(self):
+        """The process currently being stepped (None between steps)."""
+        return self._current
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, until=None):
+        """Execute events until all non-daemon processes finish.
+
+        Args:
+            until: Optional virtual-time horizon.  When given, execution
+                stops once the clock would pass it (the clock is then
+                set to exactly ``until``).
+
+        Raises:
+            ProcessFailed: A process raised; the original exception is
+                chained.
+            SimulationDeadlock: The event queue drained while non-daemon
+                processes were still blocked.
+        """
+        while self._queue:
+            if self._failure is not None:
+                break
+            if self._live_processes == 0 and until is None:
+                break
+            when, _seq, callback, args = self._queue[0]
+            if until is not None and when > until:
+                self.now = until
+                break
+            heapq.heappop(self._queue)
+            self.now = when
+            callback(*args)
+        if self._failure is not None:
+            failure, cause = self._failure
+            self._failure = None
+            raise failure from cause
+        if until is None and self._live_processes > 0:
+            blocked = [
+                p for p in self._processes if not p.finished and not p.daemon
+            ]
+            names = ", ".join(
+                f"{p.name} (on {p._blocked_on!r})" for p in blocked[:10]
+            )
+            raise SimulationDeadlock(
+                f"{len(blocked)} process(es) blocked with no pending events: {names}"
+            )
+
+    def _fail(self, failure, cause):
+        if self._failure is None:
+            self._failure = (failure, cause)

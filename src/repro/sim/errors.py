@@ -1,0 +1,31 @@
+"""Exceptions raised by the simulation kernel."""
+
+
+class SimError(Exception):
+    """Base class for all simulation-kernel errors."""
+
+
+class SimulationDeadlock(SimError):
+    """The event queue drained while processes were still blocked.
+
+    This indicates a modeling bug (for example a lock acquired and never
+    released, or an event never triggered).  The message lists the
+    blocked processes so the offending model is easy to find.
+    """
+
+
+class ProcessFailed(SimError):
+    """A simulated process raised an exception.
+
+    The original exception is chained as ``__cause__`` and the failing
+    process name is preserved for diagnostics.
+    """
+
+    def __init__(self, process_name, cause):
+        super().__init__(f"simulated process {process_name!r} failed: {cause!r}")
+        self.process_name = process_name
+        self.cause = cause
+
+
+class InvalidCommand(SimError):
+    """A process yielded an object the simulator does not understand."""

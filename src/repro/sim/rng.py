@@ -1,0 +1,65 @@
+"""Deterministic randomness for reproducible experiments.
+
+All stochastic cost variation in the models flows through a single
+seeded :class:`Jitter` instance per experiment, so any run can be
+reproduced exactly from its seed.  The default jitter is multiplicative
+log-normal with unit mean, which matches the heavy-ish right tails seen
+in the paper's startup-time distributions (Fig. 12) without shifting
+averages.
+"""
+
+import math
+import random
+import zlib
+
+
+class Jitter:
+    """Seeded source of multiplicative and additive noise."""
+
+    def __init__(self, seed=0):
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def fork(self, label):
+        """Derive an independent stream keyed by ``label``.
+
+        Used to give each container / subsystem its own stream so that
+        adding a consumer does not perturb the draws of the others.
+        The derivation is stable across interpreter runs (CRC-based, not
+        ``hash()``, which Python randomizes per process).
+        """
+        key = f"{self.seed}/{label}".encode("utf-8")
+        return Jitter(zlib.crc32(key) & 0xFFFFFFFF)
+
+    def factor(self, sigma):
+        """Unit-mean log-normal multiplicative factor.
+
+        ``sigma`` is the log-space standard deviation; ``sigma == 0``
+        returns exactly 1.0.  The mean is corrected to 1 so calibrated
+        averages are unaffected by jitter.
+        """
+        if sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {sigma}")
+        if sigma == 0:
+            return 1.0
+        return math.exp(self._rng.gauss(0.0, sigma) - sigma * sigma / 2.0)
+
+    def uniform(self, low, high):
+        """Uniform draw in ``[low, high)``."""
+        return self._rng.uniform(low, high)
+
+    def expovariate(self, rate):
+        """Exponential inter-arrival draw with the given rate."""
+        return self._rng.expovariate(rate)
+
+    def randint(self, low, high):
+        """Integer draw in ``[low, high]`` inclusive."""
+        return self._rng.randint(low, high)
+
+    def choice(self, sequence):
+        """Uniform choice from a non-empty sequence."""
+        return self._rng.choice(sequence)
+
+    def shuffle(self, items):
+        """In-place Fisher-Yates shuffle."""
+        self._rng.shuffle(items)

@@ -1,0 +1,313 @@
+"""Blocking synchronization primitives with contention accounting.
+
+These model the Linux kernel locks the paper's bottleneck analysis is
+about: the VFIO devset global ``mutex`` (Bottleneck 1), the ``rwlock`` +
+per-device mutexes of FastIOV's hierarchical lock decomposition (§4.2.1),
+the cgroupfs and RTNL locks implicated in the software-CNI comparison
+(§6.4), and counting resources such as virtiofsd service slots.
+
+Every primitive records wait-time statistics (:class:`LockStats`) so
+experiments can attribute elapsed time to contention, mirroring the
+paper's profiling methodology (§3.1).
+"""
+
+from collections import deque
+
+from repro.sim.core import Command
+from repro.sim.errors import SimError
+
+
+class LockStats:
+    """Contention counters kept by every primitive.
+
+    Attributes:
+        acquisitions: Number of successful acquisitions (grants).
+        contended: Grants that had to wait at least one event.
+        total_wait: Sum of wait times across all grants, in seconds.
+        max_wait: Longest single wait, in seconds.
+        max_queue: Longest observed waiter-queue length.
+    """
+
+    def __init__(self):
+        self.acquisitions = 0
+        self.contended = 0
+        self.total_wait = 0.0
+        self.max_wait = 0.0
+        self.max_queue = 0
+
+    def record_grant(self, waited):
+        self.acquisitions += 1
+        if waited > 0:
+            self.contended += 1
+            self.total_wait += waited
+            self.max_wait = max(self.max_wait, waited)
+
+    def record_queue(self, depth):
+        self.max_queue = max(self.max_queue, depth)
+
+    @property
+    def mean_wait(self):
+        if self.acquisitions == 0:
+            return 0.0
+        return self.total_wait / self.acquisitions
+
+    def __repr__(self):
+        return (
+            f"LockStats(acquisitions={self.acquisitions}, "
+            f"contended={self.contended}, total_wait={self.total_wait:.6f}, "
+            f"max_wait={self.max_wait:.6f}, max_queue={self.max_queue})"
+        )
+
+
+class _Grantable(Command):
+    """A command granted later by its owning primitive."""
+
+    def __init__(self, primitive):
+        self.primitive = primitive
+        self.process = None
+        self.enqueued_at = None
+
+    def subscribe(self, sim, process):
+        self.process = process
+        self.enqueued_at = sim.now
+        self.primitive._submit(self)
+
+    def _grant(self, sim, stats, value=None):
+        stats.record_grant(sim.now - self.enqueued_at)
+        sim.schedule(sim.now, self.process._resume, value)
+
+
+class Mutex:
+    """FIFO mutual-exclusion lock.
+
+    Models a Linux kernel ``struct mutex``: one holder at a time,
+    waiters queued in arrival order.
+    """
+
+    def __init__(self, sim, name="mutex"):
+        self._sim = sim
+        self.name = name
+        self._holder = None
+        self._waiters = deque()
+        self.stats = LockStats()
+
+    @property
+    def locked(self):
+        return self._holder is not None
+
+    @property
+    def queue_length(self):
+        return len(self._waiters)
+
+    def acquire(self):
+        """Return a command that blocks until the mutex is held."""
+        return _Grantable(self)
+
+    def _submit(self, request):
+        if self._holder is None:
+            self._holder = request.process
+            request._grant(self._sim, self.stats)
+        else:
+            self._waiters.append(request)
+            self.stats.record_queue(len(self._waiters))
+
+    def release(self):
+        """Release the mutex, granting it to the next waiter if any."""
+        if self._holder is None:
+            raise SimError(f"mutex {self.name!r} released while not held")
+        if self._waiters:
+            request = self._waiters.popleft()
+            self._holder = request.process
+            request._grant(self._sim, self.stats)
+        else:
+            self._holder = None
+
+    def __repr__(self):
+        return f"<Mutex {self.name} locked={self.locked} q={self.queue_length}>"
+
+
+class _RWRequest(_Grantable):
+    def __init__(self, primitive, write):
+        super().__init__(primitive)
+        self.write = write
+
+
+class RWLock:
+    """Fair (FIFO) readers-writer lock.
+
+    Models a Linux kernel ``rwlock``/``rw_semaphore`` as used by
+    FastIOV's hierarchical lock framework (§4.2.1): any number of
+    concurrent readers, or one writer.  Fairness is queue order — a
+    reader arriving behind a queued writer waits, which prevents writer
+    starvation and keeps grant order deterministic.
+    """
+
+    def __init__(self, sim, name="rwlock"):
+        self._sim = sim
+        self.name = name
+        self._readers = 0
+        self._writer = None
+        self._waiters = deque()
+        self.stats = LockStats()
+
+    @property
+    def active_readers(self):
+        return self._readers
+
+    @property
+    def write_locked(self):
+        return self._writer is not None
+
+    def acquire_read(self):
+        """Return a command that blocks until read access is granted."""
+        return _RWRequest(self, write=False)
+
+    def acquire_write(self):
+        """Return a command that blocks until write access is granted."""
+        return _RWRequest(self, write=True)
+
+    def _submit(self, request):
+        self._waiters.append(request)
+        self.stats.record_queue(len(self._waiters))
+        self._dispatch()
+
+    def _dispatch(self):
+        while self._waiters:
+            head = self._waiters[0]
+            if head.write:
+                if self._readers == 0 and self._writer is None:
+                    self._waiters.popleft()
+                    self._writer = head.process
+                    head._grant(self._sim, self.stats)
+                break
+            if self._writer is not None:
+                break
+            self._waiters.popleft()
+            self._readers += 1
+            head._grant(self._sim, self.stats)
+
+    def release_read(self):
+        if self._readers <= 0:
+            raise SimError(f"rwlock {self.name!r}: release_read with no readers")
+        self._readers -= 1
+        self._dispatch()
+
+    def release_write(self):
+        if self._writer is None:
+            raise SimError(f"rwlock {self.name!r}: release_write with no writer")
+        self._writer = None
+        self._dispatch()
+
+    def __repr__(self):
+        return (
+            f"<RWLock {self.name} readers={self._readers} "
+            f"writer={self._writer is not None} q={len(self._waiters)}>"
+        )
+
+
+class _ResourceRequest(_Grantable):
+    def __init__(self, primitive, amount):
+        super().__init__(primitive)
+        self.amount = amount
+
+
+class Resource:
+    """FIFO counting resource (semaphore) with capacity accounting.
+
+    Used for bounded service pools such as virtiofsd worker threads or
+    the storage server's NIC bandwidth slots.
+    """
+
+    def __init__(self, sim, capacity, name="resource"):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._sim = sim
+        self.name = name
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters = deque()
+        self.stats = LockStats()
+
+    @property
+    def available(self):
+        return self.capacity - self.in_use
+
+    def request(self, amount=1):
+        """Return a command that blocks until ``amount`` units are held."""
+        if amount <= 0 or amount > self.capacity:
+            raise ValueError(
+                f"resource {self.name!r}: bad request amount {amount} "
+                f"(capacity {self.capacity})"
+            )
+        return _ResourceRequest(self, amount)
+
+    def _submit(self, request):
+        self._waiters.append(request)
+        self.stats.record_queue(len(self._waiters))
+        self._dispatch()
+
+    def _dispatch(self):
+        while self._waiters and self._waiters[0].amount <= self.available:
+            request = self._waiters.popleft()
+            self.in_use += request.amount
+            request._grant(self._sim, self.stats)
+
+    def release(self, amount=1):
+        if amount > self.in_use:
+            raise SimError(
+                f"resource {self.name!r}: releasing {amount} with only "
+                f"{self.in_use} in use"
+            )
+        self.in_use -= amount
+        self._dispatch()
+
+    def __repr__(self):
+        return (
+            f"<Resource {self.name} {self.in_use}/{self.capacity} "
+            f"q={len(self._waiters)}>"
+        )
+
+
+class _EventWait(Command):
+    def __init__(self, event):
+        self.event = event
+
+    def subscribe(self, sim, process):
+        if self.event.triggered:
+            sim.schedule(sim.now, process._resume, self.event.payload)
+        else:
+            self.event._waiters.append(process)
+
+
+class SimEvent:
+    """One-shot broadcast event carrying an optional payload.
+
+    Models completion notifications: "network interface is ready",
+    "background zeroing finished", "file data landed in the vring
+    buffer".  Waiting on an already-triggered event completes
+    immediately with the stored payload.
+    """
+
+    def __init__(self, sim, name="event"):
+        self._sim = sim
+        self.name = name
+        self.triggered = False
+        self.payload = None
+        self._waiters = []
+
+    def wait(self):
+        """Return a command that blocks until the event triggers."""
+        return _EventWait(self)
+
+    def trigger(self, payload=None):
+        """Fire the event, resuming all current and future waiters."""
+        if self.triggered:
+            raise SimError(f"event {self.name!r} triggered twice")
+        self.triggered = True
+        self.payload = payload
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self._sim.schedule(self._sim.now, process._resume, payload)
+
+    def __repr__(self):
+        return f"<SimEvent {self.name} triggered={self.triggered}>"

@@ -1,0 +1,24 @@
+"""Virtualization layer: hypervisor, microVM, guest kernel, virtio.
+
+Models the Kata-QEMU + guest-kernel side of the startup pipeline
+(Fig. 4, right half): microVM creation with the full guest memory
+layout (ROM, RAM, image), KVM slot registration over VFIO-pinned /
+anonymous / page-cache backings, virtioFS with the shared-buffer
+semantics that make proactive EPT faults necessary (§4.3.2), and the
+guest's VF driver initialization (Bottleneck 3, §3.2.4).
+"""
+
+from repro.virt.guest import GuestKernel
+from repro.virt.hypervisor import Hypervisor, VirtNetworkPlan
+from repro.virt.layout import GuestMemoryLayout
+from repro.virt.microvm import Microvm
+from repro.virt.virtio import VirtioFS
+
+__all__ = [
+    "GuestKernel",
+    "GuestMemoryLayout",
+    "Hypervisor",
+    "Microvm",
+    "VirtNetworkPlan",
+    "VirtioFS",
+]

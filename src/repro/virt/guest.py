@@ -1,0 +1,171 @@
+"""The guest side: kernel boot, VF driver initialization, daemon agent.
+
+Bottleneck 3 (§3.2.4) lives here: after VFIO hands the VF to the
+microVM, the guest's NIC driver enumerates the PCI device, registers a
+netdev, configures parameters, waits for link-up, and the secure
+container agent assigns MAC/IP — several hundred milliseconds that the
+vanilla runtime serializes into the startup path.  FastIOV runs
+:meth:`GuestKernel.vf_driver_init` asynchronously and has the agent
+poll readiness just before application exec (§4.2.2); that scheduling
+decision belongs to the container runtime, which simply chooses whether
+to ``yield from`` this generator or spawn it as a separate process.
+"""
+
+from repro.sim.core import Timeout
+
+
+class GuestKernel:
+    """The microVM's guest kernel and container agent."""
+
+    def __init__(self, sim, cpu, kvm, spec, jitter, microvm, pf_mailbox=None):
+        self._sim = sim
+        self._cpu = cpu
+        self._kvm = kvm
+        self._spec = spec
+        self._jitter = jitter.fork(f"guest-{microvm.name}")
+        self._microvm = microvm
+        self._pf_mailbox = pf_mailbox
+        self.booted = False
+        self.vf_driver_ready = False
+
+    # ------------------------------------------------------------------
+    # boot
+    # ------------------------------------------------------------------
+    def boot(self, timer):
+        """Boot the guest kernel.
+
+        Executes ROM code (verified reads — clobbered kernel pages are a
+        :class:`GuestCrash`), touches the boot working set, and mounts
+        the root image (reads through whatever backs the image region).
+        """
+        spec = self._spec
+        microvm = self._microvm
+        vm = microvm.vm
+        layout = microvm.layout
+        sigma = spec.jitter_sigma
+        with timer.step("guest-boot"):
+            yield Timeout(spec.guest_boot_base_s * self._jitter.factor(sigma))
+            yield self._cpu.work(spec.guest_boot_cpu_s * self._jitter.factor(sigma))
+            # Execute BIOS + kernel: every ROM page must still hold what
+            # the hypervisor wrote.
+            yield from self._kvm.guest_touch_range(
+                vm, layout.rom_gpa, layout.rom_bytes,
+                expect="hypervisor:kernel", verify=True,
+            )
+            # Boot working set: page tables, slab, initramfs unpack...
+            ws_bytes = max(
+                layout.page_size,
+                int(layout.general_ram_bytes * spec.boot_touch_fraction),
+            )
+            ws_base = microvm.alloc_guest_range(ws_bytes, "boot-working-set")
+            yield from self._kvm.guest_touch_range(
+                vm, ws_base, ws_bytes, write=True, tag=f"{microvm.name}:boot"
+            )
+            # Mount the root image: read the superblock/top of the image.
+            yield from self._kvm.guest_touch_range(
+                vm, layout.image_gpa, layout.image_bytes // 8,
+                expect="hypervisor:image", verify=True,
+            )
+        self.booted = True
+
+    # ------------------------------------------------------------------
+    # VF driver initialization (Bottleneck 3)
+    # ------------------------------------------------------------------
+    def vf_driver_init(self, timer):
+        """Initialize the passthrough VF as a Linux network interface.
+
+        PCI enumeration, RX/TX ring allocation (the driver zeroes its
+        DMA buffers, which EPT-faults every ring page — the property §7
+        relies on), netdev registration + parameter configuration
+        (CPU-bound, scales with concurrency), link-up wait, and the
+        agent's MAC/IP assignment.  Triggers ``network_ready``.
+        """
+        spec = self._spec
+        microvm = self._microvm
+        vm = microvm.vm
+        sigma = spec.jitter_sigma
+        with timer.step("5-vf-driver"):
+            yield Timeout(spec.vf_driver_pci_enum_s * self._jitter.factor(sigma))
+            # Allocate and scrub the DMA rings: standard drivers zero
+            # their buffers right after allocation (§4.3.2), so every
+            # ring page is EPT-faulted before the NIC can write it.
+            ring_gpa = microvm.alloc_guest_range(spec.nic_ring_bytes, "nic-rings")
+            microvm.nic_ring_gpa = ring_gpa
+            yield from self._kvm.guest_touch_range(
+                vm, ring_gpa, spec.nic_ring_bytes,
+                write=True, tag=f"{microvm.name}:devzero",
+            )
+            yield Timeout(spec.vf_driver_register_netif_s * self._jitter.factor(sigma))
+            yield self._cpu.work(spec.vf_driver_cpu_s * self._jitter.factor(sigma))
+            # Resource negotiation with the PF through its admin queue:
+            # serialized at the PF mailbox, which is what turns "a few
+            # hundred milliseconds" into seconds when 200 inits run at
+            # once (§3.2.4).
+            if self._pf_mailbox is not None:
+                yield self._pf_mailbox.acquire()
+                try:
+                    yield Timeout(
+                        spec.vf_admin_negotiation_s * self._jitter.factor(sigma)
+                    )
+                finally:
+                    self._pf_mailbox.release()
+            yield Timeout(spec.vf_driver_link_up_s * self._jitter.factor(sigma))
+            # Agent assigns MAC and IP to the new interface.
+            yield Timeout(spec.agent_ip_assign_s * self._jitter.factor(sigma))
+        self.vf_driver_ready = True
+        microvm.network_ready.trigger()
+
+    def vdpa_nic_init(self, timer):
+        """Bring up the passthrough VF through vDPA (§7 future work).
+
+        The guest runs the *standard virtio-net driver*: no vendor PCI
+        bring-up, no PF admin-queue negotiation.  The virtio frontend's
+        buffer-posting protocol proactively EPT-faults the rings (a
+        1-byte read per page) before the device can write them, so lazy
+        zeroing is safe without any vendor-driver modification — the
+        property §7 identifies as vDPA's appeal.
+        """
+        spec = self._spec
+        microvm = self._microvm
+        sigma = spec.jitter_sigma
+        with timer.step("5-vf-driver"):
+            yield Timeout(spec.vdpa_virtio_setup_s * self._jitter.factor(sigma))
+            # Ring allocation: proactive faults (reads) rather than the
+            # vendor driver's explicit zeroing writes.
+            ring_gpa = microvm.alloc_guest_range(spec.nic_ring_bytes, "nic-rings")
+            microvm.nic_ring_gpa = ring_gpa
+            yield from self._kvm.guest_touch_range(
+                microvm.vm, ring_gpa, spec.nic_ring_bytes
+            )
+            yield Timeout(spec.agent_ip_assign_s * self._jitter.factor(sigma))
+        self.vf_driver_ready = True
+        microvm.network_ready.trigger()
+
+    def virtual_nic_init(self):
+        """Bring up a para-virtualized NIC (software-CNI path).
+
+        The virtio-net device needs no passthrough initialization; the
+        interface appears quickly and the agent configures it.
+        """
+        spec = self._spec
+        yield Timeout(spec.agent_ip_assign_s * self._jitter.factor(spec.jitter_sigma))
+        self.vf_driver_ready = True
+        self._microvm.network_ready.trigger()
+
+    # ------------------------------------------------------------------
+    # agent readiness polling (§4.2.2)
+    # ------------------------------------------------------------------
+    def wait_network_ready(self):
+        """Agent-side poll loop: check the interface every poll period.
+
+        Models the daemon agent's periodic status check rather than an
+        exact wakeup, adding up to one poll interval of latency.
+        """
+        while not self._microvm.network_ready.triggered:
+            yield Timeout(self._spec.agent_poll_interval_s)
+
+    def __repr__(self):
+        return (
+            f"<GuestKernel {self._microvm.name} booted={self.booted} "
+            f"vf_ready={self.vf_driver_ready}>"
+        )

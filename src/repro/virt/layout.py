@@ -1,0 +1,88 @@
+"""Guest physical memory layout of one microVM.
+
+::
+
+    GPA 0 ──────────────┬──────────────────────────┬──────────────┐
+    │ ROM (BIOS+kernel) │ general RAM              │ image region │
+    │ hypervisor-written│ guest working memory     │ read-only    │
+    └───────────────────┴──────────────────────────┴──────────────┘
+    0                   rom_bytes          ram_bytes        +image
+
+The ROM occupies the head of the RAM region (it is part of the DMA-
+mapped RAM in the SR-IOV path, which is why FastIOV needs the
+instant-zeroing list for it); the image region sits above RAM and is
+the candidate for mapping-skip (§4.3.1).  Inside general RAM, the
+guest's own allocations (boot working set, NIC rings, app buffers) are
+carved out by a bump allocator in :class:`~repro.virt.microvm.Microvm`.
+"""
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class GuestMemoryLayout:
+    """GPA map for one microVM."""
+
+    ram_bytes: int
+    rom_bytes: int
+    image_bytes: int
+    page_size: int
+
+    def __post_init__(self):
+        for field in ("ram_bytes", "rom_bytes", "image_bytes"):
+            value = getattr(self, field)
+            if value <= 0 or value % self.page_size != 0:
+                raise ValueError(
+                    f"{field} ({value}) must be a positive multiple of the "
+                    f"page size ({self.page_size})"
+                )
+        if self.rom_bytes >= self.ram_bytes:
+            raise ValueError(
+                f"ROM ({self.rom_bytes}) must fit inside RAM ({self.ram_bytes})"
+            )
+
+    @classmethod
+    def for_vm(cls, spec, ram_bytes):
+        """Build the layout for a VM with ``ram_bytes`` of memory."""
+        return cls(
+            ram_bytes=ram_bytes,
+            rom_bytes=min(spec.rom_bytes, ram_bytes // 2),
+            image_bytes=spec.image_bytes,
+            page_size=spec.page_size,
+        )
+
+    # -- region bases -------------------------------------------------
+    @property
+    def ram_gpa(self):
+        return 0
+
+    @property
+    def rom_gpa(self):
+        return 0  # head of RAM
+
+    @property
+    def image_gpa(self):
+        return self.ram_bytes
+
+    @property
+    def total_bytes(self):
+        return self.ram_bytes + self.image_bytes
+
+    @property
+    def general_ram_gpa(self):
+        """First GPA of RAM usable by the guest (above the ROM)."""
+        return self.rom_bytes
+
+    @property
+    def general_ram_bytes(self):
+        return self.ram_bytes - self.rom_bytes
+
+    def rom_fraction(self):
+        """ROM share of RAM — ~9.4% for a 512 MiB VM (§4.3.2)."""
+        return self.rom_bytes / self.ram_bytes
+
+    def __repr__(self):
+        return (
+            f"<GuestMemoryLayout ram={self.ram_bytes >> 20} MiB "
+            f"rom={self.rom_bytes >> 20} MiB image={self.image_bytes >> 20} MiB>"
+        )

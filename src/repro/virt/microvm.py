@@ -1,0 +1,68 @@
+"""The microVM object: identity, layout, guest-side allocator, state.
+
+Ties together the KVM VM, the memory layout, the attached VF (if any),
+and the events the container runtime synchronizes on.  Produced by
+:meth:`~repro.virt.hypervisor.Hypervisor.create_microvm`.
+"""
+
+from repro.sim.sync import SimEvent
+
+
+class Microvm:
+    """One secure container's virtual machine."""
+
+    def __init__(self, sim, name, layout, plan):
+        self.sim = sim
+        self.name = name
+        self.layout = layout
+        self.plan = plan
+        #: KVM VM handle, set by the hypervisor during creation.
+        self.vm = None
+        #: IOMMU domain (passthrough only).
+        self.domain = None
+        #: Mapped DMA regions by label ("ram", "image").
+        self.mapped_regions = {}
+        #: Anonymous mappings by label (non-passthrough path).
+        self.anon_mappings = {}
+        #: VFIO device handle of the attached VF, if any.
+        self.vf_handle = None
+        #: The attached VF (passthrough) or virtual NIC name.
+        self.vf = None
+        #: virtioFS frontend/backend pair.
+        self.virtiofs = None
+        #: Guest kernel (set once booted).
+        self.guest = None
+        #: Triggered once the guest network interface is configured.
+        self.network_ready = SimEvent(sim, name=f"{name}.network-ready")
+        #: Bump allocator over general RAM for guest-side buffers.
+        self._alloc_cursor = layout.general_ram_gpa
+        self._alloc_limit = layout.ram_bytes
+        self.destroyed = False
+
+    @property
+    def pid(self):
+        """Host PID standing in for the QEMU process (fastiovd key)."""
+        return self.name
+
+    def alloc_guest_range(self, nbytes, purpose):
+        """Carve ``nbytes`` (page-rounded) out of general guest RAM."""
+        page = self.layout.page_size
+        rounded = -(-nbytes // page) * page
+        if self._alloc_cursor + rounded > self._alloc_limit:
+            raise MemoryError(
+                f"{self.name}: guest allocator exhausted allocating "
+                f"{rounded} bytes for {purpose!r}"
+            )
+        base = self._alloc_cursor
+        self._alloc_cursor += rounded
+        return base
+
+    @property
+    def guest_free_bytes(self):
+        return self._alloc_limit - self._alloc_cursor
+
+    def __repr__(self):
+        return (
+            f"<Microvm {self.name} ram={self.layout.ram_bytes >> 20} MiB "
+            f"vf={getattr(self.vf, 'bdf', None)}>"
+        )

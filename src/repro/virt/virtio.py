@@ -1,0 +1,89 @@
+"""virtio / virtioFS: para-virtualized shared-buffer data transfer.
+
+This is the second lazy-zeroing exception of §4.3.2: when the guest
+asks virtioFS for a file, the *host-side* backend writes the data into
+a guest buffer through host virtual addresses — no EPT fault happens
+for that write.  If the buffer's zeroing was deferred and the guest has
+never touched it, the guest's subsequent read EPT-faults and fastiovd
+would zero the page, destroying the just-delivered file data.
+
+FastIOV's fix, implemented here, is the *proactive EPT fault*: when the
+guest posts a buffer address to the vring, the frontend reads the first
+byte of each buffer page, forcing the fault (and any deferred zeroing)
+to happen *before* the backend writes.  The failure-injection tests run
+with ``proactive_faults=False`` and assert the resulting
+:class:`~repro.oskernel.errors.GuestCrash`.
+"""
+
+from repro.sim.core import Timeout
+
+
+class VirtioFS:
+    """One microVM's shared filesystem (virtio frontend + host backend)."""
+
+    def __init__(self, sim, cpu, kvm, spec, microvm, proactive_faults=True):
+        self._sim = sim
+        self._cpu = cpu
+        self._kvm = kvm
+        self._spec = spec
+        self._microvm = microvm
+        self.proactive_faults = proactive_faults
+        #: The vring lives in guest RAM; one page is ample for the model.
+        self.vring_gpa = microvm.alloc_guest_range(
+            microvm.layout.page_size, "virtiofs-vring"
+        )
+        self.bytes_transferred = 0
+        self.requests = 0
+
+    def guest_read_file(self, name, nbytes, dest_gpa=None, verify=True):
+        """Guest-side file read through the shared filesystem.
+
+        Models the full §4.3.2 sequence: post descriptor to the vring,
+        (proactively fault the buffer pages), backend writes the data
+        host-side, guest reads it back.  Returns the destination GPA.
+        """
+        if nbytes <= 0:
+            raise ValueError(f"file read length must be positive, got {nbytes}")
+        microvm = self._microvm
+        vm = microvm.vm
+        if dest_gpa is None:
+            dest_gpa = microvm.alloc_guest_range(nbytes, f"virtiofs-buf:{name}")
+
+        # 1. Guest writes the buffer address into the vring (this write
+        #    itself EPT-faults the vring page the first time).
+        yield from self._kvm.guest_access(
+            vm, self.vring_gpa, write=True, tag=f"{microvm.name}:vring"
+        )
+
+        # 2. Proactive EPT faults on every buffer page (FastIOV, §4.3.2):
+        #    a 1-byte read per page forces deferred zeroing to complete
+        #    before the backend writes.
+        if self.proactive_faults:
+            yield from self._kvm.guest_touch_range(vm, dest_gpa, nbytes)
+
+        # 3. Host backend fetches the descriptor and writes file data
+        #    into the shared buffer through host virtual addresses.
+        transfer_cpu = nbytes / self._spec.virtiofs_bytes_per_cpu_s
+        yield self._cpu.work(transfer_cpu)
+        yield from self._kvm.host_write_range(
+            vm, dest_gpa, nbytes, tag=f"virtiofs:{name}"
+        )
+
+        # 4. Backend notifies; guest reads the data.
+        yield Timeout(self._spec.ept_fault_s)  # completion interrupt relay
+        if verify:
+            yield from self._kvm.guest_touch_range(
+                vm, dest_gpa, nbytes, expect=f"virtiofs:{name}", verify=True
+            )
+        else:
+            yield from self._kvm.guest_touch_range(vm, dest_gpa, nbytes)
+
+        self.bytes_transferred += nbytes
+        self.requests += 1
+        return dest_gpa
+
+    def __repr__(self):
+        return (
+            f"<VirtioFS {self._microvm.name} requests={self.requests} "
+            f"bytes={self.bytes_transferred}>"
+        )

@@ -1,0 +1,27 @@
+"""Workloads: SeBS-style serverless apps, data path, memory benchmark.
+
+The §6.6 evaluation runs four representative serverless tasks from the
+SeBS benchmark suite, each of which downloads its input from a storage
+server through the container's network before computing.  This package
+models those apps (with small *real* reference kernels for the compute
+phases), the passthrough vs software data paths, and the Tinymembench
+memory micro-benchmark used in §6.5.
+"""
+
+from repro.workloads.datapath import download_from_storage
+from repro.workloads.generator import ArrivalPattern
+from repro.workloads.membench import Tinymembench
+from repro.workloads.serverless import (
+    APP_CATALOG,
+    ServerlessApp,
+    make_app,
+)
+
+__all__ = [
+    "APP_CATALOG",
+    "ArrivalPattern",
+    "ServerlessApp",
+    "Tinymembench",
+    "download_from_storage",
+    "make_app",
+]

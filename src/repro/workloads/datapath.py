@@ -1,0 +1,108 @@
+"""Network data paths: how bytes reach the guest.
+
+Two paths, matching the §6.1 testbed's application/storage server pair:
+
+* **Passthrough (SR-IOV VF)** — the storage server's bytes cross the
+  fair-shared inter-server link, then the NIC's DMA engine writes them
+  straight into the guest's RX rings through the IOMMU; the guest
+  driver consumes them.  Host CPU involvement is negligible — this is
+  the data-plane advantage that motivates SR-IOV.
+* **Software (ipvtap / virtio-net)** — bytes cross the same link but
+  are then copied through the host network stack and the virtio
+  backend, charging host CPU per byte (§6.4's "much worse data plane").
+"""
+
+from repro.sim.core import Timeout
+
+
+def download_from_storage(container, host, nbytes, tag=None):
+    """Transfer ``nbytes`` from the storage server into the guest.
+
+    Generator; picks the data path from the container's attachment.
+    The inter-server link is processor-shared among concurrent
+    transfers, so 200 simultaneous downloads divide the 25 GbE wire.
+    """
+    if nbytes <= 0:
+        raise ValueError(f"download size must be positive, got {nbytes}")
+    attachment = container.attachment
+    if attachment is None or not attachment.has_network:
+        raise RuntimeError(f"{container.name}: download without a network")
+    spec = host.spec
+    tag = tag if tag is not None else f"storage:{container.name}"
+    # Wire time on the shared storage link.
+    wire_seconds = spec.bytes_over_network_s(nbytes, spec.storage_bandwidth_gbps)
+    yield host.storage_link.work(wire_seconds)
+
+    microvm = container.microvm
+    if attachment.vf is not None:
+        yield from _passthrough_receive(host, microvm, nbytes, tag)
+    else:
+        yield from _software_receive(host, microvm, nbytes, tag)
+    return tag
+
+
+def _passthrough_receive(host, microvm, nbytes, tag):
+    """NIC DMA into the RX rings, ring-buffer chunk at a time."""
+    spec = host.spec
+    ring_gpa = getattr(microvm, "nic_ring_gpa", None)
+    if ring_gpa is None:
+        raise RuntimeError(
+            f"{microvm.name}: VF driver not initialized (no RX rings)"
+        )
+    ring_bytes = spec.nic_ring_bytes
+    remaining = nbytes
+    while remaining > 0:
+        chunk = min(remaining, ring_bytes)
+        if microvm.plan.deferred_mapping:
+            # vIOMMU baseline: the mapping happens *here*, on the data
+            # path, the first time DMA targets these pages (§8).
+            yield from host.vfio.viommu_map_range(
+                microvm.vm, microvm.domain, ring_gpa, chunk
+            )
+        host.nic.dma.write(microvm.domain, ring_gpa, chunk, writer_tag=tag)
+        # Completion interrupt relayed through the hypervisor.
+        yield Timeout(spec.ept_fault_s)
+        # Guest consumes the chunk (ring pages are already EPT-resident:
+        # the driver scrubbed them at init).
+        yield from host.kvm.guest_touch_range(
+            microvm.vm, ring_gpa, chunk, expect=tag, verify=True
+        )
+        remaining -= chunk
+
+
+def _software_receive(host, microvm, nbytes, tag):
+    """Host-stack + virtio-net copy path (CPU-bound)."""
+    spec = host.spec
+    yield host.cpu.work(nbytes / spec.ipvtap_bytes_per_cpu_s)
+    buf_bytes = min(nbytes, spec.nic_ring_bytes)
+    buf_gpa = _software_buffer(microvm, buf_bytes)
+    remaining = nbytes
+    while remaining > 0:
+        chunk = min(remaining, buf_bytes)
+        yield from host.kvm.host_write_range(microvm.vm, buf_gpa, chunk, tag)
+        yield Timeout(spec.ept_fault_s)
+        yield from host.kvm.guest_touch_range(
+            microvm.vm, buf_gpa, chunk, expect=tag, verify=True
+        )
+        remaining -= chunk
+
+
+def _software_buffer(microvm, nbytes):
+    """One reusable socket buffer per microVM (allocated lazily)."""
+    existing = getattr(microvm, "_softnet_buf", None)
+    if existing is not None and existing[1] >= nbytes:
+        return existing[0]
+    gpa = microvm.alloc_guest_range(nbytes, "softnet-buffer")
+    microvm._softnet_buf = (gpa, nbytes)
+    return gpa
+
+
+def upload_to_storage(container, host, nbytes):
+    """Send results back (small; wire time + per-path CPU)."""
+    if nbytes <= 0:
+        return
+    spec = host.spec
+    wire_seconds = spec.bytes_over_network_s(nbytes, spec.storage_bandwidth_gbps)
+    yield host.storage_link.work(wire_seconds)
+    if container.attachment.vf is None:
+        yield host.cpu.work(nbytes / spec.ipvtap_bytes_per_cpu_s)

@@ -1,0 +1,49 @@
+"""Invocation arrival patterns for concurrent-startup experiments.
+
+The paper's startup tests use a simultaneous burst (over 200 requests
+"arrive nearly simultaneously at one server" per the Alibaba serverless
+statistics [35]); this module also provides uniform spacing and Poisson
+arrivals for the load-pattern ablation benches.
+"""
+
+
+class ArrivalPattern:
+    """Produces per-container arrival offsets (seconds from t=0)."""
+
+    def __init__(self, kind="burst", rate_per_s=None, spacing_s=None, jitter=None):
+        """Args:
+        kind: "burst" (all at t=0), "uniform" (fixed spacing), or
+            "poisson" (exponential inter-arrivals).
+        rate_per_s: Arrival rate for "poisson".
+        spacing_s: Gap for "uniform".
+        jitter: :class:`~repro.sim.rng.Jitter` for "poisson" draws.
+        """
+        if kind not in ("burst", "uniform", "poisson"):
+            raise ValueError(f"unknown arrival kind {kind!r}")
+        if kind == "uniform" and (spacing_s is None or spacing_s < 0):
+            raise ValueError("uniform arrivals need spacing_s >= 0")
+        if kind == "poisson" and (rate_per_s is None or rate_per_s <= 0
+                                  or jitter is None):
+            raise ValueError("poisson arrivals need rate_per_s > 0 and jitter")
+        self.kind = kind
+        self.rate_per_s = rate_per_s
+        self.spacing_s = spacing_s
+        self._jitter = jitter
+
+    def offsets(self, count):
+        """Arrival offsets for ``count`` invocations, non-decreasing."""
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        if self.kind == "burst":
+            return [0.0] * count
+        if self.kind == "uniform":
+            return [index * self.spacing_s for index in range(count)]
+        offsets = []
+        now = 0.0
+        for _ in range(count):
+            now += self._jitter.expovariate(self.rate_per_s)
+            offsets.append(now)
+        return offsets
+
+    def __repr__(self):
+        return f"<ArrivalPattern {self.kind}>"

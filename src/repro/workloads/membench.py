@@ -1,0 +1,84 @@
+"""Tinymembench model (§6.5): guest memory throughput and latency.
+
+Reproduces the paper's memory-performance check: inside a started
+secure container, measure (a) memcpy throughput on 2048-byte blocks for
+5 seconds x 10 repeats and (b) random-byte read latency over 10 million
+reads.  The quantity under test is FastIOV's EPT-fault interception:
+the first touch of each working-set page costs an extra fastiovd lookup
+(plus deferred zeroing if still pending), and *nothing afterwards* —
+so steady-state numbers degrade by well under 1%.
+"""
+
+from repro.hw.memory import MIB
+
+
+class BenchResult:
+    """Measured throughput/latency plus fault accounting."""
+
+    def __init__(self, throughput_bytes_per_s, latency_s, faults, elapsed_s):
+        self.throughput_bytes_per_s = throughput_bytes_per_s
+        self.latency_s = latency_s
+        self.faults = faults
+        self.elapsed_s = elapsed_s
+
+    def __repr__(self):
+        return (
+            f"<BenchResult {self.throughput_bytes_per_s / MIB:.0f} MiB/s "
+            f"{self.latency_s * 1e9:.1f} ns faults={self.faults}>"
+        )
+
+
+class Tinymembench:
+    """The in-guest memory micro-benchmark."""
+
+    def __init__(self, host, container, working_set_bytes=64 * MIB):
+        self._host = host
+        self._container = container
+        self.working_set_bytes = working_set_bytes
+        self.result = None
+
+    def run(self, copy_seconds=5.0, repeats=10, random_reads=10_000_000):
+        """Execute the benchmark inside the guest (generator).
+
+        Sets ``self.result``.  Both phases share one working set, so
+        page faults (and any lazy zeroing) are paid exactly once — the
+        mechanism behind the paper's <1% claim.
+        """
+        host = self._host
+        spec = host.spec
+        microvm = self._container.microvm
+        vm = microvm.vm
+        ws = self.working_set_bytes
+        heap_gpa = microvm.alloc_guest_range(ws, "membench")
+
+        t_start = host.sim.now
+        faults_before = vm.ept.fault_count
+
+        # --- Phase 1: memcpy throughput --------------------------------
+        # The benchmark streams over the working set; the first pass
+        # faults every page in (with deferred zeroing if pending), and
+        # every later pass runs at the guest's native copy rate.
+        copied_bytes = 0
+        for _repeat in range(repeats):
+            if _repeat == 0:
+                yield from host.kvm.guest_touch_range(
+                    vm, heap_gpa, ws, write=True,
+                    tag=f"{microvm.name}:membench",
+                )
+            yield host.cpu.work(copy_seconds)
+            copied_bytes += int(copy_seconds * spec.guest_memcpy_bytes_per_cpu_s)
+        throughput_elapsed = host.sim.now - t_start
+        throughput = copied_bytes / throughput_elapsed
+
+        # --- Phase 2: random-read latency -------------------------------
+        t_lat = host.sim.now
+        yield host.cpu.work(random_reads * spec.guest_mem_latency_s)
+        latency = (host.sim.now - t_lat) / random_reads
+
+        self.result = BenchResult(
+            throughput_bytes_per_s=throughput,
+            latency_s=latency,
+            faults=vm.ept.fault_count - faults_before,
+            elapsed_s=host.sim.now - t_start,
+        )
+        return self.result

@@ -1,0 +1,114 @@
+"""Real miniature kernels behind the four serverless apps.
+
+These run actual computations on synthetic inputs (pure Python + the
+standard library), so the app catalog is grounded in executable code
+rather than bare constants.  They are used by the examples and by tests
+that check the apps' *relative* compute ordering matches the catalog's
+calibrated CPU budgets (image < compression < scientific < inference).
+"""
+
+import zlib
+from collections import deque
+
+
+def generate_input(name, seed=0):
+    """Synthetic input for an app's reference kernel (small scale)."""
+    if name == "image":
+        # A 256x256 grayscale "image" as a flat bytearray.
+        return bytearray(((x * 31 + y * 17 + seed) % 251)
+                         for x in range(256) for y in range(256))
+    if name == "compression":
+        # Compressible text-like data, 256 KiB.
+        unit = b"the quick brown fox %d " % seed
+        return (unit * (256 * 1024 // len(unit) + 1))[: 256 * 1024]
+    if name == "scientific":
+        # A 10,000-node ring-with-chords graph as an adjacency list.
+        n = 10_000
+        adjacency = [[] for _ in range(n)]
+        for node in range(n):
+            for neighbour in ((node + 1) % n, (node + 7 + seed) % n):
+                adjacency[node].append(neighbour)
+                adjacency[neighbour].append(node)
+        return adjacency
+    if name == "inference":
+        # Two small matrices standing in for a model layer + activations.
+        dim = 64
+        a = [[(i * j + seed) % 17 / 16.0 for j in range(dim)] for i in range(dim)]
+        b = [[(i + j * 3 + seed) % 23 / 22.0 for j in range(dim)] for i in range(dim)]
+        return a, b
+    raise KeyError(f"unknown app {name!r}")
+
+
+def run_image(data):
+    """Resize to a 100x100 thumbnail by box-averaging (like SeBS Image)."""
+    src = 256
+    dst = 100
+    thumbnail = []
+    scale = src / dst
+    for ty in range(dst):
+        row = []
+        for tx in range(dst):
+            x0, y0 = int(tx * scale), int(ty * scale)
+            x1, y1 = int((tx + 1) * scale), int((ty + 1) * scale)
+            total = 0
+            count = 0
+            for y in range(y0, max(y1, y0 + 1)):
+                base = y * src
+                for x in range(x0, max(x1, x0 + 1)):
+                    total += data[base + x]
+                    count += 1
+            row.append(total // count)
+        thumbnail.append(row)
+    return thumbnail
+
+
+def run_compression(data):
+    """Deflate the input (like SeBS Compression)."""
+    return zlib.compress(bytes(data), level=6)
+
+
+def run_scientific(adjacency):
+    """Breadth-first search from node 0 (like SeBS Scientific/BFS)."""
+    n = len(adjacency)
+    distance = [-1] * n
+    distance[0] = 0
+    queue = deque([0])
+    while queue:
+        node = queue.popleft()
+        for neighbour in adjacency[node]:
+            if distance[neighbour] == -1:
+                distance[neighbour] = distance[node] + 1
+                queue.append(neighbour)
+    return distance
+
+
+def run_inference(matrices):
+    """A dense layer forward pass + argmax (ResNet-50 stand-in)."""
+    a, b = matrices
+    dim = len(a)
+    out = [[0.0] * dim for _ in range(dim)]
+    for i in range(dim):
+        row = a[i]
+        for k in range(dim):
+            scale = row[k]
+            if scale == 0.0:
+                continue
+            brow = b[k]
+            orow = out[i]
+            for j in range(dim):
+                orow[j] += scale * brow[j]
+    scores = [sum(row) for row in out]
+    return scores.index(max(scores))
+
+
+REFERENCE_KERNELS = {
+    "image": run_image,
+    "compression": run_compression,
+    "scientific": run_scientific,
+    "inference": run_inference,
+}
+
+
+def execute_reference(name, seed=0):
+    """Generate input and run the real kernel for ``name``."""
+    return REFERENCE_KERNELS[name](generate_input(name, seed))

@@ -1,0 +1,113 @@
+"""Shared test fixtures: a small simulated host rig.
+
+The rig wires together the layers the way
+:class:`repro.core.host.Host` does, but at reduced scale (small memory,
+no jitter) so unit tests are fast and exactly deterministic.
+"""
+
+import pytest
+
+from repro.hw.iommu import IOMMU
+from repro.hw.memory import MIB, PhysicalMemory
+from repro.hw.nic import SriovNic
+from repro.hw.pci import PciTopology
+from repro.oskernel.binding import DriverRegistry
+from repro.oskernel.cgroup import CgroupManager
+from repro.oskernel.fastiovd import Fastiovd
+from repro.oskernel.hostnet import HostNetworkStack
+from repro.oskernel.kvm import KVM
+from repro.oskernel.locks import CoarseLockPolicy, HierarchicalLockPolicy
+from repro.oskernel.mmu import HostMMU
+from repro.oskernel.vfio import VFIO_DRIVER_NAME, VfioDriver
+from repro.sim.core import Simulator
+from repro.sim.cpu import FairShareCPU
+from repro.sim.rng import Jitter
+from repro.spec import HostSpec
+
+
+class KernelRig:
+    """A miniature host: every kernel module over shared hardware."""
+
+    def __init__(self, spec=None, lock_policy="coarse", vf_count=8,
+                 with_fastiovd=False, scanner=True):
+        self.spec = spec or HostSpec(
+            memory_bytes=512 * MIB,
+            page_size=1 * MIB,
+            jitter_sigma=0.0,
+        )
+        self.sim = Simulator()
+        self.cpu = FairShareCPU(self.sim, cores=self.spec.cores)
+        self.memory = PhysicalMemory(self.spec.memory_bytes, self.spec.page_size)
+        self.iommu = IOMMU()
+        self.topology = PciTopology()
+        self.topology.add_bus(0x3B)
+        self.nic = SriovNic(
+            model=self.spec.nic_model,
+            max_vfs=self.spec.nic_max_vfs,
+            bandwidth_gbps=self.spec.nic_bandwidth_gbps,
+            topology=self.topology,
+            bus_number=0x3B,
+            pf_bdf="3b:00.0",
+        )
+        self.vfs = self.nic.pf.create_vfs(vf_count, self.topology, 0x3B)
+        self.jitter = Jitter(seed=7)
+        factory = (
+            CoarseLockPolicy if lock_policy == "coarse" else HierarchicalLockPolicy
+        )
+        self.fastiovd = (
+            Fastiovd(self.sim, self.cpu, self.spec, start_scanner=scanner)
+            if with_fastiovd
+            else None
+        )
+        self.vfio = VfioDriver(
+            self.sim,
+            self.cpu,
+            self.memory,
+            self.iommu,
+            self.spec,
+            lock_policy_factory=factory,
+            jitter=self.jitter,
+            fastiovd=self.fastiovd,
+        )
+        self.kvm = KVM(self.sim, self.cpu, self.spec, fastiovd=self.fastiovd)
+        self.mmu = HostMMU(self.sim, self.cpu, self.memory, self.spec)
+        self.binding = DriverRegistry(self.sim, self.spec, self.jitter, self.vfio)
+        self.cgroups = CgroupManager(self.sim, self.spec, self.jitter)
+        self.hostnet = HostNetworkStack(self.sim, self.spec, self.jitter)
+        from repro.virt.hypervisor import Hypervisor
+
+        self.hypervisor = Hypervisor(
+            self.sim, self.cpu, self.kvm, self.vfio, self.mmu,
+            self.spec, self.jitter, fastiovd=self.fastiovd,
+        )
+
+    def bind_all_vfs_to_vfio(self):
+        """Pre-bind every VF to vfio-pci instantly (boot-time setup)."""
+        for vf in self.vfs:
+            vf.driver = VFIO_DRIVER_NAME
+            self.vfio.register_device(vf)
+
+    def run(self, **kwargs):
+        self.sim.run(**kwargs)
+        return self.sim.now
+
+
+@pytest.fixture
+def rig():
+    r = KernelRig()
+    r.bind_all_vfs_to_vfio()
+    return r
+
+
+@pytest.fixture
+def rig_hier():
+    r = KernelRig(lock_policy="hierarchical")
+    r.bind_all_vfs_to_vfio()
+    return r
+
+
+@pytest.fixture
+def rig_fastiovd():
+    r = KernelRig(lock_policy="hierarchical", with_fastiovd=True)
+    r.bind_all_vfs_to_vfio()
+    return r

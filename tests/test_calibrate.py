@@ -1,0 +1,20 @@
+"""Tests for the calibration harness."""
+
+from repro.experiments.calibrate import ANCHORS, main, measure
+
+
+def test_measure_returns_one_value_per_anchor():
+    measured, results = measure(concurrency=5)
+    assert len(measured) == len(ANCHORS)
+    assert set(results) == {"vanilla", "no-net", "fastiov"}
+    # All anchor values parse as numbers (strip the % where present).
+    for value in measured:
+        float(value.rstrip("%"))
+
+
+def test_cli_prints_anchor_table(capsys):
+    assert main(["--concurrency", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "Calibration anchors" in out
+    assert "vfio_bus_scan_per_device_s" in out
+    assert "4-vfio-dev" in out

@@ -1,0 +1,59 @@
+"""Tests for the CLI (__main__) and the EXPERIMENTS.md generator."""
+
+import pathlib
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.experiments.report import main as report_main
+
+
+def test_cli_list(capsys):
+    assert cli_main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig11" in out
+    assert "fastiov" in out
+    assert "vdpa" in out
+
+
+def test_cli_launch(capsys):
+    assert cli_main(["launch", "no-net", "-c", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "no-net: 3 containers" in out
+    assert "mean" in out
+
+
+def test_cli_run_experiment(capsys):
+    assert cli_main(["run", "sec65", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "Tinymembench" in out
+    assert "paper" in out
+
+
+def test_cli_unknown_experiment():
+    with pytest.raises(KeyError):
+        cli_main(["run", "fig99"])
+
+
+def test_cli_rejects_unknown_preset():
+    with pytest.raises(SystemExit):
+        cli_main(["launch", "not-a-preset"])
+
+
+def test_report_generator_subset(tmp_path):
+    out = tmp_path / "EXP.md"
+    report_main(["--quick", "--only", "sec65", "--out", str(out)])
+    text = out.read_text()
+    assert text.startswith("# EXPERIMENTS")
+    assert "## sec65" in text
+    assert "paper vs measured" in text
+    assert "quick mode" in text
+
+
+def test_repo_experiments_md_exists_and_is_full_scale():
+    """The committed EXPERIMENTS.md is the full-scale artifact."""
+    path = pathlib.Path(__file__).parent.parent / "EXPERIMENTS.md"
+    text = path.read_text()
+    assert "quick mode" not in text.splitlines()[2]
+    assert "## fig11" in text
+    assert "## fig16" in text

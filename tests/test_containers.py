@@ -1,0 +1,259 @@
+"""Tests for the container stack: engine, runtime, CNIs, orchestrator."""
+
+import pytest
+
+from repro.containers.cni.sriov import VfPoolExhausted
+from repro.containers.engine import ContainerRequest
+from repro.core import PRESETS, SolutionConfig, build_host, get_preset
+from repro.hw.memory import MIB
+from repro.metrics.timeline import StartupRecord
+from repro.oskernel.vfio import VFIO_DRIVER_NAME
+from repro.spec import HostSpec
+
+SMALL_SPEC = HostSpec(
+    memory_bytes=8 * 1024 * MIB,
+    page_size=2 * MIB,
+    rom_bytes=8 * MIB,
+    image_bytes=32 * MIB,
+    nic_ring_bytes=4 * MIB,
+    jitter_sigma=0.0,
+)
+SMALL_VM = 64 * MIB
+
+
+def small_host(preset, **kwargs):
+    return build_host(preset, spec=SMALL_SPEC, vf_count=16, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# presets and config
+# ----------------------------------------------------------------------
+def test_all_presets_are_well_formed():
+    assert len(PRESETS) == 15
+    fastiov = get_preset("fastiov")
+    assert fastiov.optimization_flags() == {"L": True, "A": True, "S": True,
+                                            "D": True}
+    for variant, off in (("fastiov-l", "L"), ("fastiov-a", "A"),
+                         ("fastiov-s", "S"), ("fastiov-d", "D")):
+        flags = get_preset(variant).optimization_flags()
+        assert not flags[off]
+        assert sum(flags.values()) == 3
+
+
+def test_unknown_preset_lists_catalog():
+    with pytest.raises(KeyError) as excinfo:
+        get_preset("nope")
+    assert "fastiov" in str(excinfo.value)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        SolutionConfig(name="x", network="veth")
+    with pytest.raises(ValueError):
+        SolutionConfig(name="x", network="none", lock_decomposition=True)
+    with pytest.raises(ValueError):
+        SolutionConfig(name="x", prezeroed_fraction=2.0)
+
+
+def test_prezeroing_presets_have_fractions():
+    assert get_preset("pre10").prezeroed_fraction == 0.10
+    assert get_preset("pre100").prezeroed_fraction == 1.00
+
+
+# ----------------------------------------------------------------------
+# end-to-end single container per preset
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("preset", sorted(PRESETS))
+def test_every_preset_starts_one_container(preset):
+    host = small_host(preset)
+    result = host.launch(1, memory_bytes=SMALL_VM)
+    record = result.records[0]
+    assert record.failed is None
+    assert record.startup_time > 0
+    container = host.engine.containers["c0"]
+    assert container.microvm is not None
+    assert container.microvm.guest.booted
+
+
+def test_sriov_container_gets_vf_and_dummy_netdev():
+    host = small_host("vanilla")
+    host.launch(1, memory_bytes=SMALL_VM)
+    container = host.engine.containers["c0"]
+    vf = container.attachment.vf
+    assert vf.assigned_to == "c0"
+    assert vf.mac is not None
+    assert container.attachment.netdev.nns == "nns-c0"
+    assert container.attachment.ip_address.startswith("10.0.")
+    assert vf.driver == VFIO_DRIVER_NAME
+
+
+def test_no_net_container_has_no_attachment():
+    host = small_host("no-net")
+    host.launch(1, memory_bytes=SMALL_VM)
+    container = host.engine.containers["c0"]
+    assert not container.attachment.has_network
+    assert container.microvm.vf is None
+
+
+def test_ipvtap_container_uses_software_device():
+    host = small_host("ipvtap")
+    host.launch(1, memory_bytes=SMALL_VM)
+    container = host.engine.containers["c0"]
+    assert container.attachment.netdev.kind == "ipvtap"
+    assert container.microvm.vf is None
+    assert container.microvm.network_ready.triggered
+
+
+# ----------------------------------------------------------------------
+# step accounting
+# ----------------------------------------------------------------------
+def test_vanilla_records_all_paper_steps():
+    host = small_host("vanilla")
+    result = host.launch(2, memory_bytes=SMALL_VM)
+    for record in result.records:
+        for step in ("0-cgroup", "1-dma-ram", "2-virtiofs", "3-dma-image",
+                     "4-vfio-dev", "5-vf-driver"):
+            assert record.step_time(step) > 0, step
+        assert record.vf_related_time() < record.startup_time
+
+
+def test_fastiov_masks_vf_driver_and_skips_image():
+    host = small_host("fastiov")
+    result = host.launch(2, memory_bytes=SMALL_VM)
+    for record in result.records:
+        assert record.step_time("3-dma-image") == 0
+        # Async VF init: either unfinished at ready-time (0) or tiny.
+        assert record.step_time("5-vf-driver") < record.startup_time
+
+
+def test_true_vanilla_pays_rebinding():
+    host = small_host("true-vanilla")
+    result = host.launch(2, memory_bytes=SMALL_VM)
+    for record in result.records:
+        assert record.step_time("bind-host-driver") > 0
+        assert record.step_time("unbind-host-driver") > 0
+        assert record.step_time("bind-vfio") > 0
+    fixed = small_host("vanilla")
+    fixed_result = fixed.launch(2, memory_bytes=SMALL_VM)
+    assert (
+        result.startup_times().mean
+        > fixed_result.startup_times().mean + host.spec.host_netdev_probe_s
+    )
+
+
+# ----------------------------------------------------------------------
+# concurrency behaviour
+# ----------------------------------------------------------------------
+def test_fastiov_beats_vanilla_at_concurrency():
+    n = 12
+    vanilla = small_host("vanilla").launch(n, memory_bytes=SMALL_VM)
+    fastiov = small_host("fastiov").launch(n, memory_bytes=SMALL_VM)
+    assert fastiov.startup_times().mean < vanilla.startup_times().mean * 0.8
+
+
+def test_arrival_spacing_staggers_starts():
+    host = small_host("no-net")
+    result = host.launch(3, memory_bytes=SMALL_VM, arrival_spacing_s=1.0)
+    starts = sorted(record.t_start for record in result.records)
+    assert starts == pytest.approx([0.0, 1.0, 2.0])
+
+
+def test_vf_pool_exhaustion_fails_loudly():
+    host = small_host("vanilla")
+    host.launch(16, memory_bytes=SMALL_VM)  # consumes all 16 VFs
+    from repro.sim.errors import ProcessFailed
+
+    with pytest.raises(ProcessFailed) as excinfo:
+        host.launch(1, memory_bytes=SMALL_VM, name_prefix="extra")
+    assert isinstance(excinfo.value.cause, VfPoolExhausted)
+
+
+# ----------------------------------------------------------------------
+# teardown & recycling
+# ----------------------------------------------------------------------
+def test_remove_container_recycles_vf_and_memory():
+    host = small_host("vanilla")
+    host.launch(1, memory_bytes=SMALL_VM)
+    vf = host.engine.containers["c0"].attachment.vf
+    allocated_before = host.memory.allocated_bytes
+
+    def removal():
+        yield from host.engine.remove_container("c0")
+
+    host.sim.spawn(removal())
+    host.sim.run()
+    assert vf.assigned_to is None
+    assert host.cni.free_vf_count == 16
+    assert host.memory.allocated_bytes < allocated_before
+    # Relaunch reuses the recycled VF without issue.
+    result = host.launch(1, memory_bytes=SMALL_VM, name_prefix="again")
+    assert result.records[0].failed is None
+
+
+def test_recycled_dirty_memory_is_safe_for_next_tenant():
+    """End-to-end multi-tenant safety: a container writes secrets, dies,
+    and the next tenant (eager or lazy zeroing) never observes them."""
+    for preset in ("vanilla", "fastiov"):
+        host = small_host(preset)
+        host.launch(1, memory_bytes=SMALL_VM)
+        vm = host.engine.containers["c0"].microvm
+
+        def write_secret(host=host, vm=vm):
+            gpa = vm.alloc_guest_range(4 * MIB, "secret")
+            yield from host.kvm.guest_touch_range(
+                vm.vm, gpa, 4 * MIB, write=True, tag="c0-secret"
+            )
+            yield from host.engine.remove_container("c0")
+
+        host.sim.spawn(write_secret())
+        host.sim.run()
+        # Second tenant boots and touches all its memory: any surviving
+        # secret would raise ResidualDataLeak inside the simulation.
+        result = host.launch(1, memory_bytes=SMALL_VM, name_prefix="t2-")
+        assert result.records[0].failed is None
+
+
+def test_failed_startup_is_recorded_on_the_record():
+    host = small_host("vanilla", seed=3)
+    # Sabotage: exhaust guest memory so boot's allocator fails.
+    request = ContainerRequest("cX", memory_bytes=host.spec.rom_bytes + 2 * MIB)
+    record = StartupRecord("cX")
+
+    def flow():
+        yield from host.engine.run_container(request, record)
+
+    host.sim.spawn(flow())
+    from repro.sim.errors import ProcessFailed
+
+    with pytest.raises(ProcessFailed):
+        host.sim.run()
+    assert record.failed is not None
+
+
+# ----------------------------------------------------------------------
+# host telemetry
+# ----------------------------------------------------------------------
+def test_contention_report_shows_devset_locks():
+    host = small_host("vanilla")
+    host.launch(4, memory_bytes=SMALL_VM)
+    report = host.contention_report()
+    devset_keys = [key for key in report if key.startswith("bus:")]
+    assert devset_keys, report.keys()
+    assert "cgroup-mutex" in report
+    assert 0 <= report["cpu-utilization"] <= 1
+
+
+def test_deterministic_given_seed():
+    spec = SMALL_SPEC.derive(jitter_sigma=0.18)  # non-zero: seeds matter
+
+    def run(seed):
+        return build_host("fastiov", spec=spec, vf_count=16, seed=seed).launch(
+            5, memory_bytes=SMALL_VM
+        )
+
+    a, b, c = run(42), run(42), run(43)
+    times_a = [record.startup_time for record in a.records]
+    times_b = [record.startup_time for record in b.records]
+    times_c = [record.startup_time for record in c.records]
+    assert times_a == times_b
+    assert times_a != times_c

@@ -1,0 +1,130 @@
+"""Tests for the network data paths and workload plumbing edges."""
+
+import pytest
+
+from repro.core import build_host
+from repro.hw.memory import MIB
+from repro.spec import HostSpec
+from repro.workloads.datapath import download_from_storage, upload_to_storage
+
+SMALL_SPEC = HostSpec(
+    memory_bytes=8 * 1024 * MIB,
+    rom_bytes=8 * MIB,
+    image_bytes=32 * MIB,
+    nic_ring_bytes=4 * MIB,
+    container_image_bytes=8 * MIB,
+    jitter_sigma=0.0,
+)
+VM = 96 * MIB
+
+
+def started_container(preset):
+    host = build_host(preset, spec=SMALL_SPEC, vf_count=8)
+    host.launch(1, memory_bytes=VM)
+    container = host.engine.containers["c0"]
+    return host, container
+
+
+def drive(host, generator):
+    out = {}
+
+    def flow():
+        out["result"] = yield from generator
+        out["at"] = host.sim.now
+
+    host.sim.spawn(flow())
+    host.sim.run()
+    return out
+
+
+def test_passthrough_download_lands_in_rings_with_correct_tag():
+    host, container = started_container("vanilla")
+
+    def flow():
+        yield from container.microvm.guest.wait_network_ready()
+        tag = yield from download_from_storage(container, host, 10 * MIB,
+                                               tag="blob")
+        return tag
+
+    out = drive(host, flow())
+    assert out["result"] == "blob"
+    assert host.nic.dma.bytes_written == 10 * MIB
+
+
+def test_software_download_charges_host_cpu():
+    host, container = started_container("ipvtap")
+    cpu_before = host.cpu.total_core_seconds
+
+    def flow():
+        yield from container.microvm.guest.wait_network_ready()
+        yield from download_from_storage(container, host, 20 * MIB)
+
+    drive(host, flow())
+    copies = 20 * MIB / SMALL_SPEC.ipvtap_bytes_per_cpu_s
+    assert host.cpu.total_core_seconds - cpu_before >= copies
+
+
+def test_download_without_network_rejected():
+    host, container = started_container("no-net")
+    with pytest.raises(RuntimeError):
+        list(download_from_storage(container, host, MIB))
+
+
+def test_download_before_driver_init_rejected():
+    """Passthrough downloads need the RX rings the driver allocates."""
+    host, container = started_container("fastiov")
+    # Do NOT wait for network_ready: rings may not exist yet.
+    if getattr(container.microvm, "nic_ring_gpa", None) is not None:
+        pytest.skip("driver init already finished in this schedule")
+    from repro.sim.errors import ProcessFailed
+
+    def flow():
+        yield from download_from_storage(container, host, MIB)
+
+    host.sim.spawn(flow())
+    with pytest.raises(ProcessFailed):
+        host.sim.run()
+
+
+def test_download_validates_size():
+    host, container = started_container("vanilla")
+    with pytest.raises(ValueError):
+        list(download_from_storage(container, host, 0))
+
+
+def test_upload_is_cheap_and_optional():
+    host, container = started_container("vanilla")
+
+    def flow():
+        yield from container.microvm.guest.wait_network_ready()
+        yield from upload_to_storage(container, host, 64 * 1024)
+        yield from upload_to_storage(container, host, 0)  # no-op
+
+    out = drive(host, flow())
+    assert out["at"] < 2.0
+
+
+def test_software_buffer_is_reused_across_transfers():
+    host, container = started_container("ipvtap")
+
+    def flow():
+        yield from container.microvm.guest.wait_network_ready()
+        yield from download_from_storage(container, host, 2 * MIB)
+        cursor_after_first = container.microvm._alloc_cursor
+        yield from download_from_storage(container, host, 2 * MIB)
+        assert container.microvm._alloc_cursor == cursor_after_first
+
+    drive(host, flow())
+
+
+def test_spec_helpers():
+    spec = HostSpec()
+    assert spec.bytes_over_network_s(25e9 / 8) == pytest.approx(1.0)
+    assert spec.bytes_over_network_s(10e9 / 8, gbps=10.0) == pytest.approx(1.0)
+    derived = spec.derive(cores=8)
+    assert derived.cores == 8
+    assert spec.cores == 56  # frozen original untouched
+    assert spec.zeroing_cpu_seconds(spec.zeroing_bytes_per_cpu_s) == 1.0
+    assert spec.fault_zeroing_cpu_seconds(
+        spec.fault_zero_bytes_per_cpu_s
+    ) == 1.0

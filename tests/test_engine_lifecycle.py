@@ -1,0 +1,111 @@
+"""Deeper container-lifecycle integration tests.
+
+Covers paths the main container tests leave thin: repeated start/stop
+cycles, teardown of every network type, churn with interleaved
+removals, and the engine's failure bookkeeping.
+"""
+
+import pytest
+
+from repro.core import build_host
+from repro.hw.memory import MIB
+from repro.spec import HostSpec
+
+SMALL_SPEC = HostSpec(
+    memory_bytes=8 * 1024 * MIB,
+    rom_bytes=8 * MIB,
+    image_bytes=32 * MIB,
+    nic_ring_bytes=4 * MIB,
+    container_image_bytes=8 * MIB,
+    jitter_sigma=0.0,
+)
+VM = 96 * MIB
+
+
+def small_host(preset, **kwargs):
+    return build_host(preset, spec=SMALL_SPEC, vf_count=8, **kwargs)
+
+
+@pytest.mark.parametrize("preset", ["vanilla", "fastiov", "ipvtap", "no-net"])
+def test_full_lifecycle_leaves_host_clean(preset):
+    """Start -> remove leaves memory, VFs, domains, cgroups pristine."""
+    host = small_host(preset)
+    host.launch(3, memory_bytes=VM)
+
+    def removal():
+        for name in ("c0", "c1", "c2"):
+            yield from host.engine.remove_container(name)
+
+    host.sim.spawn(removal())
+    host.sim.run()
+    assert host.engine.containers == {}
+    assert host.iommu.domain_count == 0
+    # The shared image page cache may legitimately stay resident.
+    cache_bytes = SMALL_SPEC.image_bytes
+    assert host.memory.allocated_bytes <= cache_bytes
+    if preset in ("vanilla", "fastiov"):
+        assert host.cni.free_vf_count == 8
+        assert all(vf.assigned_to is None for vf in host.vfs)
+
+
+def test_many_start_stop_cycles_reuse_the_same_vf():
+    host = small_host("fastiov")
+    seen_vfs = set()
+    for cycle in range(5):
+        name_prefix = f"cycle{cycle}-"
+        host.launch(1, memory_bytes=VM, name_prefix=name_prefix)
+        container = host.engine.containers[f"{name_prefix}0"]
+        seen_vfs.add(container.attachment.vf.bdf)
+
+        def removal(name=f"{name_prefix}0"):
+            yield from host.engine.remove_container(name)
+
+        host.sim.spawn(removal())
+        host.sim.run()
+    # The pool is FIFO: with one container at a time and 8 VFs, the
+    # cycles walk the pool deterministically.
+    assert len(seen_vfs) == 5
+    assert host.cni.free_vf_count == 8
+
+
+def test_interleaved_launch_and_removal():
+    """Removals running while other containers start must not corrupt
+    pool or memory accounting."""
+    host = small_host("vanilla")
+    host.launch(4, memory_bytes=VM)
+
+    # Remove two while four more start.
+    def removal():
+        yield from host.engine.remove_container("c0")
+        yield from host.engine.remove_container("c2")
+
+    host.sim.spawn(removal())
+    result = host.launch(4, memory_bytes=VM, name_prefix="late-")
+    assert all(record.failed is None for record in result.records)
+    assert len(host.engine.containers) == 6
+    assigned = sum(1 for vf in host.vfs if vf.assigned_to is not None)
+    assert assigned == 6
+
+
+def test_remove_unknown_container_raises():
+    host = small_host("no-net")
+    with pytest.raises(KeyError):
+        list(host.engine.remove_container("ghost"))
+
+
+def test_guest_boot_verifies_shared_image_for_every_container():
+    """All skip-image containers read through one page-cache copy."""
+    host = small_host("fastiov")
+    host.launch(4, memory_bytes=VM)
+    cache = host.mmu.open_cached_file("microvm-image", SMALL_SPEC.image_bytes)
+    assert cache.resident_pages > 0
+    # Resident cache is bounded by the image size (no per-VM copies).
+    assert cache.resident_pages * SMALL_SPEC.page_size <= SMALL_SPEC.image_bytes
+
+
+def test_storage_and_dram_pools_exist_and_account():
+    host = small_host("fastiov")
+    host.launch(2, memory_bytes=VM)
+    assert host.dram.total_core_seconds > 0  # ROM instant zeroing ran
+    assert host.cpu.total_core_seconds > 0
+    assert host.storage_link.total_core_seconds == 0  # no apps ran

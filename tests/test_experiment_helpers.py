@@ -1,0 +1,59 @@
+"""Tests for experiment plumbing: runs helpers and the base protocol."""
+
+import pytest
+
+from repro.experiments.base import Comparison, Experiment, pct, reduction
+from repro.experiments.runs import (
+    concurrency_sweep,
+    fully_loaded_memory,
+    launch_preset,
+    main_concurrency,
+    memory_sweep,
+)
+from repro.spec import GIB, PAPER_TESTBED
+
+
+def test_fully_loaded_memory_fits_the_server():
+    spec = PAPER_TESTBED
+    for concurrency in (10, 50, 100, 200):
+        per_container = fully_loaded_memory(concurrency, spec)
+        assert per_container % spec.page_size == 0
+        total = concurrency * (per_container + spec.image_bytes)
+        assert total <= spec.memory_bytes
+    # The low-concurrency cap keeps microVMs realistic.
+    assert fully_loaded_memory(2, spec) <= 20 * GIB
+
+
+def test_sweeps_quick_vs_full():
+    assert concurrency_sweep(True) == (10, 50)
+    assert concurrency_sweep(False)[-1] == 200
+    assert memory_sweep(True)[0] == 512 * 1024 * 1024
+    assert len(memory_sweep(False)) == 4
+    assert main_concurrency(True) < main_concurrency(False) == 200
+
+
+def test_launch_preset_returns_host_and_result():
+    host, result = launch_preset("no-net", 2)
+    assert host.config.name == "no-net"
+    assert len(result.records) == 2
+
+
+def test_reduction_and_pct_helpers():
+    assert reduction(10.0, 4.0) == pytest.approx(0.6)
+    assert pct(0.657) == "65.7%"
+    with pytest.raises(ValueError):
+        reduction(0.0, 1.0)
+
+
+def test_comparison_rows():
+    comparison = Comparison("metric", "1.0", "1.1", note="n")
+    assert comparison.as_row() == ("metric", "1.0", "1.1", "n")
+    assert "metric" in repr(comparison)
+
+
+def test_base_experiment_is_abstract():
+    class Incomplete(Experiment):
+        experiment_id = "x"
+
+    with pytest.raises(NotImplementedError):
+        Incomplete().run(quick=True)

@@ -1,0 +1,130 @@
+"""Tests for the experiment harness: every figure/table runs and the
+headline shape claims hold at reduced (quick) scale."""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS, get_experiment, list_experiments
+
+EXPECTED_IDS = {
+    "fig1", "fig5", "tab1", "fig11", "fig12", "fig13a", "fig13b",
+    "fig13c", "fig14", "sec65", "fig15", "fig16", "impl_rebind",
+    # extensions
+    "vdpa", "churn", "dataplane", "viommu",
+}
+
+
+def test_registry_covers_every_paper_artifact():
+    assert set(ALL_EXPERIMENTS) == EXPECTED_IDS
+    assert len(list_experiments()) == len(EXPECTED_IDS)
+    with pytest.raises(KeyError):
+        get_experiment("fig99")
+
+
+@pytest.fixture(scope="module")
+def quick_results():
+    """Run the cheap experiments once, shared across tests."""
+    out = {}
+    for exp_id in ("fig1", "tab1", "fig11", "fig12", "fig13a", "fig14",
+                   "sec65", "fig5", "impl_rebind"):
+        out[exp_id] = get_experiment(exp_id).run(quick=True)
+    return out
+
+
+def test_every_result_renders_and_compares(quick_results):
+    for exp_id, result in quick_results.items():
+        text = result.render()
+        assert text.strip(), exp_id
+        comparisons = result.comparisons()
+        assert comparisons, exp_id
+        table = result.comparison_table()
+        assert "paper" in table and "measured" in table
+
+
+def test_fig1_overhead_grows(quick_results):
+    series = quick_results["fig1"].data["series"]
+    overheads = [point["overhead"] for point in series]
+    assert overheads[-1] > overheads[0] > 0
+
+
+def test_tab1_vfio_dev_is_the_largest_step(quick_results):
+    proportions = quick_results["tab1"].data["proportions"]
+    largest = max(proportions, key=lambda step: proportions[step][0])
+    assert largest == "4-vfio-dev"
+    vf_avg, vf_p99 = quick_results["tab1"].data["vf_related"]
+    assert vf_avg > 60
+    assert vf_p99 > 70
+
+
+def test_fig11_ordering_matches_paper(quick_results):
+    results = quick_results["fig11"].data["results"]
+    means = {preset: r["mean"] for preset, r in results.items()}
+    # Fig. 11's qualitative ordering.
+    assert means["no-net"] < means["fastiov"] < means["vanilla"]
+    assert means["fastiov"] < means["fastiov-s"] < means["fastiov-l"]
+    assert means["fastiov"] < means["fastiov-a"] < means["vanilla"]
+    assert means["fastiov"] < means["fastiov-d"] < means["vanilla"]
+    assert means["pre100"] < means["pre50"] < means["pre10"]
+    # Headline: the VF-related overhead almost vanishes.
+    vanilla_vf = results["vanilla"]["vf_related_mean"]
+    fastiov_vf = results["fastiov"]["vf_related_mean"]
+    assert fastiov_vf < vanilla_vf * 0.1
+
+
+def test_fig12_fastiov_tail_collapses(quick_results):
+    data = quick_results["fig12"].data["cdfs"]
+    fastiov_p99 = data["fastiov"][-1][0]
+    vanilla_p99 = data["vanilla"][-1][0]
+    assert fastiov_p99 < vanilla_p99 * 0.45  # paper: -75.4%
+
+
+def test_fig13a_reduction_grows_with_concurrency(quick_results):
+    series = quick_results["fig13a"].data["series"]
+    assert series[-1]["reduction"] > series[0]["reduction"]
+    assert all(point["reduction"] > 0.3 for point in series)
+
+
+def test_fig14_fastiov_beats_ipvtap(quick_results):
+    data = quick_results["fig14"].data
+    assert data["fastiov_mean"] < data["ipvtap_mean"]
+
+
+def test_sec65_within_one_percent(quick_results):
+    data = quick_results["sec65"].data
+    assert data["throughput_drop"] < 0.01
+    assert data["latency_rise"] < 0.01
+
+
+def test_fig5_vfio_grows_linearly(quick_results):
+    vfio_sorted = quick_results["fig5"].data["vfio_dev_sorted"]
+    n = len(vfio_sorted)
+    # Middle-half growth is roughly linear: the (3/4)th value is about
+    # 3x the (1/4)th (FIFO queue drain).
+    assert vfio_sorted[3 * n // 4] > vfio_sorted[n // 4] * 1.8
+
+
+def test_impl_rebind_is_order_of_magnitude(quick_results):
+    data = quick_results["impl_rebind"].data
+    assert data["true_vanilla"]["mean"] > data["vanilla"]["mean"] * 3
+    assert data["makespan"] > 20  # minutes-scale behaviour at full c
+
+
+def test_fig13b_memory_sensitivity():
+    result = get_experiment("fig13b").run(quick=True)
+    series = result.data["series"]
+    vanilla_rise = series[-1]["vanilla_mean"] / series[0]["vanilla_mean"]
+    fastiov_rise = series[-1]["fastiov_mean"] / series[0]["fastiov_mean"]
+    assert vanilla_rise > fastiov_rise
+    assert vanilla_rise > 1.3
+
+
+def test_fig15_reductions_decrease_with_app_length():
+    result = get_experiment("fig15").run(quick=True)
+    reductions = result.data["avg_reductions"]
+    assert reductions["image"] > reductions["inference"]
+    assert all(value > 0 for value in reductions.values())
+
+
+def test_experiments_are_deterministic():
+    a = get_experiment("fig11").run(quick=True, seed=5)
+    b = get_experiment("fig11").run(quick=True, seed=5)
+    assert a.data["results"] == b.data["results"]

@@ -1,0 +1,202 @@
+"""Unit tests for the physical-memory model."""
+
+import pytest
+
+from repro.hw.errors import HardwareError, OutOfMemory, ResidualDataLeak
+from repro.hw.memory import (
+    HUGE_PAGE_SIZE,
+    KIB,
+    MIB,
+    Page,
+    PageContent,
+    PhysicalMemory,
+)
+
+PAGE = 4 * KIB
+
+
+def make_mem(total=1 * MIB, page_size=PAGE):
+    return PhysicalMemory(total, page_size)
+
+
+# ----------------------------------------------------------------------
+# Page state machine
+# ----------------------------------------------------------------------
+def test_new_page_is_residual_and_unreadable():
+    page = Page(0, PAGE)
+    assert page.is_residual
+    with pytest.raises(ResidualDataLeak):
+        page.read("guest-0")
+
+
+def test_zeroed_page_reads_clean():
+    page = Page(0, PAGE)
+    page.zero()
+    assert page.is_zeroed
+    assert page.read("guest-0") is None
+
+
+def test_written_page_returns_writer_tag():
+    page = Page(0, PAGE)
+    page.write("virtiofs")
+    assert page.read("guest-0") == "virtiofs"
+    assert not page.is_residual
+
+
+def test_pin_unpin_refcounting():
+    page = Page(0, PAGE)
+    page.pin()
+    page.pin()
+    assert page.pin_count == 2
+    page.unpin()
+    assert page.pinned
+    page.unpin()
+    assert not page.pinned
+    with pytest.raises(HardwareError):
+        page.unpin()
+
+
+def test_residual_leak_names_previous_owner():
+    page = Page(0x1000, PAGE, PageContent.RESIDUAL, content_tag="tenant-a")
+    with pytest.raises(ResidualDataLeak) as excinfo:
+        page.read("tenant-b")
+    assert "tenant-a" in str(excinfo.value)
+    assert "tenant-b" in str(excinfo.value)
+
+
+# ----------------------------------------------------------------------
+# Allocator basics
+# ----------------------------------------------------------------------
+def test_allocate_rounds_up_to_page_multiple():
+    mem = make_mem()
+    region = mem.allocate(PAGE + 1, owner="vm0")
+    assert region.size_bytes == 2 * PAGE
+    assert region.page_count == 2
+
+
+def test_allocate_rejects_nonpositive():
+    mem = make_mem()
+    with pytest.raises(ValueError):
+        mem.allocate(0, owner="vm0")
+
+
+def test_fresh_memory_allocates_in_one_batch():
+    mem = make_mem()
+    region = mem.allocate(16 * PAGE, owner="vm0")
+    assert region.batch_count == 1
+
+
+def test_out_of_memory():
+    mem = make_mem(total=4 * PAGE)
+    mem.allocate(3 * PAGE, owner="a")
+    with pytest.raises(OutOfMemory):
+        mem.allocate(2 * PAGE, owner="b")
+
+
+def test_accounting_allocate_free_roundtrip():
+    mem = make_mem()
+    region = mem.allocate(10 * PAGE, owner="vm0")
+    assert mem.allocated_bytes == 10 * PAGE
+    assert mem.free_bytes == mem.total_bytes - 10 * PAGE
+    mem.free(region)
+    assert mem.allocated_bytes == 0
+    assert mem.free_bytes == mem.total_bytes
+
+
+def test_double_free_raises():
+    mem = make_mem()
+    region = mem.allocate(PAGE, owner="vm0")
+    mem.free(region)
+    with pytest.raises(HardwareError):
+        mem.free(region)
+
+
+def test_freeing_pinned_page_raises():
+    mem = make_mem()
+    region = mem.allocate(PAGE, owner="vm0")
+    region.pages[0].pin()
+    with pytest.raises(HardwareError):
+        mem.free(region)
+    region.pages[0].unpin()
+    mem.free(region)
+
+
+def test_page_at_finds_allocated_frame():
+    mem = make_mem()
+    region = mem.allocate(2 * PAGE, owner="vm0")
+    page = region.pages[1]
+    assert mem.page_at(page.hpa) is page
+    assert mem.page_at(page.hpa + 17) is page
+    with pytest.raises(HardwareError):
+        mem.page_at(mem.total_bytes - 1)
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(ValueError):
+        PhysicalMemory(PAGE + 1, PAGE)
+    with pytest.raises(ValueError):
+        PhysicalMemory(0, PAGE)
+
+
+# ----------------------------------------------------------------------
+# Recycling: dirty memory is the default
+# ----------------------------------------------------------------------
+def test_recycled_unzeroed_pages_carry_previous_tenant_data():
+    mem = make_mem()
+    victim = mem.allocate(4 * PAGE, owner="tenant-a")
+    for page in victim.pages:
+        page.write("tenant-a-secret")
+    mem.free(victim)
+    attacker = mem.allocate(4 * PAGE, owner="tenant-b")
+    for page in attacker.pages:
+        assert page.is_residual
+        with pytest.raises(ResidualDataLeak):
+            page.read("tenant-b")
+
+
+def test_zeroed_then_freed_pages_come_back_clean():
+    mem = make_mem()
+    region = mem.allocate(2 * PAGE, owner="a")
+    for page in region.pages:
+        page.zero()
+    mem.free(region)
+    fresh = mem.allocate(2 * PAGE, owner="b")
+    for page in fresh.pages:
+        assert not page.is_residual
+
+
+# ----------------------------------------------------------------------
+# Coalescing and fragmentation
+# ----------------------------------------------------------------------
+def test_free_coalesces_adjacent_extents():
+    mem = make_mem()
+    a = mem.allocate(4 * PAGE, owner="a")
+    b = mem.allocate(4 * PAGE, owner="b")
+    mem.free(a)
+    mem.free(b)
+    assert mem.free_extent_count == 1
+    big = mem.allocate(mem.total_bytes, owner="c")
+    assert big.batch_count == 1
+
+
+def test_fragmentation_increases_batch_count():
+    mem = make_mem(total=64 * PAGE)
+    mem.fragment(max_run_bytes=4 * PAGE)
+    region = mem.allocate(16 * PAGE, owner="vm0")
+    assert region.batch_count == 4
+
+
+def test_fragmentation_rejects_bad_run_size():
+    mem = make_mem()
+    with pytest.raises(ValueError):
+        mem.fragment(max_run_bytes=3)
+
+
+def test_hugepages_reduce_batch_and_page_counts():
+    """The P2 mitigation: hugepages mean far fewer retrieval units."""
+    small = PhysicalMemory(512 * MIB, 4 * KIB)
+    huge = PhysicalMemory(512 * MIB, HUGE_PAGE_SIZE)
+    r_small = small.allocate(512 * MIB, owner="vm")
+    r_huge = huge.allocate(512 * MIB, owner="vm")
+    assert r_small.page_count == 131072
+    assert r_huge.page_count == 256

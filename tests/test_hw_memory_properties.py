@@ -1,0 +1,116 @@
+"""Property-based tests for the page-frame allocator (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.errors import OutOfMemory
+from repro.hw.memory import PhysicalMemory
+
+PAGE = 4096
+TOTAL_PAGES = 64
+
+
+class _Op:
+    """One allocator operation: allocate(n pages) or free(index)."""
+
+    def __init__(self, kind, value):
+        self.kind = kind
+        self.value = value
+
+    def __repr__(self):
+        return f"{self.kind}({self.value})"
+
+
+ops_strategy = st.lists(
+    st.one_of(
+        st.integers(min_value=1, max_value=16).map(lambda n: _Op("alloc", n)),
+        st.integers(min_value=0, max_value=30).map(lambda i: _Op("free", i)),
+    ),
+    max_size=60,
+)
+
+
+@given(ops_strategy)
+@settings(max_examples=200, deadline=None)
+def test_allocator_invariants_under_random_workload(ops):
+    """No overlap, exact accounting, and full reclamation always hold."""
+    mem = PhysicalMemory(TOTAL_PAGES * PAGE, PAGE)
+    live = []
+    for op in ops:
+        if op.kind == "alloc":
+            try:
+                region = mem.allocate(op.value * PAGE, owner="w")
+            except OutOfMemory:
+                assert op.value * PAGE > mem.free_bytes
+                continue
+            live.append(region)
+        elif live:
+            region = live.pop(op.value % len(live))
+            mem.free(region)
+
+        # Invariant 1: live regions never overlap.
+        seen = set()
+        for region in live:
+            for page in region.pages:
+                assert page.hpa not in seen, "frame handed out twice"
+                seen.add(page.hpa)
+        # Invariant 2: accounting matches the live set exactly.
+        assert mem.allocated_bytes == sum(r.size_bytes for r in live)
+        assert 0 <= mem.free_bytes <= mem.total_bytes
+        # Invariant 3: every allocated frame is addressable via page_at.
+        for region in live:
+            assert mem.page_at(region.pages[0].hpa) is region.pages[0]
+
+    # Full reclamation: freeing everything coalesces back to one extent.
+    for region in live:
+        mem.free(region)
+    assert mem.allocated_bytes == 0
+    assert mem.free_extent_count == 1
+
+
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=8), min_size=1, max_size=10)
+)
+@settings(max_examples=100, deadline=None)
+def test_batches_partition_the_region(sizes):
+    """Batches are disjoint, contiguous, and cover every page exactly once."""
+    mem = PhysicalMemory(TOTAL_PAGES * PAGE, PAGE)
+    mem.fragment(max_run_bytes=8 * PAGE)
+    for npages in sizes:
+        if npages * PAGE > mem.free_bytes:
+            continue
+        region = mem.allocate(npages * PAGE, owner="w")
+        assert region.page_count == npages
+        flattened = [p for batch in region.batches for p in batch]
+        assert flattened == region.pages
+        for batch in region.batches:
+            for a, b in zip(batch, batch[1:]):
+                assert b.hpa == a.hpa + a.size, "batch not contiguous"
+
+
+@given(
+    tags=st.lists(
+        st.sampled_from(["tenant-a", "tenant-b", "tenant-c"]),
+        min_size=1,
+        max_size=8,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_recycled_memory_never_loses_dirty_marking(tags):
+    """However frames are recycled, unzeroed data stays flagged residual."""
+    mem = PhysicalMemory(TOTAL_PAGES * PAGE, PAGE)
+    for tag in tags:
+        region = mem.allocate(4 * PAGE, owner=tag)
+        for i, page in enumerate(region.pages):
+            if i % 2 == 0:
+                page.write(f"{tag}-secret")
+            else:
+                page.zero()
+        mem.free(region)
+    final = mem.allocate(TOTAL_PAGES * PAGE, owner="auditor")
+    for page in final.pages:
+        if page.is_residual:
+            assert page.content_tag is None or "secret" in page.content_tag
+        # Zeroed-then-freed frames must never be flagged residual.
+        if page.content_tag is None and not page.is_residual:
+            assert page.is_zeroed

@@ -1,0 +1,169 @@
+"""Unit tests for the metrics layer (timeline, stats, reporting)."""
+
+import pytest
+
+from repro.metrics.reporting import format_comparison, format_series, format_table
+from repro.metrics.stats import Distribution, cdf_points, mean, percentile
+from repro.metrics.timeline import (
+    PAPER_STEPS,
+    VF_RELATED_STEPS,
+    NullTimer,
+    StartupRecord,
+    StepTimer,
+)
+from repro.sim import Simulator, Timeout
+
+
+# ----------------------------------------------------------------------
+# stats
+# ----------------------------------------------------------------------
+def test_mean_and_empty():
+    assert mean([1, 2, 3]) == 2
+    with pytest.raises(ValueError):
+        mean([])
+
+
+def test_percentile_matches_numpy_linear():
+    values = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6]
+    numpy = pytest.importorskip("numpy")
+    for q in (0, 10, 50, 90, 99, 100):
+        assert percentile(values, q) == pytest.approx(
+            float(numpy.percentile(values, q))
+        )
+
+
+def test_percentile_edges():
+    assert percentile([5.0], 99) == 5.0
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+
+
+def test_cdf_points():
+    points = cdf_points([3.0, 1.0, 2.0])
+    assert points == [(1.0, 1 / 3), (2.0, 2 / 3), (3.0, 1.0)]
+    with pytest.raises(ValueError):
+        cdf_points([])
+
+
+def test_distribution_summary_and_reduction():
+    base = Distribution([10.0] * 10, label="base")
+    fast = Distribution([4.0] * 10, label="fast")
+    assert fast.reduction_vs(base) == pytest.approx(0.6)
+    assert fast.reduction_vs(base, metric="p99") == pytest.approx(0.6)
+    summary = fast.summary()
+    assert summary["count"] == 10
+    assert summary["p50"] == 4.0
+    with pytest.raises(ValueError):
+        Distribution([], label="empty")
+
+
+# ----------------------------------------------------------------------
+# timeline
+# ----------------------------------------------------------------------
+def test_step_timer_brackets_virtual_time():
+    sim = Simulator()
+    record = StartupRecord("c0")
+    timer = StepTimer(sim, record)
+
+    def flow():
+        timer.mark_start()
+        with timer.step("0-cgroup"):
+            yield Timeout(0.5)
+        with timer.step("1-dma-ram"):
+            yield Timeout(2.0)
+        with timer.step("1-dma-ram"):  # second span, same step
+            yield Timeout(1.0)
+        timer.mark_ready()
+
+    sim.spawn(flow())
+    sim.run()
+    assert record.startup_time == pytest.approx(3.5)
+    assert record.step_time("0-cgroup") == pytest.approx(0.5)
+    assert record.step_time("1-dma-ram") == pytest.approx(3.0)
+    assert record.step_time("unknown") == 0.0
+    assert record.vf_related_time() == pytest.approx(3.0)
+    assert record.others_time() == pytest.approx(0.5)
+
+
+def test_timeline_events_sorted_by_start():
+    sim = Simulator()
+    record = StartupRecord("c0")
+    timer = StepTimer(sim, record)
+
+    def flow():
+        timer.mark_start()
+        with timer.step("b"):
+            yield Timeout(1.0)
+        with timer.step("a"):
+            yield Timeout(1.0)
+        timer.mark_ready()
+
+    sim.spawn(flow())
+    sim.run()
+    names = [name for name, _s, _e in record.timeline()]
+    assert names == ["b", "a"]
+
+
+def test_open_spans_do_not_count():
+    sim = Simulator()
+    record = StartupRecord("c0")
+    timer = StepTimer(sim, record)
+
+    def async_step():
+        with timer.step("5-vf-driver"):
+            yield Timeout(100.0)
+
+    def main():
+        timer.mark_start()
+        yield Timeout(1.0)
+        timer.mark_ready()
+
+    sim.spawn(async_step(), daemon=True)
+    sim.spawn(main())
+    sim.run()
+    assert record.step_time("5-vf-driver") == 0.0
+
+
+def test_incomplete_record_raises():
+    record = StartupRecord("c0")
+    with pytest.raises(ValueError):
+        _ = record.startup_time
+    with pytest.raises(ValueError):
+        _ = record.task_completion_time
+
+
+def test_null_timer_is_inert():
+    timer = NullTimer()
+    with timer.step("anything"):
+        pass
+    timer.mark_start()
+    timer.mark_ready()
+    timer.mark_app_done()
+
+
+def test_step_constants_cover_the_paper_table():
+    assert len(PAPER_STEPS) == 6
+    assert set(VF_RELATED_STEPS) < set(PAPER_STEPS)
+    assert "0-cgroup" not in VF_RELATED_STEPS
+    assert "2-virtiofs" not in VF_RELATED_STEPS
+
+
+# ----------------------------------------------------------------------
+# reporting
+# ----------------------------------------------------------------------
+def test_format_table_aligns_and_formats_floats():
+    text = format_table(["name", "value"], [("a", 1.23456), ("long-name", 2)],
+                        title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "1.235" in text
+    assert "long-name" in text
+
+
+def test_format_series_and_comparison():
+    text = format_series("s", [1, 2], [10.0, 20.0], "x", "y")
+    assert "10.000" in text
+    comparison = format_comparison("c", [("m", "1", "2", "")])
+    assert "paper" in comparison and "measured" in comparison

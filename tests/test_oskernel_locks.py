@@ -1,0 +1,164 @@
+"""Tests for the devset lock policies (§4.2.1, Fig. 8).
+
+Verifies the four operation-relation requirements for both the coarse
+(vanilla) and hierarchical (FastIOV) policies, plus the key behavioural
+difference: inter-child parallelism.
+"""
+
+import pytest
+
+from repro.oskernel.locks import CoarseLockPolicy, HierarchicalLockPolicy
+from repro.sim.core import Simulator, Timeout
+
+HOLD = 1.0
+
+
+def run_ops(policy_factory, ops, children=("a", "b")):
+    """Run (kind, child, start) ops; return {op_index: (start, end)}."""
+    sim = Simulator()
+    policy = policy_factory(sim, "devset")
+    for child in children:
+        policy.register_child(child)
+    spans = {}
+
+    def child_op(i, child, delay):
+        yield Timeout(delay)
+        yield from policy.acquire_child(child)
+        start = sim.now
+        yield Timeout(HOLD)
+        policy.release_child(child)
+        spans[i] = (start, sim.now)
+
+    def parent_op(i, delay):
+        yield Timeout(delay)
+        yield from policy.acquire_parent()
+        start = sim.now
+        yield Timeout(HOLD)
+        policy.release_parent()
+        spans[i] = (start, sim.now)
+
+    for i, (kind, child, delay) in enumerate(ops):
+        if kind == "child":
+            sim.spawn(child_op(i, child, delay))
+        else:
+            sim.spawn(parent_op(i, delay))
+    sim.run()
+    return spans
+
+
+def overlaps(span_a, span_b):
+    return span_a[0] < span_b[1] and span_b[0] < span_a[1]
+
+
+POLICIES = [CoarseLockPolicy, HierarchicalLockPolicy]
+
+
+# ----------------------------------------------------------------------
+# Requirements shared by both policies (mutual exclusion cases)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("factory", POLICIES)
+def test_intra_child_operations_serialize(factory):
+    spans = run_ops(factory, [("child", "a", 0.0), ("child", "a", 0.0)])
+    assert not overlaps(spans[0], spans[1])
+
+
+@pytest.mark.parametrize("factory", POLICIES)
+def test_intra_parent_operations_serialize(factory):
+    spans = run_ops(factory, [("parent", None, 0.0), ("parent", None, 0.0)])
+    assert not overlaps(spans[0], spans[1])
+
+
+@pytest.mark.parametrize("factory", POLICIES)
+def test_parent_child_operations_serialize(factory):
+    spans = run_ops(factory, [("parent", None, 0.0), ("child", "a", 0.1)])
+    assert not overlaps(spans[0], spans[1])
+
+
+@pytest.mark.parametrize("factory", POLICIES)
+def test_child_blocks_parent(factory):
+    spans = run_ops(factory, [("child", "a", 0.0), ("parent", None, 0.1)])
+    assert not overlaps(spans[0], spans[1])
+    assert spans[1][0] >= spans[0][1]
+
+
+# ----------------------------------------------------------------------
+# The behavioural difference: inter-child operations
+# ----------------------------------------------------------------------
+def test_coarse_policy_serializes_inter_child_ops():
+    spans = run_ops(CoarseLockPolicy, [("child", "a", 0.0), ("child", "b", 0.0)])
+    assert not overlaps(spans[0], spans[1])
+
+
+def test_hierarchical_policy_parallelizes_inter_child_ops():
+    spans = run_ops(
+        HierarchicalLockPolicy, [("child", "a", 0.0), ("child", "b", 0.0)]
+    )
+    assert overlaps(spans[0], spans[1])
+    assert spans[0] == spans[1] == (0.0, HOLD)
+
+
+def test_hierarchical_scales_to_many_children():
+    n = 50
+    children = [f"c{i}" for i in range(n)]
+    ops = [("child", c, 0.0) for c in children]
+    spans = run_ops(HierarchicalLockPolicy, ops, children=children)
+    assert all(span == (0.0, HOLD) for span in spans.values())
+
+
+def test_coarse_cost_grows_linearly_with_children():
+    n = 10
+    children = [f"c{i}" for i in range(n)]
+    ops = [("child", c, 0.0) for c in children]
+    spans = run_ops(CoarseLockPolicy, ops, children=children)
+    assert max(end for _s, end in spans.values()) == pytest.approx(n * HOLD)
+
+
+def test_hierarchical_parent_excludes_all_children():
+    # Parent op arrives while two children hold; a third child arrives
+    # after the parent. FIFO: children(0,1) -> parent -> child(2).
+    spans = run_ops(
+        HierarchicalLockPolicy,
+        [
+            ("child", "a", 0.0),
+            ("child", "b", 0.0),
+            ("parent", None, 0.2),
+            ("child", "a", 0.4),
+        ],
+    )
+    assert spans[0] == spans[1] == (0.0, HOLD)
+    assert spans[2][0] >= HOLD  # waited for both children
+    assert spans[3][0] >= spans[2][1]  # queued behind the writer
+
+
+def test_hierarchical_unregistered_child_fails():
+    sim = Simulator()
+    policy = HierarchicalLockPolicy(sim, "devset")
+
+    def op():
+        yield from policy.acquire_child("ghost")
+
+    sim.spawn(op())
+    from repro.sim.errors import ProcessFailed
+
+    with pytest.raises(ProcessFailed):
+        sim.run()
+
+
+@pytest.mark.parametrize("factory", POLICIES)
+def test_contention_stats_exposed(factory):
+    sim = Simulator()
+    policy = factory(sim, "devset")
+    policy.register_child("a")
+
+    def op():
+        yield from policy.acquire_child("a")
+        yield Timeout(0.5)
+        policy.release_child("a")
+
+    sim.spawn(op())
+    sim.spawn(op())
+    sim.run()
+    stats = policy.contention_stats
+    assert stats
+    total_acquisitions = sum(s.acquisitions for s in stats.values())
+    assert total_acquisitions >= 2

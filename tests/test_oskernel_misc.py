@@ -1,0 +1,294 @@
+"""Tests for cgroups, driver binding, host network stack, and MMU."""
+
+import pytest
+
+from repro.hw.memory import MIB
+from repro.oskernel.binding import HOST_NETDEV_DRIVER
+from repro.oskernel.errors import KernelError
+from repro.oskernel.vfio import VFIO_DRIVER_NAME
+from repro.sim.core import Timeout
+from repro.sim.errors import ProcessFailed
+from tests.conftest import KernelRig
+
+
+# ----------------------------------------------------------------------
+# cgroups
+# ----------------------------------------------------------------------
+def test_cgroup_creations_serialize_on_global_lock():
+    r = KernelRig()
+    n = 10
+    done = {}
+
+    def create(i):
+        yield from r.cgroups.create(f"c{i}")
+        done[i] = r.sim.now
+
+    for i in range(n):
+        r.sim.spawn(create(i))
+    r.run()
+    # Last creation waited behind n-1 lock holds.
+    expected_last = r.spec.cgroup_base_s + n * r.spec.cgroup_lock_hold_s
+    assert max(done.values()) == pytest.approx(expected_last, rel=0.05)
+    assert r.cgroups.created == n
+    assert r.cgroups.lock_stats.contended == n - 1
+
+
+def test_softcni_cgroup_costs_more():
+    fast = KernelRig()
+    soft = KernelRig()
+
+    def create(r, softcni):
+        yield from r.cgroups.create("c0", softcni=softcni)
+
+    fast.sim.spawn(create(fast, False))
+    soft.sim.spawn(create(soft, True))
+    t_fast = fast.run()
+    t_soft = soft.run()
+    assert t_soft > t_fast
+
+
+def test_duplicate_cgroup_rejected():
+    r = KernelRig()
+
+    def flow():
+        yield from r.cgroups.create("c0")
+        yield from r.cgroups.create("c0")
+
+    r.sim.spawn(flow())
+    with pytest.raises(ProcessFailed):
+        r.run()
+
+
+def test_cgroup_destroy():
+    r = KernelRig()
+
+    def flow():
+        yield from r.cgroups.create("c0")
+        yield from r.cgroups.destroy("c0")
+        yield from r.cgroups.create("c0")  # name reusable after destroy
+
+    r.sim.spawn(flow())
+    r.run()
+
+
+# ----------------------------------------------------------------------
+# driver binding
+# ----------------------------------------------------------------------
+def test_bind_unbind_cycle_vanilla_flaw():
+    """The §5 rebinding dance: host driver bind is the expensive part
+    and serializes on the PF mailbox."""
+    r = KernelRig(vf_count=4)
+    times = {}
+
+    def rebind(i):
+        vf = r.vfs[i]
+        yield from r.binding.bind(vf, HOST_NETDEV_DRIVER)
+        assert vf.netdev_name is not None
+        yield from r.binding.unbind(vf)
+        yield from r.binding.bind(vf, VFIO_DRIVER_NAME)
+        times[i] = r.sim.now
+
+    for i in range(4):
+        r.sim.spawn(rebind(i))
+    r.run()
+    # Host-driver probes serialized: last >= 4 probes back to back.
+    assert max(times.values()) >= 4 * r.spec.host_netdev_probe_s * 0.8
+    assert all(vf.driver == VFIO_DRIVER_NAME for vf in r.vfs)
+    assert r.binding.mailbox_stats.contended == 3
+
+
+def test_vfio_binds_run_in_parallel():
+    r = KernelRig(vf_count=8)
+    times = {}
+
+    def bind(i):
+        yield from r.binding.bind(r.vfs[i], VFIO_DRIVER_NAME)
+        times[i] = r.sim.now
+
+    for i in range(8):
+        r.sim.spawn(bind(i))
+    r.run()
+    assert max(times.values()) < 2 * r.spec.vfio_probe_s
+
+
+def test_double_bind_and_unbound_unbind_raise():
+    r = KernelRig(vf_count=1)
+
+    def flow():
+        yield from r.binding.bind(r.vfs[0], VFIO_DRIVER_NAME)
+        try:
+            yield from r.binding.bind(r.vfs[0], HOST_NETDEV_DRIVER)
+        except KernelError:
+            pass
+        else:
+            raise AssertionError("double bind accepted")
+
+    r.sim.spawn(flow())
+    r.run()
+
+    r2 = KernelRig(vf_count=1)
+
+    def flow2():
+        yield from r2.binding.unbind(r2.vfs[0])
+
+    r2.sim.spawn(flow2())
+    with pytest.raises(ProcessFailed):
+        r2.run()
+
+
+def test_unknown_driver_rejected():
+    r = KernelRig(vf_count=1)
+
+    def flow():
+        yield from r.binding.bind(r.vfs[0], "nouveau")
+
+    r.sim.spawn(flow())
+    with pytest.raises(ProcessFailed):
+        r.run()
+
+
+def test_vfio_unbind_unregisters_from_devset():
+    r = KernelRig(vf_count=2)
+
+    def flow():
+        yield from r.binding.bind(r.vfs[0], VFIO_DRIVER_NAME)
+        devset = r.vfio.devset_of(r.vfs[0])
+        assert r.vfs[0] in devset.devices
+        yield from r.binding.unbind(r.vfs[0])
+        assert r.vfs[0] not in devset.devices
+
+    r.sim.spawn(flow())
+    r.run()
+
+
+# ----------------------------------------------------------------------
+# host network stack
+# ----------------------------------------------------------------------
+def test_netdev_create_configure_move():
+    r = KernelRig()
+    state = {}
+
+    def flow():
+        dev = yield from r.hostnet.create_device("dummy0", "dummy")
+        yield from r.hostnet.configure(dev, ip_address="10.0.0.5/24",
+                                       mac="02:00:00:00:00:05", up=True)
+        yield from r.hostnet.move_to_nns(dev, "nns-c0")
+        state["dev"] = dev
+
+    r.sim.spawn(flow())
+    r.run()
+    dev = state["dev"]
+    assert dev.ip_address == "10.0.0.5/24"
+    assert dev.up
+    assert dev.nns == "nns-c0"
+
+
+def test_rtnl_serializes_and_ipvtap_is_heavier():
+    r = KernelRig()
+    times = {}
+
+    def create(i, kind):
+        yield from r.hostnet.create_device(f"{kind}{i}", kind)
+        times[(kind, i)] = r.sim.now
+
+    for i in range(5):
+        r.sim.spawn(create(i, "ipvtap"))
+    r.run()
+    assert max(times.values()) == pytest.approx(
+        5 * r.spec.rtnl_ipvtap_create_s, rel=0.05
+    )
+    assert r.hostnet.rtnl_stats.contended == 4
+    # Dummies are much cheaper per the FastIOV CNI design.
+    assert r.spec.rtnl_dummy_create_s < r.spec.rtnl_ipvtap_create_s / 10
+
+
+def test_duplicate_and_unknown_netdev_errors():
+    r = KernelRig()
+
+    def flow():
+        yield from r.hostnet.create_device("d0", "dummy")
+        try:
+            yield from r.hostnet.create_device("d0", "dummy")
+        except KernelError:
+            pass
+        else:
+            raise AssertionError("duplicate accepted")
+        try:
+            yield from r.hostnet.create_device("x0", "veth")
+        except KernelError:
+            pass
+        else:
+            raise AssertionError("unknown kind accepted")
+
+    r.sim.spawn(flow())
+    r.run()
+    with pytest.raises(KernelError):
+        r.hostnet.device("missing")
+
+
+def test_netdev_delete():
+    r = KernelRig()
+
+    def flow():
+        yield from r.hostnet.create_device("d0", "dummy")
+        yield from r.hostnet.delete_device("d0")
+
+    r.sim.spawn(flow())
+    r.run()
+    with pytest.raises(KernelError):
+        r.hostnet.device("d0")
+
+
+# ----------------------------------------------------------------------
+# host MMU demand paging
+# ----------------------------------------------------------------------
+def test_anon_mapping_demand_faults_and_frees():
+    r = KernelRig()
+    state = {}
+
+    def flow():
+        mapping = r.mmu.create_mapping("vm0", "ram", 8 * MIB)
+        page = yield from mapping.page_at_offset(3 * MIB)
+        state["page"] = page
+        again = yield from mapping.page_at_offset(3 * MIB + 100)
+        state["again"] = again
+        state["mapping"] = mapping
+
+    r.sim.spawn(flow())
+    r.run()
+    assert state["page"] is state["again"]
+    assert state["page"].is_zeroed
+    assert r.mmu.fault_count == 1
+    state["mapping"].free_all()
+    assert r.memory.allocated_bytes == 0
+
+
+def test_anon_mapping_bounds_checked():
+    r = KernelRig()
+    mapping = r.mmu.create_mapping("vm0", "ram", 4 * MIB)
+
+    def flow():
+        yield from mapping.page_at_offset(4 * MIB)
+
+    r.sim.spawn(flow())
+    with pytest.raises(ProcessFailed):
+        r.run()
+    with pytest.raises(ValueError):
+        r.mmu.create_mapping("vm0", "bad", 0)
+
+
+def test_concurrent_faults_on_same_page_collapse():
+    r = KernelRig()
+    pages = []
+    mapping = r.mmu.create_mapping("vm0", "ram", 4 * MIB)
+
+    def toucher():
+        page = yield from mapping.page_at_offset(0)
+        pages.append(page)
+
+    r.sim.spawn(toucher())
+    r.sim.spawn(toucher())
+    r.run()
+    assert len(pages) == 2
+    assert pages[0] is pages[1]
+    assert r.mmu.fault_count == 1

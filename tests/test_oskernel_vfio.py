@@ -1,0 +1,324 @@
+"""Tests for VFIO devset management and the DMA mapping pipeline."""
+
+import pytest
+
+from repro.hw.memory import MIB
+from repro.hw.pci import PciDevice, ResetScope
+from repro.oskernel.errors import VfioError
+from repro.oskernel.vfio import (
+    DECOUPLED_ZEROING,
+    EAGER_ZEROING,
+    VFIO_DRIVER_NAME,
+    ZeroingMode,
+    ZeroingPolicy,
+)
+from tests.conftest import KernelRig
+
+
+# ----------------------------------------------------------------------
+# devset formation
+# ----------------------------------------------------------------------
+def test_bus_reset_vfs_share_one_devset(rig):
+    devsets = {rig.vfio.devset_of(vf).name for vf in rig.vfs}
+    assert len(devsets) == 1
+
+
+def test_slot_reset_device_forms_singleton_devset(rig):
+    dev = PciDevice("3b:1f.0", "slot-capable", ResetScope.SLOT)
+    rig.topology.attach(0x3B, dev)
+    dev.driver = VFIO_DRIVER_NAME
+    devset = rig.vfio.register_device(dev)
+    assert devset.devices == {dev}
+    assert devset is not rig.vfio.devset_of(rig.vfs[0])
+
+
+def test_register_requires_vfio_binding():
+    r = KernelRig()
+    with pytest.raises(VfioError):
+        r.vfio.register_device(r.vfs[0])
+
+
+def test_unregister_removes_from_devset(rig):
+    vf = rig.vfs[0]
+    devset = rig.vfio.devset_of(vf)
+    rig.vfio.unregister_device(vf)
+    assert vf not in devset.devices
+
+
+# ----------------------------------------------------------------------
+# open / close / reset
+# ----------------------------------------------------------------------
+def open_n_concurrently(r, n):
+    handles = {}
+
+    def opener(i):
+        handle = yield from r.vfio.open_device(r.vfs[i], opener=f"qemu-{i}")
+        handles[i] = (handle, r.sim.now)
+
+    for i in range(n):
+        r.sim.spawn(opener(i))
+    r.run()
+    return handles
+
+
+def test_open_updates_open_counts(rig):
+    handles = open_n_concurrently(rig, 3)
+    devset = rig.vfio.devset_of(rig.vfs[0])
+    assert devset.total_open_count == 3
+    assert all(handles[i][0].device is rig.vfs[i] for i in range(3))
+
+
+def test_coarse_opens_serialize_hierarchical_do_not():
+    n = 8
+    coarse = KernelRig(lock_policy="coarse", vf_count=n)
+    coarse.bind_all_vfs_to_vfio()
+    hier = KernelRig(lock_policy="hierarchical", vf_count=n)
+    hier.bind_all_vfs_to_vfio()
+
+    coarse_handles = open_n_concurrently(coarse, n)
+    hier_handles = open_n_concurrently(hier, n)
+
+    coarse_last = max(t for _h, t in coarse_handles.values())
+    hier_last = max(t for _h, t in hier_handles.values())
+    # Coarse: n serialized critical sections (plus the out-of-lock
+    # ioctls). Hierarchical: all critical sections overlap.
+    spec = coarse.spec
+    critical = (
+        spec.vfio_open_base_s
+        + spec.vfio_bus_scan_per_device_s * (n + 1)
+    )
+    assert coarse_last == pytest.approx(
+        n * critical + spec.vfio_register_ioctls_s, rel=0.05
+    )
+    assert hier_last == pytest.approx(
+        critical + spec.vfio_register_ioctls_s, rel=0.05
+    )
+    # The serialized (under-lock) portion scales n-fold under coarse.
+    coarse_locked = coarse_last - spec.vfio_register_ioctls_s
+    hier_locked = hier_last - spec.vfio_register_ioctls_s
+    assert coarse_locked == pytest.approx(n * hier_locked, rel=0.05)
+
+
+def test_open_cost_scales_with_bus_population():
+    small = KernelRig(vf_count=2)
+    small.bind_all_vfs_to_vfio()
+    big = KernelRig(vf_count=128)
+    big.bind_all_vfs_to_vfio()
+    t_small = _single_open_elapsed(small)
+    t_big = _single_open_elapsed(big)
+    # 126 extra devices on the bus cost 126 extra scan units.
+    expected_delta = 126 * small.spec.vfio_bus_scan_per_device_s
+    assert t_big - t_small == pytest.approx(expected_delta, rel=0.05)
+
+
+def _single_open_elapsed(r):
+    def opener():
+        yield from r.vfio.open_device(r.vfs[0], opener="qemu")
+
+    r.sim.spawn(opener())
+    return r.run()
+
+
+def test_close_decrements_and_double_close_raises(rig):
+    state = {}
+
+    def flow():
+        handle = yield from rig.vfio.open_device(rig.vfs[0], opener="q")
+        yield from rig.vfio.close_device(handle)
+        state["count"] = rig.vfio.devset_of(rig.vfs[0]).total_open_count
+        try:
+            yield from rig.vfio.close_device(handle)
+        except VfioError:
+            state["double_close_raised"] = True
+
+    rig.sim.spawn(flow())
+    rig.run()
+    assert state["count"] == 0
+    assert state["double_close_raised"]
+
+
+def test_reset_refused_while_any_device_open(rig):
+    outcome = {}
+
+    def flow():
+        handle = yield from rig.vfio.open_device(rig.vfs[0], opener="q")
+        try:
+            yield from rig.vfio.reset_device(rig.vfs[1])
+        except VfioError:
+            outcome["refused"] = True
+        yield from rig.vfio.close_device(handle)
+        outcome["after_close"] = yield from rig.vfio.reset_device(rig.vfs[1])
+
+    rig.sim.spawn(flow())
+    rig.run()
+    assert outcome["refused"]
+    assert outcome["after_close"] is True
+
+
+def test_reset_never_interleaves_with_inflight_open():
+    """A reset arriving mid-open must wait for the open's critical
+    section and then observe a *consistent* open count (refusal), never
+    a half-done open — the exact consistency the devset lock protects."""
+    for policy in ("coarse", "hierarchical"):
+        r = KernelRig(lock_policy=policy)
+        r.bind_all_vfs_to_vfio()
+        log = {}
+
+        def open_flow(r=r, log=log):
+            yield from r.vfio.open_device(r.vfs[0], opener="q")
+            # The critical section ended register_ioctls ago.
+            log["open_critical_end"] = r.sim.now - r.spec.vfio_register_ioctls_s
+
+        def resetter(r=r, log=log):
+            try:
+                yield from r.vfio.reset_device(r.vfs[1])
+                log["reset"] = "succeeded"
+            except VfioError:
+                log["reset"] = "refused"
+                log["reset_time"] = r.sim.now
+
+        r.sim.spawn(open_flow())
+        r.sim.spawn(resetter())
+        r.run()
+        assert log["reset"] == "refused", policy
+        assert log["reset_time"] >= log["open_critical_end"], policy
+
+
+# ----------------------------------------------------------------------
+# DMA mapping pipeline
+# ----------------------------------------------------------------------
+def map_region(r, nbytes=16 * MIB, policy=EAGER_ZEROING, label="ram"):
+    result = {}
+
+    def flow():
+        domain = r.vfio.create_domain("vm0")
+        region = yield from r.vfio.dma_map(
+            domain, owner="vm0", label=label, nbytes=nbytes,
+            gpa_base=0, policy=policy,
+        )
+        result["region"] = region
+        result["elapsed"] = r.sim.now
+
+    r.sim.spawn(flow())
+    r.run()
+    return result
+
+
+def test_eager_map_zeroes_pins_and_maps_everything(rig):
+    result = map_region(rig)
+    region = result["region"]
+    assert all(page.is_zeroed for page in region.pages)
+    assert all(page.pinned for page in region.pages)
+    assert region.domain.mapped_bytes == 16 * MIB
+    assert region.lazy_pages == []
+
+
+def test_eager_map_time_dominated_by_zeroing(rig):
+    """With hugepages, zeroing is >93% of mapping time (§3.2.3 P3)."""
+    nbytes = 64 * MIB
+    result = map_region(rig, nbytes=nbytes)
+    zero_time = rig.spec.zeroing_cpu_seconds(nbytes)
+    assert result["elapsed"] == pytest.approx(zero_time, rel=0.07)
+    assert zero_time / result["elapsed"] > 0.93
+
+
+def test_decoupled_map_skips_zeroing_and_registers_lazy(rig_fastiovd):
+    r = rig_fastiovd
+    result = map_region(r, policy=DECOUPLED_ZEROING)
+    region = result["region"]
+    assert not any(page.is_zeroed for page in region.pages)
+    assert len(region.lazy_pages) == region.page_count
+    assert all(r.fastiovd.manages("vm0", page) for page in region.pages)
+    # Mapping without zeroing is orders of magnitude faster.
+    eager = KernelRig(with_fastiovd=True)
+    eager.bind_all_vfs_to_vfio()
+    eager_result = map_region(eager)
+    assert result["elapsed"] < eager_result["elapsed"] / 20
+
+
+def test_decoupled_map_without_fastiovd_raises(rig):
+    def flow():
+        domain = rig.vfio.create_domain("vmx")
+        yield from rig.vfio.dma_map(
+            domain, owner="vmx", label="ram", nbytes=MIB,
+            gpa_base=0, policy=DECOUPLED_ZEROING,
+        )
+
+    rig.sim.spawn(flow())
+    from repro.sim.errors import ProcessFailed
+
+    with pytest.raises(ProcessFailed):
+        rig.run()
+
+
+@pytest.mark.parametrize("fraction", [0.0, 0.5, 1.0])
+def test_prezeroed_fraction_reduces_zeroing_cost(fraction):
+    r = KernelRig()
+    r.bind_all_vfs_to_vfio()
+    policy = ZeroingPolicy(prezeroed_fraction=fraction)
+    result = map_region(r, nbytes=64 * MIB, policy=policy)
+    full = r.spec.zeroing_cpu_seconds(64 * MIB)
+    expected = full * (1 - fraction)
+    assert result["elapsed"] == pytest.approx(expected, rel=0.1, abs=2e-3)
+    assert all(page.is_zeroed for page in result["region"].pages)
+
+
+def test_prezeroed_fraction_validation():
+    with pytest.raises(ValueError):
+        ZeroingPolicy(prezeroed_fraction=1.5)
+
+
+def test_fragmented_memory_raises_retrieval_cost():
+    """P2: fragmentation means more batches, higher retrieve cost."""
+    fresh = KernelRig()
+    fresh.bind_all_vfs_to_vfio()
+    fragged = KernelRig()
+    fragged.bind_all_vfs_to_vfio()
+    fragged.memory.fragment(max_run_bytes=fragged.memory.page_size)
+    policy = ZeroingPolicy(prezeroed_fraction=1.0)  # isolate retrieval
+    t_fresh = map_region(fresh, nbytes=64 * MIB, policy=policy)["elapsed"]
+    t_frag = map_region(fragged, nbytes=64 * MIB, policy=policy)["elapsed"]
+    assert t_frag > t_fresh * 1.5
+
+
+def test_unmap_releases_everything(rig_fastiovd):
+    r = rig_fastiovd
+    result = map_region(r, policy=DECOUPLED_ZEROING)
+    region = result["region"]
+
+    def teardown():
+        yield from r.vfio.dma_unmap(region)
+
+    r.sim.spawn(teardown())
+    r.run()
+    assert region.domain.mapped_bytes == 0
+    assert not any(page.pinned for page in region.pages)
+    assert r.memory.allocated_bytes == 0
+    assert r.fastiovd.pending_pages("vm0") == 0
+
+
+def test_recycled_clean_pages_skip_zeroing_cost(rig):
+    """Zeroed-then-freed frames cost nothing to re-map (eager path)."""
+    first = map_region(rig, nbytes=16 * MIB)
+    region = first["region"]
+
+    def teardown():
+        yield from rig.vfio.dma_unmap(region)
+
+    rig.sim.spawn(teardown())
+    start = rig.run()
+
+    second = {}
+
+    def remap():
+        domain = rig.vfio.create_domain("vm1")
+        r2 = yield from rig.vfio.dma_map(
+            domain, owner="vm1", label="ram", nbytes=16 * MIB, gpa_base=0,
+        )
+        second["elapsed"] = rig.sim.now - start
+        second["region"] = r2
+
+    rig.sim.spawn(remap())
+    rig.run()
+    zero_time = rig.spec.zeroing_cpu_seconds(16 * MIB)
+    assert second["elapsed"] < zero_time / 10

@@ -1,0 +1,69 @@
+"""Tests for ASCII figure rendering."""
+
+import pytest
+
+from repro.metrics.plots import ascii_bars, ascii_cdf, ascii_gantt
+
+
+def test_cdf_axes_and_markers():
+    text = ascii_cdf({"a": [1.0, 2.0, 3.0], "b": [2.0, 4.0, 6.0]},
+                     width=30, height=8, x_label="seconds")
+    assert "1.00 |" in text
+    assert "0.00 |" in text
+    assert "*=a" in text and "o=b" in text
+    assert "(seconds)" in text
+    # x range spans the pooled values.
+    assert "1.00" in text.splitlines()[-3]
+    assert "6.00" in text.splitlines()[-3]
+
+
+def test_cdf_single_value_series():
+    text = ascii_cdf({"flat": [5.0, 5.0, 5.0]})
+    assert "*" in text
+
+
+def test_cdf_rejects_empty():
+    with pytest.raises(ValueError):
+        ascii_cdf({})
+
+
+def test_gantt_draws_steps_in_time_order():
+    timelines = [
+        ("c0", [("0-cgroup", 0.0, 1.0), ("4-vfio-dev", 1.0, 4.0)]),
+        ("c1", [("0-cgroup", 0.0, 1.0), ("4-vfio-dev", 1.0, 8.0)]),
+    ]
+    text = ascii_gantt(timelines, ("0-cgroup", "4-vfio-dev"), width=40)
+    lines = text.splitlines()
+    assert lines[1].strip().startswith("c0")
+    row0 = lines[1]
+    row1 = lines[2]
+    # c1's vfio segment extends further right than c0's.
+    assert row1.rstrip().rfind("4") > row0.rstrip().rfind("4")
+    assert "legend:" in lines[-1]
+    # Unknown steps are ignored.
+    text2 = ascii_gantt([("c0", [("zz", 0, 1)])], ("0-cgroup",))
+    assert "z" not in text2.splitlines()[1]
+
+
+def test_gantt_caps_rows():
+    timelines = [(f"c{i}", [("0-x", 0.0, 1.0)]) for i in range(50)]
+    text = ascii_gantt(timelines, ("0-x",), max_rows=5)
+    assert len(text.splitlines()) == 7  # header + 5 rows + legend
+
+
+def test_gantt_rejects_empty():
+    with pytest.raises(ValueError):
+        ascii_gantt([], ("0-x",))
+
+
+def test_bars_scale_to_peak():
+    text = ascii_bars({"small": 1.0, "big": 10.0}, width=20)
+    small_line, big_line = text.splitlines()
+    assert small_line.count("#") == 2
+    assert big_line.count("#") == 20
+    assert "10.00s" in big_line
+
+
+def test_bars_reject_empty():
+    with pytest.raises(ValueError):
+        ascii_bars({})

@@ -1,0 +1,257 @@
+"""Unit tests for the discrete-event simulation core."""
+
+import pytest
+
+from repro.sim import SimulationDeadlock, Simulator, Timeout
+from repro.sim.core import Join
+from repro.sim.errors import InvalidCommand, ProcessFailed
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_single_timeout_advances_clock():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        yield Timeout(1.5)
+        seen.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert seen == [1.5]
+
+
+def test_zero_timeout_completes_at_same_time():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        yield Timeout(0.0)
+        seen.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert seen == [0.0]
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(ValueError):
+        Timeout(-1.0)
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+
+    def proc(delay, tag):
+        yield Timeout(delay)
+        order.append(tag)
+
+    sim.spawn(proc(3.0, "c"))
+    sim.spawn(proc(1.0, "a"))
+    sim.spawn(proc(2.0, "b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+
+    def proc(tag):
+        yield Timeout(1.0)
+        order.append(tag)
+
+    for tag in ("first", "second", "third"):
+        sim.spawn(proc(tag))
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_process_result_via_join():
+    sim = Simulator()
+    results = []
+
+    def child():
+        yield Timeout(0.5)
+        return 42
+
+    def parent():
+        proc = sim.spawn(child(), name="child")
+        value = yield proc.join()
+        results.append((sim.now, value))
+
+    sim.spawn(parent())
+    sim.run()
+    assert results == [(0.5, 42)]
+
+
+def test_join_on_finished_process_returns_immediately():
+    sim = Simulator()
+    results = []
+
+    def child():
+        return "done"
+        yield  # pragma: no cover - makes this a generator
+
+    def parent():
+        proc = sim.spawn(child(), name="child")
+        yield Timeout(1.0)
+        value = yield proc.join()
+        results.append((sim.now, value))
+
+    sim.spawn(parent())
+    sim.run()
+    assert results == [(1.0, "done")]
+
+
+def test_multiple_joiners_all_resume():
+    sim = Simulator()
+    resumed = []
+
+    def child():
+        yield Timeout(2.0)
+        return "x"
+
+    def parent(proc, tag):
+        value = yield proc.join()
+        resumed.append((tag, value))
+
+    def root():
+        proc = sim.spawn(child(), name="child")
+        sim.spawn(parent(proc, "p1"))
+        sim.spawn(parent(proc, "p2"))
+        yield proc.join()
+
+    sim.spawn(root())
+    sim.run()
+    assert sorted(resumed) == [("p1", "x"), ("p2", "x")]
+
+
+def test_process_exception_propagates_with_cause():
+    sim = Simulator()
+
+    def bad():
+        yield Timeout(0.1)
+        raise RuntimeError("boom")
+
+    sim.spawn(bad(), name="bad-proc")
+    with pytest.raises(ProcessFailed) as excinfo:
+        sim.run()
+    assert "bad-proc" in str(excinfo.value)
+    assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+
+def test_yielding_garbage_raises_invalid_command():
+    sim = Simulator()
+
+    def bad():
+        yield 123
+
+    sim.spawn(bad())
+    with pytest.raises(InvalidCommand):
+        sim.run()
+
+
+def test_run_until_stops_clock_at_horizon():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(100.0)
+
+    sim.spawn(proc())
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+    sim.run()  # finish the rest
+    assert sim.now == 100.0
+
+
+def test_daemon_process_does_not_keep_simulation_alive():
+    sim = Simulator()
+    ticks = []
+
+    def daemon():
+        while True:
+            yield Timeout(1.0)
+            ticks.append(sim.now)
+
+    def worker():
+        yield Timeout(3.5)
+
+    sim.spawn(daemon(), name="daemon", daemon=True)
+    sim.spawn(worker())
+    sim.run()
+    assert sim.now == 3.5
+    assert ticks == [1.0, 2.0, 3.0]
+
+
+def test_deadlock_detection_names_blocked_process():
+    from repro.sim import SimEvent
+
+    sim = Simulator()
+
+    def stuck():
+        event = SimEvent(sim, name="never")
+        yield event.wait()
+
+    sim.spawn(stuck(), name="stuck-proc")
+    with pytest.raises(SimulationDeadlock) as excinfo:
+        sim.run()
+    assert "stuck-proc" in str(excinfo.value)
+
+
+def test_cannot_schedule_into_the_past():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(5.0)
+        sim.schedule(1.0, lambda: None)
+
+    sim.spawn(proc())
+    with pytest.raises(ProcessFailed):
+        sim.run()
+
+
+def test_spawn_auto_names_are_unique():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(0.0)
+
+    p1 = sim.spawn(proc())
+    p2 = sim.spawn(proc())
+    assert p1.name != p2.name
+
+
+def test_nested_spawn_runs_child():
+    sim = Simulator()
+    log = []
+
+    def child():
+        yield Timeout(1.0)
+        log.append("child")
+
+    def parent():
+        proc = sim.spawn(child())
+        log.append("parent-before")
+        yield proc.join()
+        log.append("parent-after")
+
+    sim.spawn(parent())
+    sim.run()
+    assert log == ["parent-before", "child", "parent-after"]
+
+
+def test_join_command_repr_mentions_target():
+    sim = Simulator()
+
+    def child():
+        yield Timeout(1.0)
+
+    proc = sim.spawn(child(), name="target")
+    assert "target" in repr(Join(proc))
+    sim.run()

@@ -1,0 +1,166 @@
+"""Property-based tests for the simulation kernel (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import FairShareCPU, Mutex, RWLock, Simulator, Timeout
+
+# ----------------------------------------------------------------------
+# FairShareCPU
+# ----------------------------------------------------------------------
+jobs_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=5.0),   # start delay
+        st.floats(min_value=0.01, max_value=10.0),  # work amount
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+@given(jobs=jobs_strategy, cores=st.integers(min_value=1, max_value=8))
+@settings(max_examples=150, deadline=None)
+def test_fair_share_cpu_conserves_work_and_bounds_makespan(jobs, cores):
+    sim = Simulator()
+    cpu = FairShareCPU(sim, cores=cores)
+    finish = {}
+
+    def proc(index, delay, amount):
+        if delay:
+            yield Timeout(delay)
+        start = sim.now
+        yield cpu.work(amount)
+        finish[index] = (start, sim.now)
+
+    for index, (delay, amount) in enumerate(jobs):
+        sim.spawn(proc(index, delay, amount))
+    sim.run()
+
+    total_work = sum(amount for _d, amount in jobs)
+    # Conservation: executed core-seconds equal requested work.
+    assert cpu.total_core_seconds == pytest.approx(total_work, rel=1e-6)
+    # Each job takes at least its single-thread time...
+    for index, (delay, amount) in enumerate(jobs):
+        start, end = finish[index]
+        assert end - start >= amount - 1e-9
+    # ...and the makespan is bounded by serial execution.
+    last_end = max(end for _s, end in finish.values())
+    last_arrival = max(delay for delay, _a in jobs)
+    assert last_end <= last_arrival + total_work + 1e-6
+    # Lower bound: work cannot beat the aggregate capacity.
+    first_arrival = min(delay for delay, _a in jobs)
+    assert last_end >= first_arrival + total_work / cores - 1e-6
+
+
+# ----------------------------------------------------------------------
+# Mutex: mutual exclusion under random hold times
+# ----------------------------------------------------------------------
+@given(
+    holds=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=2.0),
+            st.floats(min_value=0.0, max_value=1.0),
+        ),
+        min_size=2,
+        max_size=15,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_mutex_never_double_held(holds):
+    sim = Simulator()
+    mutex = Mutex(sim)
+    state = {"inside": 0, "violations": 0}
+    spans = []
+
+    def proc(delay, hold):
+        yield Timeout(delay)
+        yield mutex.acquire()
+        state["inside"] += 1
+        if state["inside"] > 1:
+            state["violations"] += 1
+        start = sim.now
+        if hold:
+            yield Timeout(hold)
+        state["inside"] -= 1
+        mutex.release()
+        spans.append((start, sim.now))
+
+    for delay, hold in holds:
+        sim.spawn(proc(delay, hold))
+    sim.run()
+    assert state["violations"] == 0
+    assert len(spans) == len(holds)
+    # Non-zero-length critical sections never overlap.
+    spans.sort()
+    for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+        assert s2 >= e1 - 1e-12
+
+
+# ----------------------------------------------------------------------
+# RWLock: the reader/writer invariant under random schedules
+# ----------------------------------------------------------------------
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.booleans(),  # writer?
+            st.floats(min_value=0.0, max_value=2.0),
+            st.floats(min_value=0.0, max_value=0.5),
+        ),
+        min_size=2,
+        max_size=15,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_rwlock_invariant_under_random_schedules(ops):
+    sim = Simulator()
+    lock = RWLock(sim)
+    state = {"readers": 0, "writers": 0, "violations": 0}
+
+    def check():
+        if state["writers"] > 1 or (state["writers"] and state["readers"]):
+            state["violations"] += 1
+
+    def reader(delay, hold):
+        yield Timeout(delay)
+        yield lock.acquire_read()
+        state["readers"] += 1
+        check()
+        if hold:
+            yield Timeout(hold)
+        state["readers"] -= 1
+        lock.release_read()
+
+    def writer(delay, hold):
+        yield Timeout(delay)
+        yield lock.acquire_write()
+        state["writers"] += 1
+        check()
+        if hold:
+            yield Timeout(hold)
+        state["writers"] -= 1
+        lock.release_write()
+
+    for is_writer, delay, hold in ops:
+        sim.spawn(writer(delay, hold) if is_writer else reader(delay, hold))
+    sim.run()
+    assert state["violations"] == 0
+
+
+# ----------------------------------------------------------------------
+# Determinism of the whole kernel
+# ----------------------------------------------------------------------
+@given(seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=25, deadline=None)
+def test_jitter_streams_are_stable(seed):
+    from repro.sim.rng import Jitter
+
+    a = Jitter(seed).fork("x")
+    b = Jitter(seed).fork("x")
+    c = Jitter(seed).fork("y")
+    draws_a = [a.factor(0.2) for _ in range(5)]
+    draws_b = [b.factor(0.2) for _ in range(5)]
+    draws_c = [c.factor(0.2) for _ in range(5)]
+    assert draws_a == draws_b
+    assert draws_a != draws_c
+    assert all(f > 0 for f in draws_a)

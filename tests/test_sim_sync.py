@@ -1,0 +1,305 @@
+"""Unit tests for simulated synchronization primitives."""
+
+import pytest
+
+from repro.sim import Mutex, Resource, RWLock, SimEvent, Simulator, Timeout
+from repro.sim.errors import SimError
+
+
+# ----------------------------------------------------------------------
+# Mutex
+# ----------------------------------------------------------------------
+def test_mutex_uncontended_acquire_is_instant():
+    sim = Simulator()
+    mutex = Mutex(sim)
+    times = []
+
+    def proc():
+        yield mutex.acquire()
+        times.append(sim.now)
+        mutex.release()
+
+    sim.spawn(proc())
+    sim.run()
+    assert times == [0.0]
+    assert mutex.stats.acquisitions == 1
+    assert mutex.stats.contended == 0
+
+
+def test_mutex_serializes_critical_sections():
+    sim = Simulator()
+    mutex = Mutex(sim)
+    spans = []
+
+    def proc(tag):
+        yield mutex.acquire()
+        start = sim.now
+        yield Timeout(1.0)
+        mutex.release()
+        spans.append((tag, start, sim.now))
+
+    for tag in range(3):
+        sim.spawn(proc(tag))
+    sim.run()
+    assert [s[1:] for s in sorted(spans)] == [(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)]
+
+
+def test_mutex_fifo_order():
+    sim = Simulator()
+    mutex = Mutex(sim)
+    order = []
+
+    def proc(tag, delay):
+        yield Timeout(delay)
+        yield mutex.acquire()
+        order.append(tag)
+        yield Timeout(1.0)
+        mutex.release()
+
+    sim.spawn(proc("a", 0.0))
+    sim.spawn(proc("b", 0.1))
+    sim.spawn(proc("c", 0.2))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_mutex_wait_statistics():
+    sim = Simulator()
+    mutex = Mutex(sim)
+
+    def holder():
+        yield mutex.acquire()
+        yield Timeout(2.0)
+        mutex.release()
+
+    def waiter():
+        yield Timeout(0.5)
+        yield mutex.acquire()
+        mutex.release()
+
+    sim.spawn(holder())
+    sim.spawn(waiter())
+    sim.run()
+    assert mutex.stats.acquisitions == 2
+    assert mutex.stats.contended == 1
+    assert mutex.stats.total_wait == pytest.approx(1.5)
+    assert mutex.stats.max_wait == pytest.approx(1.5)
+    assert mutex.stats.max_queue == 1
+
+
+def test_mutex_release_without_hold_raises():
+    sim = Simulator()
+    mutex = Mutex(sim)
+    with pytest.raises(SimError):
+        mutex.release()
+
+
+# ----------------------------------------------------------------------
+# RWLock
+# ----------------------------------------------------------------------
+def test_rwlock_readers_share():
+    sim = Simulator()
+    lock = RWLock(sim)
+    done = []
+
+    def reader(tag):
+        yield lock.acquire_read()
+        yield Timeout(1.0)
+        lock.release_read()
+        done.append((tag, sim.now))
+
+    for tag in range(4):
+        sim.spawn(reader(tag))
+    sim.run()
+    assert all(t == 1.0 for _tag, t in done)
+
+
+def test_rwlock_writer_excludes_readers():
+    sim = Simulator()
+    lock = RWLock(sim)
+    log = []
+
+    def writer():
+        yield lock.acquire_write()
+        log.append(("w-start", sim.now))
+        yield Timeout(1.0)
+        lock.release_write()
+        log.append(("w-end", sim.now))
+
+    def reader():
+        yield Timeout(0.5)
+        yield lock.acquire_read()
+        log.append(("r-start", sim.now))
+        lock.release_read()
+
+    sim.spawn(writer())
+    sim.spawn(reader())
+    sim.run()
+    assert ("r-start", 1.0) in log  # reader waited for the writer
+
+
+def test_rwlock_fifo_prevents_writer_starvation():
+    """A reader arriving behind a queued writer must wait for it."""
+    sim = Simulator()
+    lock = RWLock(sim)
+    log = []
+
+    def long_reader():
+        yield lock.acquire_read()
+        yield Timeout(2.0)
+        lock.release_read()
+
+    def writer():
+        yield Timeout(0.5)
+        yield lock.acquire_write()
+        log.append(("writer", sim.now))
+        yield Timeout(1.0)
+        lock.release_write()
+
+    def late_reader():
+        yield Timeout(1.0)
+        yield lock.acquire_read()
+        log.append(("late-reader", sim.now))
+        lock.release_read()
+
+    sim.spawn(long_reader())
+    sim.spawn(writer())
+    sim.spawn(late_reader())
+    sim.run()
+    assert log == [("writer", 2.0), ("late-reader", 3.0)]
+
+
+def test_rwlock_release_errors():
+    sim = Simulator()
+    lock = RWLock(sim)
+    with pytest.raises(SimError):
+        lock.release_read()
+    with pytest.raises(SimError):
+        lock.release_write()
+
+
+def test_rwlock_batches_consecutive_readers():
+    sim = Simulator()
+    lock = RWLock(sim)
+    starts = []
+
+    def writer():
+        yield lock.acquire_write()
+        yield Timeout(1.0)
+        lock.release_write()
+
+    def reader(tag):
+        yield Timeout(0.5)
+        yield lock.acquire_read()
+        starts.append(sim.now)
+        yield Timeout(1.0)
+        lock.release_read()
+
+    sim.spawn(writer())
+    for tag in range(3):
+        sim.spawn(reader(tag))
+    sim.run()
+    assert starts == [1.0, 1.0, 1.0]
+
+
+# ----------------------------------------------------------------------
+# Resource
+# ----------------------------------------------------------------------
+def test_resource_capacity_limits_concurrency():
+    sim = Simulator()
+    pool = Resource(sim, capacity=2)
+    starts = []
+
+    def proc(tag):
+        yield pool.request()
+        starts.append((tag, sim.now))
+        yield Timeout(1.0)
+        pool.release()
+
+    for tag in range(4):
+        sim.spawn(proc(tag))
+    sim.run()
+    start_times = sorted(t for _tag, t in starts)
+    assert start_times == [0.0, 0.0, 1.0, 1.0]
+
+
+def test_resource_bulk_request_waits_for_units():
+    sim = Simulator()
+    pool = Resource(sim, capacity=3)
+    log = []
+
+    def small():
+        yield pool.request(2)
+        yield Timeout(1.0)
+        pool.release(2)
+
+    def big():
+        yield Timeout(0.1)
+        yield pool.request(3)
+        log.append(sim.now)
+        pool.release(3)
+
+    sim.spawn(small())
+    sim.spawn(big())
+    sim.run()
+    assert log == [1.0]
+
+
+def test_resource_invalid_requests():
+    sim = Simulator()
+    pool = Resource(sim, capacity=2)
+    with pytest.raises(ValueError):
+        pool.request(0)
+    with pytest.raises(ValueError):
+        pool.request(3)
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+    with pytest.raises(SimError):
+        pool.release(1)
+
+
+# ----------------------------------------------------------------------
+# SimEvent
+# ----------------------------------------------------------------------
+def test_event_wakes_all_waiters_with_payload():
+    sim = Simulator()
+    event = SimEvent(sim)
+    got = []
+
+    def waiter(tag):
+        value = yield event.wait()
+        got.append((tag, value, sim.now))
+
+    def trigger():
+        yield Timeout(2.0)
+        event.trigger("ready")
+
+    sim.spawn(waiter("a"))
+    sim.spawn(waiter("b"))
+    sim.spawn(trigger())
+    sim.run()
+    assert sorted(got) == [("a", "ready", 2.0), ("b", "ready", 2.0)]
+
+
+def test_wait_on_triggered_event_is_instant():
+    sim = Simulator()
+    event = SimEvent(sim)
+    got = []
+
+    def proc():
+        event.trigger(7)
+        yield Timeout(1.0)
+        value = yield event.wait()
+        got.append((value, sim.now))
+
+    sim.spawn(proc())
+    sim.run()
+    assert got == [(7, 1.0)]
+
+
+def test_event_double_trigger_raises():
+    sim = Simulator()
+    event = SimEvent(sim)
+    event.trigger()
+    with pytest.raises(SimError):
+        event.trigger()

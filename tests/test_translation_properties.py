@@ -1,0 +1,115 @@
+"""Property-based tests for the translation tables (IOMMU, EPT) and
+devset open-count accounting."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.ept import EPT, EptFault
+from repro.hw.errors import DmaTranslationFault
+from repro.hw.iommu import IOMMU
+from repro.hw.memory import PhysicalMemory
+
+PAGE = 4096
+FRAMES = 64
+
+
+iommu_ops = st.lists(
+    st.one_of(
+        st.integers(min_value=0, max_value=31).map(lambda i: ("map", i)),
+        st.integers(min_value=0, max_value=31).map(lambda i: ("unmap", i)),
+        st.integers(min_value=0, max_value=31).map(lambda i: ("lookup", i)),
+    ),
+    max_size=80,
+)
+
+
+@given(ops=iommu_ops)
+@settings(max_examples=150, deadline=None)
+def test_iommu_model_matches_reference_dict(ops):
+    """The IOMMU domain behaves exactly like a dict IOVA -> page."""
+    mem = PhysicalMemory(FRAMES * PAGE, PAGE)
+    region = mem.allocate(32 * PAGE, owner="vm")
+    for page in region.pages:
+        page.pin()
+    domain = IOMMU().create_domain("vm")
+    reference = {}
+    for op, index in ops:
+        iova = index * PAGE
+        if op == "map":
+            if iova in reference:
+                continue  # model would (correctly) reject double-map
+            domain.map_page(iova, region.pages[index])
+            reference[iova] = region.pages[index]
+        elif op == "unmap":
+            if iova not in reference:
+                continue
+            assert domain.unmap_page(iova) is reference.pop(iova)
+        else:
+            if iova in reference:
+                page, offset = domain.translate(iova + 7)
+                assert page is reference[iova]
+                assert offset == 7
+            else:
+                try:
+                    domain.translate(iova)
+                    raise AssertionError("expected a DMA fault")
+                except DmaTranslationFault:
+                    pass
+        assert domain.entry_count == len(reference)
+        assert domain.mapped_bytes == len(reference) * PAGE
+
+
+@given(
+    touches=st.lists(st.integers(min_value=0, max_value=31 * PAGE),
+                     min_size=1, max_size=60)
+)
+@settings(max_examples=100, deadline=None)
+def test_ept_faults_exactly_once_per_distinct_page(touches):
+    """However a GPA sequence interleaves, each page faults once."""
+    mem = PhysicalMemory(FRAMES * PAGE, PAGE)
+    region = mem.allocate(32 * PAGE, owner="vm")
+    ept = EPT("vm", PAGE)
+    for gpa in touches:
+        try:
+            ept.translate(gpa)
+        except EptFault as fault:
+            ept.insert(fault.gpa, region.pages[fault.gpa // PAGE])
+            page, _ = ept.translate(gpa)  # now resolves
+    distinct_pages = {gpa // PAGE for gpa in touches}
+    assert ept.fault_count == len(distinct_pages)
+    assert ept.entry_count == len(distinct_pages)
+
+
+@given(
+    schedule=st.lists(st.booleans(), min_size=1, max_size=40),
+    devices=st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=60, deadline=None)
+def test_devset_open_count_is_conserved(schedule, devices):
+    """Any interleaving of opens/closes keeps total_open_count equal to
+    the number of live handles, under both lock policies."""
+    from tests.conftest import KernelRig
+
+    for policy in ("coarse", "hierarchical"):
+        rig = KernelRig(lock_policy=policy, vf_count=devices)
+        rig.bind_all_vfs_to_vfio()
+        live = []
+        expected = {"count": 0}
+
+        def driver(rig=rig, live=live, expected=expected):
+            for index, do_open in enumerate(schedule):
+                if do_open:
+                    handle = yield from rig.vfio.open_device(
+                        rig.vfs[index % devices], opener=f"op{index}"
+                    )
+                    live.append(handle)
+                    expected["count"] += 1
+                elif live:
+                    handle = live.pop()
+                    yield from rig.vfio.close_device(handle)
+                    expected["count"] -= 1
+                devset = rig.vfio.devset_of(rig.vfs[0])
+                assert devset.total_open_count == expected["count"]
+
+        rig.sim.spawn(driver())
+        rig.run()

@@ -1,0 +1,87 @@
+"""Tests for the vDPA extension (§7 future work, implemented)."""
+
+import pytest
+
+from repro.core import SolutionConfig, build_host, get_preset
+from repro.hw.memory import MIB
+from repro.spec import HostSpec
+from repro.workloads import make_app
+
+SMALL_SPEC = HostSpec(
+    memory_bytes=8 * 1024 * MIB,
+    rom_bytes=8 * MIB,
+    image_bytes=32 * MIB,
+    nic_ring_bytes=4 * MIB,
+    container_image_bytes=8 * MIB,
+    jitter_sigma=0.0,
+)
+VM = 96 * MIB
+
+
+def small_host(preset, **kwargs):
+    return build_host(preset, spec=SMALL_SPEC, vf_count=16, **kwargs)
+
+
+def test_vdpa_presets_exist_and_validate():
+    assert get_preset("fastiov-vdpa").vdpa
+    assert get_preset("vanilla-vdpa").vdpa
+    with pytest.raises(ValueError):
+        SolutionConfig(name="x", network="ipvtap", vdpa=True)
+
+
+def test_vdpa_container_starts_with_passthrough_but_virtio_control():
+    host = small_host("vanilla-vdpa")
+    result = host.launch(2, memory_bytes=VM)
+    assert all(record.failed is None for record in result.records)
+    container = host.engine.containers["c0"]
+    # Still a real passthrough VF...
+    assert container.microvm.vf is not None
+    assert container.microvm.domain is not None
+    # ...but no PF-mailbox negotiation happened.
+    assert host.binding.mailbox_stats.acquisitions == 0
+    assert container.microvm.network_ready.triggered
+
+
+def test_vdpa_skips_vendor_driver_cost():
+    vdpa = small_host("vanilla-vdpa").launch(4, memory_bytes=VM)
+    vendor = small_host("vanilla").launch(4, memory_bytes=VM)
+    assert (vdpa.mean_step_time("5-vf-driver")
+            < vendor.mean_step_time("5-vf-driver") / 3)
+
+
+def test_vdpa_rings_are_proactively_faulted_for_nic_dma():
+    """The §7 property: virtio's buffer protocol EPT-faults the rings,
+    so device-first-write is safe even with lazy zeroing and no vendor
+    driver changes."""
+    host = small_host("fastiov-vdpa")
+    host.launch(1, memory_bytes=VM)
+    container = host.engine.containers["c0"]
+    vm = container.microvm
+
+    def dma_flow():
+        yield from vm.guest.wait_network_ready()
+        host.nic.dma.write(vm.domain, vm.nic_ring_gpa, 2 * MIB,
+                           writer_tag="nic-rx")
+        yield from host.kvm.guest_touch_range(
+            vm.vm, vm.nic_ring_gpa, 2 * MIB, expect="nic-rx", verify=True
+        )
+
+    host.sim.spawn(dma_flow())
+    host.sim.run()  # no DmaTranslationFault, no ResidualDataLeak
+
+
+def test_vdpa_app_end_to_end():
+    host = small_host("fastiov-vdpa")
+    result = host.launch(
+        2, memory_bytes=VM, app_factory=lambda index: make_app("image")
+    )
+    assert all(record.failed is None for record in result.records)
+    for record in result.records:
+        assert record.task_completion_time > record.startup_time
+
+
+def test_plan_rejects_vdpa_without_passthrough():
+    from repro.virt.hypervisor import VirtNetworkPlan
+
+    with pytest.raises(ValueError):
+        VirtNetworkPlan(passthrough=False, vdpa=True)

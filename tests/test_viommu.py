@@ -1,0 +1,119 @@
+"""Tests for the deferred-mapping (vIOMMU, §8) baseline."""
+
+import pytest
+
+from repro.core import SolutionConfig, build_host, get_preset
+from repro.hw.errors import DmaTranslationFault
+from repro.hw.memory import MIB
+from repro.spec import HostSpec
+from repro.workloads import make_app
+from repro.workloads.datapath import download_from_storage
+
+SMALL_SPEC = HostSpec(
+    memory_bytes=8 * 1024 * MIB,
+    rom_bytes=8 * MIB,
+    image_bytes=32 * MIB,
+    nic_ring_bytes=4 * MIB,
+    container_image_bytes=8 * MIB,
+    jitter_sigma=0.0,
+)
+VM = 96 * MIB
+
+
+def small_host(**kwargs):
+    return build_host("viommu", spec=SMALL_SPEC, vf_count=8, **kwargs)
+
+
+def test_preset_validation():
+    assert get_preset("viommu").deferred_mapping
+    with pytest.raises(ValueError):
+        SolutionConfig(name="x", network="none", deferred_mapping=True)
+    with pytest.raises(ValueError):
+        SolutionConfig(name="x", deferred_mapping=True,
+                       decoupled_zeroing=True)
+
+
+def test_startup_maps_nothing_but_attaches_the_vf():
+    host = small_host()
+    result = host.launch(1, memory_bytes=VM)
+    assert result.records[0].failed is None
+    container = host.engine.containers["c0"]
+    vm = container.microvm
+    assert vm.vf_handle is not None           # real VFIO attach
+    assert vm.mapped_regions == {}            # but no up-front mapping
+    assert vm.domain.entry_count == 0
+    assert "ram" in vm.anon_mappings          # demand-paged memory
+    assert result.records[0].step_time("1-dma-ram") == 0
+
+
+def test_startup_skips_at_least_the_mapping_and_zeroing_cost():
+    n = 8
+    big_vm = 512 * MIB
+    viommu = small_host().launch(n, memory_bytes=big_vm)
+    vanilla = build_host("vanilla", spec=SMALL_SPEC, vf_count=8).launch(
+        n, memory_bytes=big_vm
+    )
+    gap = vanilla.startup_times().mean - viommu.startup_times().mean
+    zero_cost = SMALL_SPEC.zeroing_cpu_seconds(big_vm)
+    assert gap > zero_cost * 0.5
+
+
+def test_dma_faults_hard_until_the_emulation_maps():
+    """Without the vIOMMU intercept, device DMA to unmapped memory is a
+    hard fault — the reason real deferred mapping needs the emulation
+    layer in the first place."""
+    host = small_host()
+    host.launch(1, memory_bytes=VM)
+    vm = host.engine.containers["c0"].microvm
+
+    def raw_dma():
+        yield from vm.guest.wait_network_ready()
+        with pytest.raises(DmaTranslationFault):
+            host.nic.dma.write(vm.domain, vm.nic_ring_gpa, MIB,
+                               writer_tag="nic-rx")
+
+    host.sim.spawn(raw_dma())
+    host.sim.run()
+
+
+def test_first_download_maps_on_demand_then_reuses():
+    host = small_host()
+    host.launch(1, memory_bytes=VM)
+    container = host.engine.containers["c0"]
+    vm = container.microvm
+    times = {}
+
+    def flow():
+        yield from vm.guest.wait_network_ready()
+        t0 = host.sim.now
+        yield from download_from_storage(container, host, 2 * MIB)
+        times["first"] = host.sim.now - t0
+        entries_after_first = vm.domain.entry_count
+        t1 = host.sim.now
+        yield from download_from_storage(container, host, 2 * MIB)
+        times["second"] = host.sim.now - t1
+        assert vm.domain.entry_count == entries_after_first  # reused
+
+    host.sim.spawn(flow())
+    host.sim.run()
+    expected_pages = -(-2 * MIB // SMALL_SPEC.page_size)
+    assert vm.domain.entry_count == expected_pages
+    assert times["first"] > times["second"]
+
+
+def test_app_end_to_end_and_clean_teardown():
+    host = small_host()
+    result = host.launch(
+        2, memory_bytes=VM, app_factory=lambda index: make_app("image")
+    )
+    assert all(record.failed is None for record in result.records)
+
+    def removal():
+        yield from host.engine.remove_container("c0")
+        yield from host.engine.remove_container("c1")
+
+    host.sim.spawn(removal())
+    host.sim.run()
+    assert host.iommu.domain_count == 0
+    # Only the shared image cache may remain resident.
+    assert host.memory.allocated_bytes <= SMALL_SPEC.image_bytes

@@ -1,0 +1,342 @@
+"""Tests for the virtualization layer: hypervisor, guest, virtioFS."""
+
+import pytest
+
+from repro.hw.memory import MIB
+from repro.metrics.timeline import StartupRecord, StepTimer
+from repro.oskernel.errors import GuestCrash
+from repro.oskernel.vfio import DECOUPLED_ZEROING, EAGER_ZEROING
+from repro.sim.errors import ProcessFailed
+from repro.virt.hypervisor import VirtNetworkPlan
+from repro.virt.layout import GuestMemoryLayout
+from tests.conftest import KernelRig
+
+
+def make_rig(**kwargs):
+    defaults = dict(lock_policy="hierarchical")
+    defaults.update(kwargs)
+    r = KernelRig(**defaults)
+    r.bind_all_vfs_to_vfio()
+    return r
+
+
+def small_spec(r):
+    """Shrink guest geometry so tests stay fast."""
+    return r.spec.derive(
+        rom_bytes=2 * MIB,
+        image_bytes=8 * MIB,
+        nic_ring_bytes=2 * MIB,
+        boot_touch_fraction=0.1,
+    )
+
+
+def create_vm(r, name="vm0", ram=32 * MIB, plan=None, boot=False,
+              vf_init=False):
+    """Drive hypervisor.create_microvm (+ optional boot/driver init)."""
+    r.hypervisor._spec = small_spec(r)
+    plan = plan or VirtNetworkPlan()
+    record = StartupRecord(name)
+    timer = StepTimer(r.sim, record)
+    out = {}
+
+    def flow():
+        timer.mark_start()
+        microvm = yield from r.hypervisor.create_microvm(name, ram, plan, timer)
+        if boot:
+            yield from microvm.guest.boot(timer)
+        if vf_init:
+            yield from microvm.guest.vf_driver_init(timer)
+        timer.mark_ready()
+        out["vm"] = microvm
+
+    r.sim.spawn(flow())
+    r.run()
+    out["record"] = record
+    return out
+
+
+def passthrough_plan(r, **kwargs):
+    return VirtNetworkPlan(passthrough=True, vf=r.vfs[0], **kwargs)
+
+
+# ----------------------------------------------------------------------
+# layout
+# ----------------------------------------------------------------------
+def test_layout_geometry_and_rom_fraction():
+    from repro.spec import HostSpec
+
+    spec = HostSpec()
+    layout = GuestMemoryLayout.for_vm(spec, 512 * MIB)
+    assert layout.rom_bytes == 48 * MIB
+    assert layout.image_gpa == 512 * MIB
+    assert layout.rom_fraction() == pytest.approx(0.094, abs=0.001)
+
+
+def test_layout_validation():
+    with pytest.raises(ValueError):
+        GuestMemoryLayout(ram_bytes=4 * MIB, rom_bytes=4 * MIB,
+                          image_bytes=4 * MIB, page_size=MIB)
+    with pytest.raises(ValueError):
+        GuestMemoryLayout(ram_bytes=4 * MIB + 1, rom_bytes=MIB,
+                          image_bytes=4 * MIB, page_size=MIB)
+
+
+# ----------------------------------------------------------------------
+# microVM creation paths
+# ----------------------------------------------------------------------
+def test_passthrough_vm_maps_ram_and_image():
+    r = make_rig()
+    out = create_vm(r, plan=passthrough_plan(r))
+    vm = out["vm"]
+    assert set(vm.mapped_regions) == {"ram", "image"}
+    assert vm.vf_handle is not None
+    assert vm.vf.assigned_to == "vm0"
+    record = out["record"]
+    for step in ("1-dma-ram", "2-virtiofs", "3-dma-image", "4-vfio-dev"):
+        assert record.step_time(step) > 0, step
+
+
+def test_skip_image_mapping_uses_shared_page_cache():
+    r = make_rig()
+    out0 = create_vm(r, name="vm0",
+                     plan=passthrough_plan(r, skip_image_mapping=True))
+    assert "image" not in out0["vm"].mapped_regions
+    assert out0["record"].step_time("3-dma-image") == 0
+    before = r.memory.allocated_bytes
+    out1 = create_vm(r, name="vm1",
+                     plan=VirtNetworkPlan(passthrough=True, vf=r.vfs[1],
+                                          skip_image_mapping=True),
+                     boot=True)
+    # The second VM's image reads hit the shared cache: extra memory is
+    # its RAM + (at most) newly cached image pages, never a full copy.
+    growth = r.memory.allocated_bytes - before
+    assert growth <= 32 * MIB + r.hypervisor._spec.image_bytes
+
+
+def test_non_passthrough_vm_has_no_dma_steps():
+    r = make_rig()
+    out = create_vm(r, plan=VirtNetworkPlan())
+    vm = out["vm"]
+    record = out["record"]
+    assert vm.mapped_regions == {}
+    assert vm.vf_handle is None
+    assert record.step_time("1-dma-ram") == 0
+    assert record.step_time("4-vfio-dev") == 0
+    assert record.step_time("2-virtiofs") > 0
+    assert "ram" in vm.anon_mappings
+
+
+def test_passthrough_creation_much_slower_than_anon():
+    ram = 256 * MIB
+    slow = make_rig()
+    t_pass = create_vm(slow, ram=ram,
+                       plan=passthrough_plan(slow))["record"].startup_time
+    fast = make_rig()
+    t_anon = create_vm(fast, ram=ram,
+                       plan=VirtNetworkPlan())["record"].startup_time
+    # The gap is at least the eager zeroing of RAM + image.
+    zero_cost = slow.spec.zeroing_cpu_seconds(ram + slow.hypervisor._spec.image_bytes)
+    assert t_pass - t_anon > zero_cost * 0.8
+
+
+# ----------------------------------------------------------------------
+# guest boot
+# ----------------------------------------------------------------------
+def test_boot_verifies_rom_and_image_content_eager():
+    r = make_rig()
+    out = create_vm(r, plan=passthrough_plan(r), boot=True)
+    assert out["vm"].guest.booted
+    assert out["record"].step_time("guest-boot") > 0
+
+
+def test_boot_with_decoupled_zeroing_and_instant_list_is_safe():
+    r = make_rig(with_fastiovd=True, scanner=False)
+    out = create_vm(
+        r, plan=passthrough_plan(r, zeroing_policy=DECOUPLED_ZEROING), boot=True
+    )
+    assert out["vm"].guest.booted
+    # ROM pages were instant-zeroed, the rest lazily on boot touches.
+    assert r.fastiovd.stats.instant_pages > 0
+    assert r.fastiovd.stats.fault_zeroed_pages > 0
+
+
+def test_boot_without_instant_list_crashes_guest():
+    """§4.3.2 scenario 1: kernel pages zeroed out from under the guest."""
+    r = make_rig(with_fastiovd=True, scanner=False)
+    with pytest.raises(ProcessFailed) as excinfo:
+        create_vm(
+            r,
+            plan=passthrough_plan(
+                r,
+                zeroing_policy=DECOUPLED_ZEROING,
+                use_instant_zeroing_list=False,
+            ),
+            boot=True,
+        )
+    assert isinstance(excinfo.value.cause, GuestCrash)
+
+
+def test_boot_non_passthrough_demand_faults_only_working_set():
+    r = make_rig()
+    out = create_vm(r, ram=32 * MIB, plan=VirtNetworkPlan(), boot=True)
+    mapping = out["vm"].anon_mappings["ram"]
+    # Resident: ROM + boot working set, far below full RAM.
+    assert mapping.resident_bytes < 32 * MIB // 2
+
+
+# ----------------------------------------------------------------------
+# VF driver init
+# ----------------------------------------------------------------------
+def test_vf_driver_init_triggers_network_ready_and_records_step():
+    r = make_rig()
+    out = create_vm(r, plan=passthrough_plan(r), boot=True, vf_init=True)
+    vm = out["vm"]
+    assert vm.network_ready.triggered
+    assert vm.guest.vf_driver_ready
+    assert out["record"].step_time("5-vf-driver") > 0
+
+
+def test_vf_driver_rings_are_ept_faulted_before_nic_dma():
+    """§7's property: the driver scrubs its rings, so NIC DMA writes
+    land on pages the guest can already see."""
+    r = make_rig()
+    out = create_vm(r, plan=passthrough_plan(r), boot=True, vf_init=True)
+    vm = out["vm"]
+
+    def dma_flow():
+        # NIC writes a packet into the RX ring via the IOMMU.
+        r.nic.dma.write(vm.domain, vm.nic_ring_gpa, 2 * MIB, writer_tag="nic-rx")
+        # Guest consumes it.
+        yield from r.kvm.guest_touch_range(
+            vm.vm, vm.nic_ring_gpa, 2 * MIB, expect="nic-rx", verify=True
+        )
+
+    r.sim.spawn(dma_flow())
+    r.run()
+
+
+def test_agent_poll_waits_for_readiness():
+    r = make_rig()
+    out = create_vm(r, plan=passthrough_plan(r), boot=True)
+    vm = out["vm"]
+    waited = {}
+
+    def async_init():
+        yield from vm.guest.vf_driver_init(StepTimer(r.sim, StartupRecord("x")))
+
+    def app_start():
+        t0 = r.sim.now
+        yield from vm.guest.wait_network_ready()
+        waited["dt"] = r.sim.now - t0
+
+    r.sim.spawn(async_init())
+    r.sim.spawn(app_start())
+    r.run()
+    assert vm.network_ready.triggered
+    assert waited["dt"] > 0
+
+
+# ----------------------------------------------------------------------
+# virtioFS transfers
+# ----------------------------------------------------------------------
+def test_virtiofs_read_delivers_file_data():
+    r = make_rig()
+    out = create_vm(r, plan=passthrough_plan(r), boot=True)
+    vm = out["vm"]
+
+    def flow():
+        yield from vm.virtiofs.guest_read_file("app.tar", 4 * MIB)
+
+    r.sim.spawn(flow())
+    r.run()
+    assert vm.virtiofs.requests == 1
+    assert vm.virtiofs.bytes_transferred == 4 * MIB
+
+
+def test_virtiofs_proactive_faults_protect_lazy_buffers():
+    r = make_rig(with_fastiovd=True, scanner=False)
+    out = create_vm(
+        r, plan=passthrough_plan(r, zeroing_policy=DECOUPLED_ZEROING), boot=True
+    )
+    vm = out["vm"]
+
+    def flow():
+        yield from vm.virtiofs.guest_read_file("app.tar", 4 * MIB)
+
+    r.sim.spawn(flow())
+    r.run()  # no crash: faults happened before the backend wrote
+
+
+def test_virtiofs_without_proactive_faults_corrupts_lazy_buffers():
+    """§4.3.2 scenario 2: deferred zeroing destroys delivered data."""
+    r = make_rig(with_fastiovd=True, scanner=False)
+    out = create_vm(
+        r,
+        plan=passthrough_plan(
+            r,
+            zeroing_policy=DECOUPLED_ZEROING,
+            proactive_virtio_faults=False,
+        ),
+        boot=True,
+    )
+    vm = out["vm"]
+
+    def flow():
+        yield from vm.virtiofs.guest_read_file("app.tar", 4 * MIB)
+
+    r.sim.spawn(flow())
+    with pytest.raises(ProcessFailed) as excinfo:
+        r.run()
+    assert isinstance(excinfo.value.cause, GuestCrash)
+
+
+def test_virtiofs_rejects_bad_length():
+    r = make_rig()
+    out = create_vm(r, plan=VirtNetworkPlan(), boot=True)
+    with pytest.raises(ValueError):
+        list(out["vm"].virtiofs.guest_read_file("x", 0))
+
+
+# ----------------------------------------------------------------------
+# teardown
+# ----------------------------------------------------------------------
+def test_destroy_microvm_releases_resources():
+    r = make_rig(with_fastiovd=True, scanner=False)
+    out = create_vm(
+        r, plan=passthrough_plan(r, zeroing_policy=DECOUPLED_ZEROING), boot=True
+    )
+    vm = out["vm"]
+    before = r.memory.allocated_bytes
+
+    def teardown():
+        yield from r.hypervisor.destroy_microvm(vm)
+
+    r.sim.spawn(teardown())
+    r.run()
+    assert vm.destroyed
+    assert vm.vf.assigned_to is None
+    assert r.memory.allocated_bytes < before
+    assert r.fastiovd.pending_pages(vm.pid) == 0
+    assert r.iommu.domain_count == 0
+
+
+def test_destroy_twice_rejected():
+    r = make_rig()
+    out = create_vm(r, plan=VirtNetworkPlan())
+    vm = out["vm"]
+
+    def teardown():
+        yield from r.hypervisor.destroy_microvm(vm)
+        yield from r.hypervisor.destroy_microvm(vm)
+
+    r.sim.spawn(teardown())
+    with pytest.raises(ProcessFailed):
+        r.run()
+
+
+def test_guest_allocator_exhaustion():
+    r = make_rig()
+    out = create_vm(r, ram=8 * MIB, plan=VirtNetworkPlan())
+    vm = out["vm"]
+    with pytest.raises(MemoryError):
+        vm.alloc_guest_range(64 * MIB, "too-big")

@@ -1,0 +1,110 @@
+"""Additional virtioFS and guest-memory interaction tests."""
+
+import pytest
+
+from repro.hw.memory import MIB
+from repro.metrics.timeline import StartupRecord, StepTimer
+from repro.oskernel.vfio import DECOUPLED_ZEROING
+from repro.virt.hypervisor import VirtNetworkPlan
+from tests.conftest import KernelRig
+from tests.test_virt import create_vm, make_rig, passthrough_plan
+
+
+def test_multiple_file_reads_reuse_the_vring_page():
+    r = make_rig()
+    out = create_vm(r, plan=passthrough_plan(r), boot=True)
+    vm = out["vm"]
+    faults_after_boot = vm.vm.ept.fault_count
+
+    def flow():
+        yield from vm.virtiofs.guest_read_file("a", 2 * MIB)
+        yield from vm.virtiofs.guest_read_file("b", 2 * MIB)
+
+    r.sim.spawn(flow())
+    r.run()
+    assert vm.virtiofs.requests == 2
+    # The vring page faulted once; each 2 MiB buffer faulted its pages
+    # once (2 pages each at 1 MiB granularity).
+    assert vm.vm.ept.fault_count - faults_after_boot == 1 + 2 + 2
+
+
+def test_unverified_reads_still_touch_data():
+    r = make_rig()
+    out = create_vm(r, plan=VirtNetworkPlan(), boot=True)
+    vm = out["vm"]
+
+    def flow():
+        dest = yield from vm.virtiofs.guest_read_file("x", MIB, verify=False)
+        return dest
+
+    r.sim.spawn(flow())
+    r.run()
+    assert vm.virtiofs.bytes_transferred == MIB
+
+
+def test_explicit_destination_buffer():
+    r = make_rig()
+    out = create_vm(r, plan=VirtNetworkPlan(), boot=True)
+    vm = out["vm"]
+    dest = vm.alloc_guest_range(2 * MIB, "my-buffer")
+    got = {}
+
+    def flow():
+        got["dest"] = yield from vm.virtiofs.guest_read_file(
+            "y", 2 * MIB, dest_gpa=dest
+        )
+
+    r.sim.spawn(flow())
+    r.run()
+    assert got["dest"] == dest
+
+
+def test_transfer_time_scales_with_size():
+    r = make_rig()
+    out = create_vm(r, plan=VirtNetworkPlan(), boot=True)
+    vm = out["vm"]
+    times = {}
+
+    def flow():
+        t0 = r.sim.now
+        yield from vm.virtiofs.guest_read_file("small", MIB)
+        times["small"] = r.sim.now - t0
+        t1 = r.sim.now
+        yield from vm.virtiofs.guest_read_file("large", 8 * MIB)
+        times["large"] = r.sim.now - t1
+
+    r.sim.spawn(flow())
+    r.run()
+    assert times["large"] > times["small"] * 4
+
+
+def test_lazy_buffer_pages_counted_once_even_with_two_reads():
+    """Two sequential reads into fresh buffers: each buffer's pages are
+    claimed/zeroed exactly once (no double-zero, no misses)."""
+    r = make_rig(with_fastiovd=True, scanner=False)
+    out = create_vm(
+        r, plan=passthrough_plan(r, zeroing_policy=DECOUPLED_ZEROING),
+        boot=True,
+    )
+    vm = out["vm"]
+    zeroed_before = r.fastiovd.stats.fault_zeroed_pages
+
+    def flow():
+        yield from vm.virtiofs.guest_read_file("a", 2 * MIB)
+        yield from vm.virtiofs.guest_read_file("b", 2 * MIB)
+
+    r.sim.spawn(flow())
+    r.run()
+    # vring page + 2 buffers x 2 pages, each exactly once.
+    assert r.fastiovd.stats.fault_zeroed_pages - zeroed_before == 5
+
+
+def test_guest_allocator_is_monotonic_and_page_aligned():
+    r = make_rig()
+    out = create_vm(r, plan=VirtNetworkPlan())
+    vm = out["vm"]
+    a = vm.alloc_guest_range(100, "tiny")  # rounds up to one page
+    b = vm.alloc_guest_range(MIB, "next")
+    page = vm.layout.page_size
+    assert a % page == 0 and b % page == 0
+    assert b == a + page

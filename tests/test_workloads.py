@@ -1,0 +1,210 @@
+"""Tests for serverless apps, data paths, arrivals, and membench."""
+
+import pytest
+
+from repro.core import build_host
+from repro.hw.memory import GIB, MIB
+from repro.sim.rng import Jitter
+from repro.spec import HostSpec
+from repro.workloads import (
+    APP_CATALOG,
+    ArrivalPattern,
+    Tinymembench,
+    make_app,
+)
+from repro.workloads import reference
+
+SMALL_SPEC = HostSpec(
+    memory_bytes=16 * 1024 * MIB,
+    rom_bytes=8 * MIB,
+    image_bytes=32 * MIB,
+    nic_ring_bytes=4 * MIB,
+    container_image_bytes=8 * MIB,
+    jitter_sigma=0.0,
+)
+VM = 256 * MIB
+
+
+def run_app(preset, app_name, count=1, memory_bytes=VM):
+    host = build_host(preset, spec=SMALL_SPEC, vf_count=32)
+    result = host.launch(
+        count, memory_bytes=memory_bytes,
+        app_factory=lambda index: make_app(app_name),
+    )
+    return host, result
+
+
+# ----------------------------------------------------------------------
+# app catalog & reference kernels
+# ----------------------------------------------------------------------
+def test_catalog_has_the_four_sebs_apps():
+    assert sorted(APP_CATALOG) == ["compression", "image", "inference",
+                                   "scientific"]
+    with pytest.raises(KeyError):
+        make_app("database")
+
+
+def test_catalog_compute_ordering_matches_paper():
+    """Fig. 15: execution time grows Image -> Inference."""
+    budgets = [APP_CATALOG[n]["compute_cpu_s"]
+               for n in ("image", "compression", "scientific", "inference")]
+    assert budgets == sorted(budgets)
+    assert budgets[0] < budgets[-1] / 10
+
+
+def test_reference_kernels_actually_compute():
+    thumbnail = reference.execute_reference("image")
+    assert len(thumbnail) == 100 and len(thumbnail[0]) == 100
+    assert all(0 <= px <= 255 for row in thumbnail for px in row)
+
+    compressed = reference.execute_reference("compression")
+    assert len(compressed) < 256 * 1024 / 4  # compressible input shrank
+
+    distances = reference.execute_reference("scientific")
+    assert len(distances) == 10_000
+    assert all(distance >= 0 for distance in distances)  # connected graph
+
+    label = reference.execute_reference("inference")
+    assert 0 <= label < 64
+
+
+def test_speedup_model():
+    image = make_app("image")
+    inference = make_app("inference")
+    assert image.speedup(512 * MIB) == 1.0
+    assert image.speedup(2 * GIB) == 1.0  # single-threaded: flat (Fig 16e)
+    assert inference.speedup(512 * MIB) == 1.0
+    assert inference.speedup(2 * GIB) == pytest.approx(4.0)  # Fig 16h drops
+
+
+# ----------------------------------------------------------------------
+# end-to-end app runs
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("preset", ["vanilla", "fastiov", "ipvtap"])
+def test_app_completes_on_each_network(preset):
+    host, result = run_app(preset, "compression")
+    record = result.records[0]
+    assert record.failed is None
+    tct = record.task_completion_time
+    assert tct > record.startup_time
+    assert record.step_time("app-run") > 0
+    assert record.step_time("app-image-transfer") > 0
+
+
+def test_task_completion_ordering_across_apps():
+    times = {}
+    for app in ("image", "compression", "scientific", "inference"):
+        _host, result = run_app("vanilla", app)
+        times[app] = result.records[0].task_completion_time
+    assert times["image"] < times["compression"] < times["scientific"] \
+        < times["inference"]
+
+
+def test_fastiov_app_waits_for_network_before_running():
+    host, result = run_app("fastiov", "image")
+    record = result.records[0]
+    container = host.engine.containers["c0"]
+    assert container.microvm.network_ready.triggered
+    # app ran strictly after readiness (wait step recorded, may be ~0).
+    assert record.t_app_done > record.t_ready
+
+
+def test_app_without_network_fails():
+    from repro.sim.errors import ProcessFailed
+
+    host = build_host("no-net", spec=SMALL_SPEC, vf_count=4)
+    with pytest.raises(ProcessFailed):
+        host.launch(1, memory_bytes=VM,
+                    app_factory=lambda index: make_app("image"))
+
+
+def test_bigger_container_speeds_up_parallel_app():
+    _h1, small = run_app("fastiov", "inference", memory_bytes=512 * MIB)
+    _h2, big = run_app("fastiov", "inference", memory_bytes=2 * GIB)
+    small_tct = small.records[0].task_completion_time
+    big_tct = big.records[0].task_completion_time
+    assert big_tct < small_tct  # Fig. 16h: more resources, faster task
+
+
+def test_passthrough_download_faster_than_software_under_load():
+    n = 8
+    _h1, vf = run_app("fastiov", "inference", count=n)
+    _h2, soft = run_app("ipvtap", "inference", count=n)
+    vf_run = sum(r.step_time("app-run") for r in vf.records) / n
+    soft_run = sum(r.step_time("app-run") for r in soft.records) / n
+    assert vf_run < soft_run  # §6.4: software data plane is slower
+
+
+def test_storage_link_is_shared():
+    """Concurrent downloads divide the wire: 8 transfers take ~8x one."""
+    from repro.workloads.serverless import ServerlessApp
+
+    def heavy(index):
+        return ServerlessApp("bulk", input_bytes=512 * MIB,
+                             compute_cpu_s=0.0, footprint_bytes=2 * MIB)
+
+    host1 = build_host("vanilla", spec=SMALL_SPEC, vf_count=32)
+    one = host1.launch(1, memory_bytes=VM, app_factory=heavy)
+    host8 = build_host("vanilla", spec=SMALL_SPEC, vf_count=32)
+    many = host8.launch(8, memory_bytes=VM, app_factory=heavy)
+    t1 = one.records[0].step_time("app-run")
+    t8 = max(r.step_time("app-run") for r in many.records)
+    assert t8 > t1 * 4  # near-8x with overlap slack
+
+
+# ----------------------------------------------------------------------
+# arrivals
+# ----------------------------------------------------------------------
+def test_arrival_patterns():
+    burst = ArrivalPattern("burst")
+    assert burst.offsets(3) == [0.0, 0.0, 0.0]
+    uniform = ArrivalPattern("uniform", spacing_s=0.5)
+    assert uniform.offsets(3) == [0.0, 0.5, 1.0]
+    poisson = ArrivalPattern("poisson", rate_per_s=100.0, jitter=Jitter(1))
+    offsets = poisson.offsets(50)
+    assert offsets == sorted(offsets)
+    assert 0 < offsets[-1] < 5.0
+    with pytest.raises(ValueError):
+        ArrivalPattern("weibull")
+    with pytest.raises(ValueError):
+        ArrivalPattern("poisson")
+    with pytest.raises(ValueError):
+        burst.offsets(0)
+
+
+# ----------------------------------------------------------------------
+# membench (§6.5)
+# ----------------------------------------------------------------------
+def run_membench(preset):
+    host = build_host(preset, spec=SMALL_SPEC, vf_count=4)
+    host.launch(1, memory_bytes=VM)
+    container = host.engine.containers["c0"]
+    bench = Tinymembench(host, container, working_set_bytes=32 * MIB)
+
+    def flow():
+        # Let any asynchronous VF init finish so its ring touches do
+        # not pollute the bench's fault accounting.
+        if container.attachment.has_network:
+            yield from container.microvm.guest.wait_network_ready()
+        yield from bench.run(copy_seconds=1.0, repeats=5,
+                             random_reads=1_000_000)
+
+    host.sim.spawn(flow())
+    host.sim.run()
+    return bench.result
+
+
+def test_membench_degradation_under_one_percent():
+    vanilla = run_membench("vanilla")
+    fastiov = run_membench("fastiov")
+    throughput_drop = 1 - (
+        fastiov.throughput_bytes_per_s / vanilla.throughput_bytes_per_s
+    )
+    latency_rise = fastiov.latency_s / vanilla.latency_s - 1
+    assert throughput_drop < 0.01
+    assert latency_rise < 0.01
+
+
+def test_membench_faults_once_per_page():
+    result = run_membench("fastiov")
+    assert result.faults == 32 * MIB // SMALL_SPEC.page_size
