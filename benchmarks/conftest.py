@@ -4,6 +4,14 @@ Each benchmark file regenerates one paper table/figure (quick scale by
 default; set REPRO_FULL_SCALE=1 for the paper's concurrency-200 runs).
 The rendered figure/table and the paper-vs-measured comparison land in
 ``benchmarks/results/<experiment>.txt`` and in the pytest output.
+
+Knobs (environment):
+
+* ``REPRO_JOBS=N`` — run an experiment's independent launch cells in N
+  worker processes (wall-clock only; numbers are unchanged).
+* ``REPRO_CACHE=1`` — serve repeated cells from the result cache.
+  Off by default here: a benchmark that hits the cache measures file
+  reads, not the simulator.
 """
 
 import os
@@ -15,6 +23,8 @@ from repro.experiments import get_experiment
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 FULL_SCALE = os.environ.get("REPRO_FULL_SCALE", "") not in ("", "0")
+JOBS = int(os.environ.get("REPRO_JOBS", "0")) or None
+USE_CACHE = os.environ.get("REPRO_CACHE", "") not in ("", "0")
 
 
 @pytest.fixture
@@ -26,7 +36,7 @@ def run_experiment(benchmark):
 
         def execute():
             result_box["result"] = get_experiment(experiment_id).run(
-                quick=not FULL_SCALE
+                quick=not FULL_SCALE, jobs=JOBS, use_cache=USE_CACHE
             )
 
         benchmark.pedantic(execute, rounds=1, iterations=1)

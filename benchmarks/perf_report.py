@@ -1,0 +1,106 @@
+"""Wall-clock performance report for the simulator fast path.
+
+Times a fixed set of experiments end-to-end (quick scale, cache off)
+and writes ``BENCH_wallclock.json`` next to this file::
+
+    python benchmarks/perf_report.py                 # measure + write
+    python benchmarks/perf_report.py --check         # compare vs baseline
+    python benchmarks/perf_report.py --jobs 4        # parallel cells
+
+``--check`` compares against the committed baseline and exits non-zero
+if any experiment regressed by more than ``--threshold`` (default 20%),
+which is what CI runs.  After an intentional perf change, regenerate the
+baseline with ``--update-baseline``.
+"""
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+HERE = pathlib.Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE.parent / "src"))
+
+REPORT_PATH = HERE / "BENCH_wallclock.json"
+BASELINE_PATH = HERE / "wallclock_baseline.json"
+
+#: Experiments timed by the report (quick scale).
+EXPERIMENTS = ("fig1", "fig11", "fig13c")
+
+
+def measure(experiment_ids, jobs=None):
+    from repro.experiments import get_experiment
+
+    timings = {}
+    for experiment_id in experiment_ids:
+        experiment = get_experiment(experiment_id)
+        started = time.perf_counter()
+        result = experiment.run(quick=True, jobs=jobs, use_cache=False)
+        elapsed = time.perf_counter() - started
+        assert result.comparisons()
+        timings[experiment_id] = round(elapsed, 4)
+        print(f"{experiment_id:8s} {elapsed:8.3f} s")
+    return timings
+
+
+def check(timings, threshold):
+    """Compare against the committed baseline; returns failures."""
+    if not BASELINE_PATH.is_file():
+        print(f"no baseline at {BASELINE_PATH}; skipping regression check")
+        return []
+    baseline = json.loads(BASELINE_PATH.read_text())["timings"]
+    failures = []
+    for experiment_id, elapsed in timings.items():
+        base = baseline.get(experiment_id)
+        if base is None:
+            continue
+        ratio = elapsed / base
+        status = "ok"
+        if ratio > 1.0 + threshold:
+            status = "REGRESSION"
+            failures.append((experiment_id, base, elapsed, ratio))
+        print(
+            f"{experiment_id:8s} baseline {base:7.3f} s  now {elapsed:7.3f} s "
+            f"({ratio * 100:5.1f}%)  {status}"
+        )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=None)
+    parser.add_argument("--check", action="store_true",
+                        help="fail on >threshold regression vs baseline")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed fractional slowdown (default 0.20)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="write the measured timings as the new baseline")
+    args = parser.parse_args(argv)
+
+    timings = measure(EXPERIMENTS, jobs=args.jobs)
+    report = {
+        "timings": timings,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "jobs": args.jobs or 1,
+    }
+    REPORT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {REPORT_PATH}")
+
+    if args.update_baseline:
+        BASELINE_PATH.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {BASELINE_PATH}")
+    if args.check:
+        failures = check(timings, args.threshold)
+        if failures:
+            print(f"{len(failures)} wall-clock regression(s) detected")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,7 +4,15 @@ Usage::
 
     python -m repro list                     # catalog of experiments
     python -m repro run fig11 [--quick]      # one experiment, printed
+    python -m repro run fig13c --jobs 8      # parallel launch cells
+    python -m repro run fig11 --no-cache     # ignore the result cache
     python -m repro launch fastiov -c 200    # raw concurrent launch
+    python -m repro profile fig11 --quick    # cProfile an experiment
+
+``run`` caches per-launch summaries under ``.repro-cache/`` (override
+with ``REPRO_CACHE_DIR``), keyed by source digest + host spec + cell
+parameters, so repeated runs after unrelated edits stay fast while any
+simulator change invalidates stale entries automatically.
 """
 
 import argparse
@@ -26,10 +34,33 @@ def cmd_list(_args):
 
 def cmd_run(args):
     experiment = get_experiment(args.experiment)
-    result = experiment.run(quick=args.quick, seed=args.seed)
+    result = experiment.run(
+        quick=args.quick,
+        seed=args.seed,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+    )
     print(result.render())
     print()
     print(result.comparison_table())
+    return 0
+
+
+def cmd_profile(args):
+    """cProfile one experiment and print the top cumulative offenders."""
+    import cProfile
+    import pstats
+
+    experiment = get_experiment(args.experiment)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    experiment.run(quick=args.quick, seed=args.seed, jobs=1, use_cache=False)
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(args.top)
+    if args.output:
+        stats.dump_stats(args.output)
+        print(f"profile data written to {args.output}")
     return 0
 
 
@@ -53,13 +84,35 @@ def main(argv=None):
     run_p = sub.add_parser("run", help="run one experiment")
     run_p.add_argument("experiment")
     run_p.add_argument("--quick", action="store_true")
+    run_p.add_argument(
+        "-j", "--jobs", type=int, default=None,
+        help="worker processes for independent launch cells "
+             "(default: $REPRO_JOBS or 1)",
+    )
+    run_p.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore and do not update the result cache",
+    )
 
     launch_p = sub.add_parser("launch", help="concurrent container launch")
     launch_p.add_argument("preset", choices=sorted(PRESETS))
     launch_p.add_argument("-c", "--concurrency", type=int, default=50)
 
+    profile_p = sub.add_parser("profile", help="cProfile one experiment")
+    profile_p.add_argument("experiment")
+    profile_p.add_argument("--quick", action="store_true")
+    profile_p.add_argument("--top", type=int, default=20,
+                           help="rows of cumulative-time stats to print")
+    profile_p.add_argument("-o", "--output", default=None,
+                           help="also dump raw pstats data to this file")
+
     args = parser.parse_args(argv)
-    handler = {"list": cmd_list, "run": cmd_run, "launch": cmd_launch}
+    handler = {
+        "list": cmd_list,
+        "run": cmd_run,
+        "launch": cmd_launch,
+        "profile": cmd_profile,
+    }
     return handler[args.command](args)
 
 

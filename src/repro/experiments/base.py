@@ -59,18 +59,57 @@ class Experiment:
     #: What the paper reports (documented expectations).
     paper_reference = ""
 
-    def run(self, quick=False, seed=0):
+    def run(self, quick=False, seed=0, jobs=None, use_cache=None):
         """Run the experiment and return an :class:`ExperimentResult`.
 
         Args:
             quick: Reduced concurrency/sweep for fast benches; the full
                 setting reproduces the paper's scale.
             seed: Jitter seed for exact reproducibility.
+            jobs: Worker processes for independent launch cells
+                (None = ``$REPRO_JOBS`` or 1).
+            use_cache: Reuse/store cell summaries in the result cache
+                (None = ``$REPRO_CACHE``, default off).
+
+        Parallelism and caching change wall-clock time only: a cell's
+        summary is identical whether it ran in-process, in a worker
+        process, or came from a cache hit.
         """
-        data, text, comparisons = self._execute(quick=quick, seed=seed)
+        from repro.experiments.parallel import CellRunner, default_cache
+
+        self._runner = CellRunner(jobs=jobs, cache=default_cache(use_cache))
+        try:
+            self._runner.prefetch(self._cells(quick=quick, seed=seed))
+            data, text, comparisons = self._execute(quick=quick, seed=seed)
+        finally:
+            self._runner = None
         return ExperimentResult(
             self.experiment_id, self.title, data, text, comparisons
         )
+
+    def _cells(self, quick, seed):
+        """The independent launch cells this experiment will consume.
+
+        Subclasses built on :meth:`_launch_summary` override this so
+        :meth:`run` can fan the whole list out before `_execute` walks
+        it serially.  The default (no cells) keeps bespoke experiments
+        on their original in-process path.
+        """
+        return []
+
+    def _launch_summary(self, preset, concurrency, memory_bytes=None, seed=0):
+        """Summary dict for one launch cell (see ``summarize_launch``).
+
+        Served from the prefetched/cached cell results when available;
+        falls back to an in-process run when `_execute` is called
+        directly (as unit tests do).
+        """
+        runner = getattr(self, "_runner", None)
+        if runner is None:
+            from repro.experiments.parallel import CellRunner
+
+            runner = self._runner = CellRunner(jobs=1, cache=None)
+        return runner.summary(preset, concurrency, memory_bytes, seed)
 
     def _execute(self, quick, seed):
         raise NotImplementedError

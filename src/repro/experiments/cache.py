@@ -1,0 +1,124 @@
+"""Content-addressed result cache for experiment launch cells.
+
+A *cell* — one ``launch_preset`` invocation — is pure: its summary is a
+deterministic function of (a) the simulator source code, (b) the host
+spec constants, and (c) the cell parameters (preset, concurrency,
+memory, seed).  The cache keys on a digest of all three, so any source
+edit or spec change invalidates every stale entry automatically; there
+is no TTL and no manual invalidation step.
+
+Layout: one JSON file per cell under the cache directory (default
+``.repro-cache/`` in the working directory, overridable with
+``REPRO_CACHE_DIR``)::
+
+    .repro-cache/
+        a3f1…e9.json     # {"key": …, "cell": …, "summary": …}
+
+Values survive JSON round-trips exactly (floats serialize via repr), so
+a cache hit is numerically identical to a fresh run.
+"""
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+
+#: Environment variable overriding the cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: Default cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_code_digest = None
+
+
+def code_digest():
+    """Digest of every ``repro`` source file (memoized per process)."""
+    global _code_digest
+    if _code_digest is None:
+        root = pathlib.Path(__file__).resolve().parents[1]
+        h = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            h.update(str(path.relative_to(root)).encode())
+            h.update(b"\0")
+            h.update(path.read_bytes())
+            h.update(b"\0")
+        _code_digest = h.hexdigest()
+    return _code_digest
+
+
+def spec_fingerprint(spec):
+    """Stable serialization of a HostSpec (all cost constants)."""
+    return json.dumps(dataclasses.asdict(spec), sort_keys=True, default=repr)
+
+
+def cell_key(cell_dict, spec):
+    """The cache key for one cell under one spec and the current code."""
+    payload = json.dumps(
+        {
+            "code": code_digest(),
+            "spec": spec_fingerprint(spec),
+            "cell": cell_dict,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class ResultCache:
+    """Filesystem-backed cell-summary cache (tolerant of corruption)."""
+
+    def __init__(self, directory=None):
+        if directory is None:
+            directory = os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+        self.directory = pathlib.Path(directory)
+
+    def _path(self, key):
+        return self.directory / f"{key}.json"
+
+    def get(self, key):
+        """The cached summary for ``key``, or None."""
+        try:
+            with open(self._path(key)) as fh:
+                entry = json.load(fh)
+            return entry["summary"]
+        except (OSError, ValueError, KeyError):
+            return None
+
+    def put(self, key, cell_dict, summary):
+        """Store one cell summary (atomic: write temp + rename)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        entry = {"key": key, "cell": cell_dict, "summary": summary}
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            with open(tmp, "w") as fh:
+                json.dump(entry, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except OSError:
+            # A read-only or full filesystem downgrades to "no cache".
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+    def clear(self):
+        """Drop every entry (keeps the directory)."""
+        if not self.directory.is_dir():
+            return 0
+        removed = 0
+        for path in self.directory.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self):
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def __repr__(self):
+        return f"<ResultCache {self.directory} entries={len(self)}>"

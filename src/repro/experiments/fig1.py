@@ -7,7 +7,8 @@ fastest no-network container of ~460 ms at concurrency 10.
 """
 
 from repro.experiments.base import Comparison, Experiment, pct
-from repro.experiments.runs import concurrency_sweep, launch_preset
+from repro.experiments.parallel import Cell
+from repro.experiments.runs import concurrency_sweep
 from repro.metrics.reporting import format_table
 
 
@@ -21,20 +22,25 @@ class Fig1(Experiment):
         "concurrency; fastest no-net container ~0.46 s at c=10."
     )
 
+    def _cells(self, quick, seed):
+        return [
+            Cell(preset, concurrency, seed=seed)
+            for concurrency in concurrency_sweep(quick)
+            for preset in ("no-net", "vanilla")
+        ]
+
     def _execute(self, quick, seed):
         series = []
         for concurrency in concurrency_sweep(quick):
-            _h1, no_net = launch_preset("no-net", concurrency, seed=seed)
-            _h2, vanilla = launch_preset("vanilla", concurrency, seed=seed)
-            nn = no_net.startup_times("no-net")
-            va = vanilla.startup_times("vanilla")
+            nn = self._launch_summary("no-net", concurrency, seed=seed)
+            va = self._launch_summary("vanilla", concurrency, seed=seed)
             series.append({
                 "concurrency": concurrency,
-                "no_net_mean": nn.mean,
-                "vanilla_mean": va.mean,
-                "overhead": va.mean - nn.mean,
-                "overhead_pct": (va.mean - nn.mean) / nn.mean,
-                "no_net_min": nn.minimum,
+                "no_net_mean": nn["mean"],
+                "vanilla_mean": va["mean"],
+                "overhead": va["mean"] - nn["mean"],
+                "overhead_pct": (va["mean"] - nn["mean"]) / nn["mean"],
+                "no_net_min": nn["min"],
             })
 
         rows = [

@@ -11,7 +11,8 @@ Paper claims:
 
 from repro.core.presets import FIG11_PRESETS
 from repro.experiments.base import Comparison, Experiment, pct, reduction
-from repro.experiments.runs import launch_preset, main_concurrency
+from repro.experiments.parallel import Cell
+from repro.experiments.runs import main_concurrency
 from repro.metrics.reporting import format_table
 
 PAPER_VARIANT_REDUCTIONS = {
@@ -30,18 +31,20 @@ class Fig11(Experiment):
     title = "Average startup time by solution (VF-related vs others)"
     paper_reference = "Fig. 11 (see PAPER_VARIANT_REDUCTIONS)."
 
+    def _cells(self, quick, seed):
+        concurrency = main_concurrency(quick)
+        return [Cell(preset, concurrency, seed=seed) for preset in FIG11_PRESETS]
+
     def _execute(self, quick, seed):
         concurrency = main_concurrency(quick)
         results = {}
         for preset in FIG11_PRESETS:
-            _host, result = launch_preset(preset, concurrency, seed=seed)
-            startups = result.startup_times(preset)
-            vf_mean = sum(result.vf_related_times()) / len(result.records)
+            summary = self._launch_summary(preset, concurrency, seed=seed)
             results[preset] = {
-                "mean": startups.mean,
-                "p99": startups.p99,
-                "vf_related_mean": vf_mean,
-                "others_mean": startups.mean - vf_mean,
+                "mean": summary["mean"],
+                "p99": summary["p99"],
+                "vf_related_mean": summary["vf_related_mean"],
+                "others_mean": summary["mean"] - summary["vf_related_mean"],
             }
 
         vanilla = results["vanilla"]

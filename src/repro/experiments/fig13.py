@@ -10,41 +10,54 @@ Paper claims:
 """
 
 from repro.experiments.base import Comparison, Experiment, pct, reduction
+from repro.experiments.parallel import Cell
 from repro.experiments.runs import (
     concurrency_sweep,
     fully_loaded_memory,
-    launch_preset,
     memory_sweep,
 )
 from repro.metrics.reporting import format_table
 from repro.spec import MIB
 
 
-def _pair(concurrency, memory_bytes, seed):
-    _h1, vanilla = launch_preset("vanilla", concurrency,
-                                 memory_bytes=memory_bytes, seed=seed)
-    _h2, fastiov = launch_preset("fastiov", concurrency,
-                                 memory_bytes=memory_bytes, seed=seed)
-    v = vanilla.startup_times("vanilla")
-    f = fastiov.startup_times("fastiov")
-    return {
-        "vanilla_mean": v.mean, "fastiov_mean": f.mean,
-        "vanilla_p99": v.p99, "fastiov_p99": f.p99,
-        "reduction": reduction(v.mean, f.mean),
-    }
+def _pair_cells(concurrency, memory_bytes, seed):
+    return [
+        Cell("vanilla", concurrency, memory_bytes, seed),
+        Cell("fastiov", concurrency, memory_bytes, seed),
+    ]
 
 
-class Fig13a(Experiment):
+class _PairedExperiment(Experiment):
+    """Shared vanilla-vs-fastiov comparison point."""
+
+    def _pair(self, concurrency, memory_bytes, seed):
+        v = self._launch_summary("vanilla", concurrency, memory_bytes, seed)
+        f = self._launch_summary("fastiov", concurrency, memory_bytes, seed)
+        return {
+            "vanilla_mean": v["mean"], "fastiov_mean": f["mean"],
+            "vanilla_p99": v["p99"], "fastiov_p99": f["p99"],
+            "reduction": reduction(v["mean"], f["mean"]),
+        }
+
+
+class Fig13a(_PairedExperiment):
     """Regenerates Fig. 13a (concurrency sweep)."""
 
     experiment_id = "fig13a"
     title = "Impact of concurrency (512 MiB per container)"
     paper_reference = "Fig. 13a: reductions 46.7% (c=10) -> 65.6% (c=200)."
 
+    def _cells(self, quick, seed):
+        return [
+            cell
+            for concurrency in concurrency_sweep(quick)
+            for cell in _pair_cells(concurrency, None, seed)
+        ]
+
     def _execute(self, quick, seed):
         series = []
         for concurrency in concurrency_sweep(quick):
-            point = _pair(concurrency, None, seed)
+            point = self._pair(concurrency, None, seed)
             point["concurrency"] = concurrency
             series.append(point)
         rows = [
@@ -72,7 +85,7 @@ class Fig13a(Experiment):
         return {"series": series}, text, comparisons
 
 
-class Fig13b(Experiment):
+class Fig13b(_PairedExperiment):
     """Regenerates Fig. 13b (memory sweep)."""
 
     experiment_id = "fig13b"
@@ -81,11 +94,19 @@ class Fig13b(Experiment):
         "Fig. 13b: 512 MiB -> 2 GiB raises vanilla +60.5%, FastIOV +21.5%."
     )
 
+    def _cells(self, quick, seed):
+        concurrency = 20 if quick else 50
+        return [
+            cell
+            for memory_bytes in memory_sweep(quick)
+            for cell in _pair_cells(concurrency, memory_bytes, seed)
+        ]
+
     def _execute(self, quick, seed):
         concurrency = 20 if quick else 50
         series = []
         for memory_bytes in memory_sweep(quick):
-            point = _pair(concurrency, memory_bytes, seed)
+            point = self._pair(concurrency, memory_bytes, seed)
             point["memory_mib"] = memory_bytes // MIB
             series.append(point)
         rows = [
@@ -116,7 +137,7 @@ class Fig13b(Experiment):
         return {"series": series, "concurrency": concurrency}, text, comparisons
 
 
-class Fig13c(Experiment):
+class Fig13c(_PairedExperiment):
     """Regenerates Fig. 13c (fully loaded server)."""
 
     experiment_id = "fig13c"
@@ -126,11 +147,20 @@ class Fig13c(Experiment):
         "c=10, ~65.7% at c=200."
     )
 
+    def _cells(self, quick, seed):
+        return [
+            cell
+            for concurrency in concurrency_sweep(quick)
+            for cell in _pair_cells(
+                concurrency, fully_loaded_memory(concurrency), seed
+            )
+        ]
+
     def _execute(self, quick, seed):
         series = []
         for concurrency in concurrency_sweep(quick):
             memory_bytes = fully_loaded_memory(concurrency)
-            point = _pair(concurrency, memory_bytes, seed)
+            point = self._pair(concurrency, memory_bytes, seed)
             point["concurrency"] = concurrency
             point["memory_mib"] = memory_bytes // MIB
             series.append(point)

@@ -5,28 +5,60 @@ DMA operations to Host Physical Addresses (HPAs), via an I/O page table
 maintained per guest (§2.2).  Two properties matter for the paper:
 
 * Translation entries are installed by the VFIO driver during *DMA
-  memory mapping* — one entry per mapped page, so mapping cost scales
-  with page count.
+  memory mapping* — logically one entry per mapped page, so mapping
+  cost scales with page count.  The table itself stores contiguous
+  mappings as intervals (one per retrieval batch for a bulk
+  :meth:`IOMMUDomain.map_region`), so installing and tearing down a
+  multi-gigabyte region costs O(batches), while ``entry_count`` still
+  reports page-granular entries.
 * The IOMMU cannot handle page faults: a DMA access to an unmapped IOVA
   is a hard :class:`~repro.hw.errors.DmaTranslationFault`, which is why
   all guest memory must be allocated (and, without FastIOV, zeroed) up
   front.
 """
 
+import bisect
+
 from repro.hw.errors import DmaTranslationFault, HardwareError
 
 
 class IOMMUDomain:
-    """One guest's I/O page table (IOVA -> physical page)."""
+    """One guest's I/O page table (IOVA -> physical page).
+
+    Mappings are sorted disjoint intervals ``[start, end, page_size,
+    source, base_index]`` where ``source`` is either a single
+    :class:`~repro.hw.memory.Page` (per-page :meth:`map_page`) or an
+    :class:`~repro.hw.memory.AllocatedRegion` with ``base_index`` naming
+    the region page index mapped at ``start``.
+    """
 
     def __init__(self, name):
         self.name = name
-        self._entries = {}  # iova (page-aligned) -> Page
+        self._starts = []
+        self._items = []  # [start, end, page_size, source, base_index]
         self.mapped_bytes = 0
+        self._page_count = 0
 
     @property
     def entry_count(self):
-        return len(self._entries)
+        """Page-granular translation entry count."""
+        return self._page_count
+
+    # ------------------------------------------------------------------
+    # install
+    # ------------------------------------------------------------------
+    def _check_window(self, start, end):
+        i = bisect.bisect_right(self._starts, start) - 1
+        if i >= 0 and self._items[i][1] > start:
+            raise HardwareError(
+                f"domain {self.name!r}: IOVA {start:#x} already mapped"
+            )
+        if i + 1 < len(self._items) and self._items[i + 1][0] < end:
+            raise HardwareError(
+                f"domain {self.name!r}: IOVA window [{start:#x}, {end:#x}) "
+                f"overlaps an existing mapping"
+            )
+        return i + 1
 
     def map_page(self, iova, page):
         """Install a translation for one page.
@@ -39,43 +71,139 @@ class IOMMUDomain:
             raise HardwareError(
                 f"domain {self.name!r}: IOVA {iova:#x} not aligned to {page.size}"
             )
-        if iova in self._entries:
-            raise HardwareError(f"domain {self.name!r}: IOVA {iova:#x} already mapped")
         if not page.pinned:
             raise HardwareError(
                 f"domain {self.name!r}: mapping unpinned page {page.hpa:#x}; "
                 f"DMA to swappable memory is unsafe"
             )
-        self._entries[iova] = page
+        i = self._check_window(iova, iova + page.size)
+        self._starts.insert(i, iova)
+        self._items.insert(i, [iova, iova + page.size, page.size, page, None])
         self.mapped_bytes += page.size
+        self._page_count += 1
 
+    def map_region(self, iova_base, region):
+        """Install translations for a whole region in O(batches).
+
+        IOVAs are assigned densely from ``iova_base`` in region page
+        order, matching a per-page loop over ``region.pages``.
+        """
+        page_size = region.page_size
+        if iova_base % page_size != 0:
+            raise HardwareError(
+                f"domain {self.name!r}: IOVA {iova_base:#x} not aligned "
+                f"to {page_size}"
+            )
+        if not region.all_pinned():
+            raise HardwareError(
+                f"domain {self.name!r}: mapping region {region.label!r} "
+                f"with unpinned pages; DMA to swappable memory is unsafe"
+            )
+        base = 0
+        for start, end in region._batch_spans:
+            count = (end - start) // page_size
+            iova = iova_base + base * page_size
+            span_bytes = count * page_size
+            i = self._check_window(iova, iova + span_bytes)
+            self._starts.insert(i, iova)
+            self._items.insert(
+                i, [iova, iova + span_bytes, page_size, region, base]
+            )
+            self.mapped_bytes += span_bytes
+            self._page_count += count
+            base += count
+
+    # ------------------------------------------------------------------
+    # teardown
+    # ------------------------------------------------------------------
     def unmap_page(self, iova):
-        try:
-            page = self._entries.pop(iova)
-        except KeyError:
+        """Remove one page translation, splitting its interval if bulk."""
+        i = bisect.bisect_right(self._starts, iova) - 1
+        if i < 0 or self._items[i][1] <= iova:
             raise HardwareError(
                 f"domain {self.name!r}: unmapping unmapped IOVA {iova:#x}"
-            ) from None
-        self.mapped_bytes -= page.size
+            )
+        item = self._items[i]
+        start, end, page_size, source, base_index = item
+        if (iova - start) % page_size != 0:
+            raise HardwareError(
+                f"domain {self.name!r}: unmapping unmapped IOVA {iova:#x}"
+            )
+        page = self._resolve(item, iova)
+        tail_start = iova + page_size
+        if start == iova:
+            if tail_start == end:
+                del self._starts[i]
+                del self._items[i]
+            else:
+                item[0] = tail_start
+                self._starts[i] = tail_start
+                if base_index is not None:
+                    item[4] = base_index + 1
+        elif tail_start == end:
+            item[1] = iova
+        else:
+            tail_base = (
+                base_index + (tail_start - start) // page_size
+                if base_index is not None else None
+            )
+            self._starts.insert(i + 1, tail_start)
+            self._items.insert(
+                i + 1, [tail_start, end, page_size, source, tail_base]
+            )
+            item[1] = iova
+        self.mapped_bytes -= page_size
+        self._page_count -= 1
         return page
+
+    def unmap_range(self, iova_base, nbytes):
+        """Remove every mapping inside [iova_base, +nbytes) in O(intervals).
+
+        The window must cover whole intervals (the inverse of
+        :meth:`map_region` / a series of :meth:`map_page` calls).
+        """
+        end = iova_base + nbytes
+        i = bisect.bisect_left(self._starts, iova_base)
+        if i > 0 and self._items[i - 1][1] > iova_base:
+            raise HardwareError(
+                f"domain {self.name!r}: unmap window [{iova_base:#x}, {end:#x}) "
+                f"splits a mapping"
+            )
+        removed = 0
+        while i < len(self._items) and self._items[i][0] < end:
+            item = self._items[i]
+            if item[1] > end:
+                raise HardwareError(
+                    f"domain {self.name!r}: unmap window [{iova_base:#x}, "
+                    f"{end:#x}) splits a mapping"
+                )
+            span_bytes = item[1] - item[0]
+            self.mapped_bytes -= span_bytes
+            self._page_count -= span_bytes // item[2]
+            removed += span_bytes // item[2]
+            del self._starts[i]
+            del self._items[i]
+        return removed
+
+    # ------------------------------------------------------------------
+    # translation
+    # ------------------------------------------------------------------
+    def _resolve(self, item, iova):
+        start, _end, page_size, source, base_index = item
+        if base_index is None:
+            return source
+        return source.page_at_index(base_index + (iova - start) // page_size)
 
     def translate(self, iova):
         """Translate an IOVA to (page, offset); hard fault if unmapped."""
-        for base, page in self._lookup_candidates(iova):
-            if base <= iova < base + page.size:
-                return page, iova - base
+        i = bisect.bisect_right(self._starts, iova) - 1
+        if i >= 0:
+            item = self._items[i]
+            if iova < item[1]:
+                page_size = item[2]
+                aligned = item[0] + ((iova - item[0]) // page_size) * page_size
+                return self._resolve(item, aligned), iova - aligned
         raise DmaTranslationFault(self.name, iova)
-
-    def _lookup_candidates(self, iova):
-        # Entries are keyed by their aligned base; page sizes are
-        # uniform per region, but mixed sizes are tolerated by checking
-        # both common alignments.
-        seen = set()
-        for size in {page.size for page in self._entries.values()}:
-            base = (iova // size) * size
-            if base not in seen and base in self._entries:
-                seen.add(base)
-                yield base, self._entries[base]
 
     def is_mapped(self, iova):
         try:
@@ -85,8 +213,13 @@ class IOMMUDomain:
             return False
 
     def pages(self):
-        """All mapped pages (for unmap-all teardown)."""
-        return list(self._entries.items())
+        """All mapped (iova, page) pairs (for unmap-all teardown)."""
+        result = []
+        for item in self._items:
+            start, end, page_size = item[0], item[1], item[2]
+            for iova in range(start, end, page_size):
+                result.append((iova, self._resolve(item, iova)))
+        return result
 
     def __repr__(self):
         return (

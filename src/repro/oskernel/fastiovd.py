@@ -2,9 +2,11 @@
 
 Holds the machinery for decoupled (lazy) page zeroing:
 
-* A **two-tier hash table** — first tier keyed by the microVM's PID,
-  second tier by HPA — of pages whose zeroing was deferred at DMA-map
-  time.
+* A **two-tier table** — first tier keyed by the microVM's PID, second
+  tier an address-sorted list of *spans* of pages whose zeroing was
+  deferred at DMA-map time.  Registration and teardown cost O(spans)
+  (one span per contiguous run the VFIO driver retrieved), not
+  O(pages); per-page operations (EPT-fault claims) split spans.
 * The **instant-zeroing list**: pages the hypervisor will write before
   guest boot (BIOS/kernel ROM).  They are zeroed at allocation and never
   enter the lazy table, so an EPT fault cannot clobber them (§4.3.2).
@@ -22,8 +24,117 @@ with the scanner — the guest can never observe a page that is neither
 residual-protected nor fully zeroed.
 """
 
+import bisect
+
 from repro.sim.core import Timeout
 from repro.sim.sync import SimEvent
+
+
+class _SpanTable:
+    """Sorted disjoint ``[start, end)`` byte spans with a payload each.
+
+    The workhorse behind both the lazy table (payload: the backing
+    region) and the scanner's in-flight claims (payload: the completion
+    event).  All operations are O(log spans) plus the touched spans.
+    """
+
+    __slots__ = ("_starts", "_spans")
+
+    def __init__(self):
+        self._starts = []
+        self._spans = []  # [start, end, payload]
+
+    def __bool__(self):
+        return bool(self._spans)
+
+    def __iter__(self):
+        return iter(self._spans)
+
+    def insert(self, start, end, payload, coalesce=False):
+        i = bisect.bisect_left(self._starts, start)
+        if (coalesce and i > 0 and self._spans[i - 1][1] == start
+                and self._spans[i - 1][2] is payload):
+            self._spans[i - 1][1] = end
+            if (i < len(self._spans) and self._spans[i][0] == end
+                    and self._spans[i][2] is payload):
+                self._spans[i - 1][1] = self._spans[i][1]
+                del self._starts[i]
+                del self._spans[i]
+            return
+        if (coalesce and i < len(self._spans) and self._spans[i][0] == end
+                and self._spans[i][2] is payload):
+            self._spans[i][0] = start
+            self._starts[i] = start
+            return
+        self._starts.insert(i, start)
+        self._spans.insert(i, [start, end, payload])
+
+    def find(self, addr):
+        """The span containing ``addr``, or None."""
+        i = bisect.bisect_right(self._starts, addr) - 1
+        if i >= 0 and self._spans[i][0] <= addr < self._spans[i][1]:
+            return self._spans[i]
+        return None
+
+    def remove_range(self, start, end):
+        """Drop [start, end) wherever present; splits partial overlaps.
+
+        Returns the number of bytes actually removed.
+        """
+        i = bisect.bisect_right(self._starts, start) - 1
+        if i < 0:
+            i = 0
+        removed = 0
+        while i < len(self._spans) and self._spans[i][0] < end:
+            span = self._spans[i]
+            if span[1] <= start:
+                i += 1
+                continue
+            cut_start = max(span[0], start)
+            cut_end = min(span[1], end)
+            removed += cut_end - cut_start
+            if span[0] < cut_start and span[1] > cut_end:
+                self._starts.insert(i + 1, cut_end)
+                self._spans.insert(i + 1, [cut_end, span[1], span[2]])
+                span[1] = cut_start
+                i += 2
+            elif span[0] < cut_start:
+                span[1] = cut_start
+                i += 1
+            elif span[1] > cut_end:
+                span[0] = cut_end
+                self._starts[i] = cut_end
+            else:
+                del self._starts[i]
+                del self._spans[i]
+        return removed
+
+    def pop_front(self, budget_bytes):
+        """Take up to ``budget_bytes`` from the lowest-addressed spans.
+
+        Returns ``[(start, end, payload), ...]``, splitting the last
+        span when the budget lands mid-span.
+        """
+        taken = []
+        budget = budget_bytes
+        while budget > 0 and self._spans:
+            span = self._spans[0]
+            length = span[1] - span[0]
+            if length <= budget:
+                taken.append((span[0], span[1], span[2]))
+                budget -= length
+                del self._starts[0]
+                del self._spans[0]
+            else:
+                cut = span[0] + budget
+                taken.append((span[0], cut, span[2]))
+                span[0] = cut
+                self._starts[0] = cut
+                budget = 0
+        return taken
+
+    def total_bytes(self):
+        return sum(span[1] - span[0] for span in self._spans)
 
 
 class FastiovdStats:
@@ -56,9 +167,9 @@ class Fastiovd:
         self._cpu = cpu
         self._dram = dram if dram is not None else cpu
         self._spec = spec
-        self._table = {}  # pid -> {hpa: Page}
-        self._inflight = {}  # (pid, hpa) -> SimEvent
-        self._instant = set()  # (pid, hpa) on the instant-zeroing list
+        self._pending = {}  # pid -> _SpanTable (payload: AllocatedRegion)
+        self._inflight = {}  # (pid, hpa) -> SimEvent (claimed pages)
+        self._instant = {}  # pid -> set of hpas on the instant list
         self.stats = FastiovdStats()
         self._scanner_enabled = start_scanner
         if start_scanner:
@@ -67,16 +178,24 @@ class Fastiovd:
     # ------------------------------------------------------------------
     # registration (called from the VFIO dma_map path / hypervisor)
     # ------------------------------------------------------------------
-    def register_lazy(self, pid, pages):
-        """Defer zeroing of ``pages`` for microVM ``pid``.
+    def register_lazy(self, pid, region, spans=None):
+        """Defer zeroing for microVM ``pid`` of ``region``'s dirty spans.
 
-        State change only; the (tiny) registration cost is charged by
-        the caller inside the dma_map pipeline.
+        ``spans`` is ``[(start_hpa, end_hpa), ...]`` (defaults to the
+        region's current dirty spans).  State change only; the (tiny)
+        registration cost is charged by the caller inside the dma_map
+        pipeline.  Cost is O(spans), one span per contiguous dirty run.
         """
-        bucket = self._table.setdefault(pid, {})
-        for page in pages:
-            bucket[page.hpa] = page
-        self.stats.registered_pages += len(pages)
+        if spans is None:
+            spans = region.dirty_spans()
+        table = self._pending.get(pid)
+        if table is None:
+            table = self._pending[pid] = _SpanTable()
+        pages = 0
+        for start, end in spans:
+            table.insert(start, end, region, coalesce=True)
+            pages += (end - start) // region.page_size
+        self.stats.registered_pages += pages
 
     def register_instant(self, pid, pages):
         """Put pages on the instant-zeroing list and scrub them now.
@@ -91,60 +210,86 @@ class Fastiovd:
         scrub and hand the pages to the hypervisor.  Any other order
         lets a scanner worker zero a page after the hypervisor's write.
         """
-        bucket = self._table.get(pid)
-        if bucket is not None:
+        table = self._pending.get(pid)
+        if table is not None:
             # Instant pages are "not managed by FastIOV" (§4.3.2): an
             # EPT fault or scan must never re-zero them after the
             # hypervisor writes.
             for page in pages:
-                bucket.pop(page.hpa, None)
-            if not bucket:
-                self._table.pop(pid, None)
+                table.remove_range(page.hpa, page.hpa + page.size)
+            if not table:
+                self._pending.pop(pid, None)
         for page in pages:
-            event = self._inflight.get((pid, page.hpa))
+            event = self._inflight_event(pid, page.hpa)
             if event is not None:
                 yield event.wait()
         nbytes = sum(page.size for page in pages)
         if nbytes:
             yield self._dram.work(self._spec.zeroing_cpu_seconds(nbytes))
+        hpas = self._instant.setdefault(pid, set())
         for page in pages:
             page.zero()
-            self._instant.add((pid, page.hpa))
+            hpas.add(page.hpa)
         self.stats.instant_pages += len(pages)
 
     def forget_pages(self, pid, pages):
         """Drop any table/list state for pages being unmapped/freed."""
-        bucket = self._table.get(pid)
+        table = self._pending.get(pid)
+        hpas = self._instant.get(pid)
         for page in pages:
-            if bucket is not None:
-                bucket.pop(page.hpa, None)
-            self._instant.discard((pid, page.hpa))
-        if bucket is not None and not bucket:
-            self._table.pop(pid, None)
+            if table is not None:
+                table.remove_range(page.hpa, page.hpa + page.size)
+            if hpas is not None:
+                hpas.discard(page.hpa)
+        if table is not None and not table:
+            self._pending.pop(pid, None)
+        if hpas is not None and not hpas:
+            self._instant.pop(pid, None)
+
+    def forget_region(self, pid, region):
+        """Drop table/list state for a whole region in O(spans)."""
+        table = self._pending.get(pid)
+        hpas = self._instant.get(pid)
+        for start, end in region._batch_spans:
+            if table is not None:
+                table.remove_range(start, end)
+            if hpas is not None:
+                hpas.difference_update(
+                    {hpa for hpa in hpas if start <= hpa < end}
+                )
+        if table is not None and not table:
+            self._pending.pop(pid, None)
+        if hpas is not None and not hpas:
+            self._instant.pop(pid, None)
 
     def drop_pid(self, pid):
         """Remove a dead microVM's entire second-tier table."""
-        self._table.pop(pid, None)
-        self._instant = {entry for entry in self._instant if entry[0] != pid}
+        self._pending.pop(pid, None)
+        self._instant.pop(pid, None)
 
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
+    def _inflight_event(self, pid, hpa):
+        return self._inflight.get((pid, hpa))
+
     def manages(self, pid, page):
-        bucket = self._table.get(pid)
-        return bool(bucket and page.hpa in bucket)
+        table = self._pending.get(pid)
+        return bool(table and table.find(page.hpa) is not None)
 
     def pending_pages(self, pid=None):
         if pid is not None:
-            return len(self._table.get(pid, {}))
-        return sum(len(bucket) for bucket in self._table.values())
+            tables = [self._pending[pid]] if pid in self._pending else []
+        else:
+            tables = self._pending.values()
+        return sum(
+            (end - start) // region.page_size
+            for table in tables
+            for start, end, region in table
+        )
 
     def pending_bytes(self):
-        return sum(
-            page.size
-            for bucket in self._table.values()
-            for page in bucket.values()
-        )
+        return sum(table.total_bytes() for table in self._pending.values())
 
     # ------------------------------------------------------------------
     # EPT-fault hook (called by KVM, Fig. 9 step between 5 and 6)
@@ -157,16 +302,18 @@ class Fastiovd:
         it, waits for the scanner to finish instead of double-zeroing.
         """
         yield Timeout(self._spec.fastiovd_lookup_s)
-        key = (pid, page.hpa)
-        event = self._inflight.get(key)
+        event = self._inflight_event(pid, page.hpa)
         if event is not None:
             self.stats.fault_wait_events += 1
             yield event.wait()
             return
-        bucket = self._table.get(pid)
-        if not bucket or page.hpa not in bucket:
+        table = self._pending.get(pid)
+        if not table or table.find(page.hpa) is None:
             return
-        del bucket[page.hpa]
+        table.remove_range(page.hpa, page.hpa + page.size)
+        if not table:
+            self._pending.pop(pid, None)
+        key = (pid, page.hpa)
         event = SimEvent(self._sim, name=f"zeroing-{pid}-{page.hpa:#x}")
         self._inflight[key] = event
         # Fault-path zeroing is cache-adjacent to the guest's first use
@@ -205,23 +352,28 @@ class Fastiovd:
                 yield proc.join()
 
     def _claim_chunk(self, budget_bytes):
+        """Claim up to a chunk of pending pages, oldest microVM first.
+
+        The pending *table* is span-granular, but the scanner's claims
+        are per page (with a per-page in-flight event): a chunk is at
+        most ``budget_bytes``, so the expansion is small and bounded,
+        and a racing EPT fault waits only for its own page's zeroing.
+        """
         claimed = []
-        taken = 0
-        for pid in list(self._table):
-            bucket = self._table[pid]
-            for hpa in list(bucket):
-                if taken >= budget_bytes:
-                    break
-                page = bucket.pop(hpa)
-                key = (pid, hpa)
-                event = SimEvent(self._sim, name=f"zeroing-{pid}-{hpa:#x}")
-                self._inflight[key] = event
-                claimed.append((key, page, event))
-                taken += page.size
-            if not bucket:
-                self._table.pop(pid, None)
-            if taken >= budget_bytes:
+        budget = budget_bytes
+        for pid in list(self._pending):
+            if budget <= 0:
                 break
+            table = self._pending[pid]
+            for start, end, region in table.pop_front(budget):
+                budget -= end - start
+                for hpa in range(start, end, region.page_size):
+                    key = (pid, hpa)
+                    event = SimEvent(self._sim, name=f"zeroing-{pid}-{hpa:#x}")
+                    self._inflight[key] = event
+                    claimed.append((key, region.page_view(hpa), event))
+            if not table:
+                self._pending.pop(pid, None)
         return claimed
 
     def _zero_share(self, share):

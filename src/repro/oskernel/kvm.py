@@ -24,23 +24,40 @@ _UNSET = object()
 
 
 class PinnedBacking:
-    """Slot backing by a VFIO-pinned :class:`MappedRegion`."""
+    """Slot backing by a VFIO-pinned :class:`MappedRegion`.
+
+    Fully resident by construction, so lookups are O(log batches) and
+    range accesses can go straight to the region's run-length state
+    (:meth:`write_range` / :meth:`read_range`) without materializing a
+    per-page list.
+    """
 
     def __init__(self, mapped_region):
         self._region = mapped_region
-        self.page_size = mapped_region.pages[0].size
+        self.page_size = mapped_region.allocation.page_size
 
     @property
     def size_bytes(self):
         return self._region.size_bytes
 
     def page_at_offset(self, offset):
-        index = offset // self.page_size
-        return self._region.pages[index]
+        return self._region.allocation.page_at_index(offset // self.page_size)
         yield  # pragma: no cover - makes this a generator for API uniformity
 
     def page_if_resident(self, offset):
-        return self._region.pages[offset // self.page_size]
+        return self._region.allocation.page_at_index(offset // self.page_size)
+
+    def write_range(self, offset, nbytes, tag):
+        """Bulk host-side write: O(runs), never blocks (pinned memory)."""
+        first = offset // self.page_size
+        count = -(-nbytes // self.page_size)
+        self._region.allocation.write_index_span(first, count, tag)
+
+    def read_range(self, offset, nbytes, reader):
+        """Bulk host-side read; per-page tags, leak-checked."""
+        first = offset // self.page_size
+        count = -(-nbytes // self.page_size)
+        return self._region.allocation.read_index_span(first, count, reader)
 
 
 class AnonBacking:
@@ -196,6 +213,12 @@ class KVM:
         end = gpa_base + nbytes
         while gpa < end:
             slot, offset = vm.find_slot(gpa)
+            bulk = getattr(slot.backing, "write_range", None)
+            if bulk is not None:
+                limit = min(end, slot.gpa_base + slot.size_bytes)
+                bulk(offset, limit - gpa, tag)
+                gpa = limit
+                continue
             page = yield from slot.backing.page_at_offset(offset)
             page.write(tag)
             gpa += page_size
@@ -213,6 +236,12 @@ class KVM:
         end = gpa_base + nbytes
         while gpa < end:
             slot, offset = vm.find_slot(gpa)
+            bulk = getattr(slot.backing, "read_range", None)
+            if bulk is not None:
+                limit = min(end, slot.gpa_base + slot.size_bytes)
+                tags.extend(bulk(offset, limit - gpa, reader))
+                gpa = limit
+                continue
             page = yield from slot.backing.page_at_offset(offset)
             tags.append(page.read(reader))
             gpa += page_size

@@ -62,7 +62,7 @@ class AnonMapping:
         return page
 
     def _install(self, index, allocation):
-        page = allocation.pages[0]
+        page = allocation.page_at_index(0)
         self._pages[index] = page
         self._allocations[index] = allocation
         return page
@@ -124,7 +124,7 @@ class PageCacheFile:
                 self.page_size, owner=f"pagecache:{self.name}", label="pagecache"
             )
             self._allocations.append(allocation)
-            page = allocation.pages[0]
+            page = allocation.page_at_index(0)
             page.write(self.content_tag)  # filled from disk, never residual
             self._pages[index] = page
         return page
@@ -204,7 +204,7 @@ class HostMMU:
         # Fault-time zeroing still moves through the memory controller:
         # it shares DRAM write bandwidth with any bulk zeroing running.
         yield self._dram.work(self._spec.fault_zeroing_cpu_seconds(self.page_size))
-        allocation.pages[0].zero()
+        allocation.page_at_index(0).zero()
         page = mapping._install(index, allocation)
         del mapping._faulting[index]
         event.trigger()

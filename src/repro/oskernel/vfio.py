@@ -110,12 +110,17 @@ class VfioDeviceHandle:
 class MappedRegion:
     """Result of dma_map: allocated frames plus their IOVA window."""
 
-    def __init__(self, allocation, gpa_base, domain, lazy_pages):
+    def __init__(self, allocation, gpa_base, domain, lazy_spans):
         self.allocation = allocation
         self.gpa_base = gpa_base
         self.domain = domain
-        #: Pages registered with fastiovd instead of eagerly zeroed.
-        self.lazy_pages = lazy_pages
+        #: (start_hpa, end_hpa) spans registered with fastiovd instead of
+        #: eagerly zeroed (held as spans, not run objects: runs split and
+        #: coalesce as state changes).
+        self.lazy_spans = lazy_spans
+        self.lazy_page_count = sum(
+            (end - start) // allocation.page_size for start, end in lazy_spans
+        )
 
     @property
     def size_bytes(self):
@@ -126,13 +131,23 @@ class MappedRegion:
         return self.allocation.pages
 
     @property
+    def lazy_pages(self):
+        """Per-page views of the lazily-registered spans."""
+        page_size = self.allocation.page_size
+        return [
+            self.allocation.page_view(hpa)
+            for start, end in self.lazy_spans
+            for hpa in range(start, end, page_size)
+        ]
+
+    @property
     def page_count(self):
         return self.allocation.page_count
 
     def __repr__(self):
         return (
             f"<MappedRegion {self.allocation.label!r} gpa={self.gpa_base:#x} "
-            f"{self.size_bytes >> 20} MiB lazy={len(self.lazy_pages)}>"
+            f"{self.size_bytes >> 20} MiB lazy={self.lazy_page_count}>"
         )
 
 
@@ -318,42 +333,39 @@ class VfioDriver:
         yield self._cpu.work(retrieve_cost * jitter)
 
         # -- Step 2: page zeroing (P3) under the selected policy.
-        dirty = [page for page in allocation.pages if not page.is_zeroed]
-        prezero_count = int(len(dirty) * policy.prezeroed_fraction)
-        for page in dirty[:prezero_count]:
+        dirty_count = allocation.page_count - allocation.zeroed_page_count()
+        prezero_count = int(dirty_count * policy.prezeroed_fraction)
+        if prezero_count:
             # Scrubbed during earlier idle time: no cost now.
-            page.zero()
-        remaining = dirty[prezero_count:]
-        lazy_pages = []
+            allocation.zero_first_dirty(prezero_count)
+        remaining_count = dirty_count - prezero_count
+        lazy_spans = []
         if policy.mode is ZeroingMode.EAGER:
-            dirty_bytes = sum(page.size for page in remaining)
+            dirty_bytes = remaining_count * allocation.page_size
             if dirty_bytes:
                 # Bulk zeroing is DRAM-bandwidth-bound: concurrent
                 # mappings share the memory controller.
                 yield self._dram.work(spec.zeroing_cpu_seconds(dirty_bytes) * jitter)
-                for page in remaining:
-                    page.zero()
+                allocation.zero_all_dirty()
         else:
             if self._fastiovd is None:
                 raise VfioError("decoupled zeroing requires the fastiovd module")
-            if remaining:
+            if remaining_count:
                 yield self._cpu.work(
-                    len(remaining) * spec.fastiovd_register_per_page_s * jitter
+                    remaining_count * spec.fastiovd_register_per_page_s * jitter
                 )
-                self._fastiovd.register_lazy(owner, remaining)
-                lazy_pages = list(remaining)
+                lazy_spans = allocation.dirty_spans()
+                self._fastiovd.register_lazy(owner, allocation, lazy_spans)
 
         # -- Step 3: page pinning.
         yield self._cpu.work(allocation.page_count * spec.dma_pin_per_page_s * jitter)
-        for page in allocation.pages:
-            page.pin()
+        allocation.pin_all()
 
         # -- Step 4: IOMMU mapping (IOVA == GPA).
         yield self._cpu.work(allocation.page_count * spec.iommu_map_per_page_s * jitter)
-        for index, page in enumerate(allocation.pages):
-            domain.map_page(gpa_base + index * page.size, page)
+        domain.map_region(gpa_base, allocation)
 
-        return MappedRegion(allocation, gpa_base, domain, lazy_pages)
+        return MappedRegion(allocation, gpa_base, domain, lazy_spans)
 
     # ------------------------------------------------------------------
     # vIOMMU emulation (§8 related-work baseline)
@@ -398,13 +410,13 @@ class VfioDriver:
     def dma_unmap(self, region):
         """Tear down one mapped region and free its frames."""
         spec = self._spec
-        yield self._cpu.work(region.allocation.page_count * spec.iommu_unmap_per_page_s)
-        for index, page in enumerate(region.pages):
-            region.domain.unmap_page(region.gpa_base + index * page.size)
-            page.unpin()
+        allocation = region.allocation
+        yield self._cpu.work(allocation.page_count * spec.iommu_unmap_per_page_s)
+        region.domain.unmap_range(region.gpa_base, allocation.size_bytes)
+        allocation.unpin_all()
         if self._fastiovd is not None:
-            self._fastiovd.forget_pages(region.allocation.owner, region.pages)
-        self._memory.free(region.allocation)
+            self._fastiovd.forget_region(allocation.owner, allocation)
+        self._memory.free(allocation)
 
     def __repr__(self):
         return f"<VfioDriver devsets={len(self._devsets)}>"

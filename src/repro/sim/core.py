@@ -40,12 +40,16 @@ class Command:
     immediately.
     """
 
+    __slots__ = ()
+
     def subscribe(self, sim, process):
         raise NotImplementedError
 
 
 class Timeout(Command):
     """Resume the process after ``delay`` units of virtual time."""
+
+    __slots__ = ("delay",)
 
     def __init__(self, delay):
         if delay < 0:
@@ -61,6 +65,8 @@ class Timeout(Command):
 
 class Join(Command):
     """Resume when ``process`` finishes; the result is its return value."""
+
+    __slots__ = ("process",)
 
     def __init__(self, process):
         self.process = process
@@ -89,6 +95,18 @@ class Process:
         finished: True once the generator returned.
         result: The generator's return value (valid once finished).
     """
+
+    __slots__ = (
+        "_sim",
+        "_gen",
+        "name",
+        "daemon",
+        "finished",
+        "result",
+        "_joiners",
+        "_blocked_on",
+        "_started_at",
+    )
 
     def __init__(self, sim, generator, name, daemon=False):
         self._sim = sim

@@ -8,23 +8,31 @@ multi-core socket under the Linux CFS idealization: every runnable job
 receives an equal share of the cores, capped at one core per job
 (zeroing, guest vCPU work, and memcpy loops are single-threaded).
 
-The model is event-driven and exact: whenever the runnable-job set
-changes, remaining work is advanced at the old rate and the next
-completion is rescheduled.  With *n* jobs on *C* cores each job runs at
-``min(1, C/n)`` cores.
+The model is event-driven and exact, implemented as virtual-service-time
+fair queueing: a single cumulative per-job service counter ``V`` is
+advanced lazily (``V += rate * elapsed`` on each state change), and each
+job is stamped at admission with a *finish tag* ``V + amount``.  A job
+completes exactly when ``V`` reaches its tag, so the scheduler only ever
+inspects the minimum tag in a heap: ``_advance`` is O(1) and ``_admit``
+is O(log n), instead of decrementing ``remaining`` across every runnable
+job on every event (O(n), i.e. O(n²) per run at paper concurrency).
+With *n* jobs on *C* cores each job runs at ``min(1, C/n)``.
 """
 
+import heapq
+
 from repro.sim.core import Command
-from repro.sim.errors import SimError
 
 _EPSILON = 1e-9
 
 
 class _CpuJob(Command):
+    __slots__ = ("cpu", "amount", "finish_tag", "process")
+
     def __init__(self, cpu, amount):
         self.cpu = cpu
         self.amount = amount
-        self.remaining = amount
+        self.finish_tag = None
         self.process = None
 
     def subscribe(self, sim, process):
@@ -50,7 +58,11 @@ class FairShareCPU:
         self._sim = sim
         self.cores = cores
         self.name = name
-        self._jobs = []
+        #: Cumulative core-seconds of service received by any job that has
+        #: been runnable the whole time (the fair-queueing virtual clock).
+        self._virtual = 0.0
+        self._heap = []  # (finish_tag, admit_seq, job)
+        self._admit_seq = 0
         self._last_update = sim.now
         self._version = 0
         self.total_core_seconds = 0.0
@@ -71,14 +83,14 @@ class FairShareCPU:
 
     @property
     def runnable_jobs(self):
-        return len(self._jobs)
+        return len(self._heap)
 
     @property
     def rate_per_job(self):
         """Current cores-per-job share (0 when idle)."""
-        if not self._jobs:
+        if not self._heap:
             return 0.0
-        return min(1.0, self.cores / len(self._jobs))
+        return min(1.0, self.cores / len(self._heap))
 
     def utilization(self):
         """Mean fraction of the socket busy since simulation start."""
@@ -93,34 +105,34 @@ class FairShareCPU:
     # ------------------------------------------------------------------
     def _admit(self, job):
         self._advance()
-        if job.remaining <= _EPSILON:
+        if job.amount <= _EPSILON:
             self._sim.schedule(self._sim.now, job.process._resume, None)
             return
-        self._jobs.append(job)
+        job.finish_tag = self._virtual + job.amount
+        heapq.heappush(self._heap, (job.finish_tag, self._admit_seq, job))
+        self._admit_seq += 1
         self._reschedule()
 
     def _advance(self):
-        """Account for work done since the last state change."""
+        """Account for work done since the last state change (O(1))."""
         now = self._sim.now
         elapsed = now - self._last_update
         self._last_update = now
-        if elapsed <= 0 or not self._jobs:
+        n = len(self._heap)
+        if elapsed <= 0 or not n:
             return
-        rate = self.rate_per_job
-        done = rate * elapsed
-        active_cores = min(len(self._jobs), self.cores)
-        self.busy_core_seconds += active_cores * elapsed
-        self.total_core_seconds += done * len(self._jobs)
-        for job in self._jobs:
-            job.remaining -= done
+        rate = min(1.0, self.cores / n)
+        self._virtual += rate * elapsed
+        self.busy_core_seconds += min(n, self.cores) * elapsed
+        self.total_core_seconds += rate * elapsed * n
 
     def _reschedule(self):
         """Schedule the next job completion (invalidating older ones)."""
         self._version += 1
-        if not self._jobs:
+        if not self._heap:
             return
-        rate = self.rate_per_job
-        shortest = min(job.remaining for job in self._jobs)
+        rate = min(1.0, self.cores / len(self._heap))
+        shortest = self._heap[0][0] - self._virtual
         eta = self._sim.now + max(0.0, shortest) / rate
         self._sim.schedule(eta, self._on_completion, self._version)
 
@@ -128,15 +140,25 @@ class FairShareCPU:
         if version != self._version:
             return  # superseded by a later job-set change
         self._advance()
-        finished = [job for job in self._jobs if job.remaining <= _EPSILON]
+        heap = self._heap
+        finished = []
+        threshold = self._virtual + _EPSILON
+        while heap and heap[0][0] <= threshold:
+            finished.append(heapq.heappop(heap)[2])
         if not finished:
-            # Numerical guard: re-arm. Should not normally happen.
-            self._reschedule()
-            return
-        self._jobs = [job for job in self._jobs if job.remaining > _EPSILON]
+            # Numerical guard: this event is not stale (the version
+            # matched), so it was scheduled for exactly the minimum tag's
+            # ETA and no job set change intervened.  If float drift left
+            # that tag an epsilon above V — e.g. the per-event progress
+            # underflows against the ulp of a large clock value — re-arming
+            # would recompute the same ETA and spin forever at zero
+            # progress.  The head job is owed completion now; force it.
+            job = heapq.heappop(heap)[2]
+            self._virtual = job.finish_tag
+            finished.append(job)
         for job in finished:
             self._sim.schedule(self._sim.now, job.process._resume, None)
         self._reschedule()
 
     def __repr__(self):
-        return f"<FairShareCPU {self.name} cores={self.cores} jobs={len(self._jobs)}>"
+        return f"<FairShareCPU {self.name} cores={self.cores} jobs={len(self._heap)}>"

@@ -246,7 +246,10 @@ class Hypervisor:
             page_size = microvm.layout.page_size
             first = (gpa_base - region.gpa_base) // page_size
             count = -(-nbytes // page_size)
-            pages = region.pages[first:first + count]
+            pages = [
+                region.allocation.page_at_index(i)
+                for i in range(first, first + count)
+            ]
             yield from self._fastiovd.register_instant(microvm.pid, pages)
         # The write itself: load from disk/initrd + memcpy.
         yield self._cpu.work(nbytes / self._spec.guest_memcpy_bytes_per_cpu_s)

@@ -1,0 +1,85 @@
+"""Determinism of experiment results across runs, workers, and cache.
+
+The simulator's jitter streams are CRC-forked from the seed, so a
+launch cell's numbers must not depend on *where* it ran: two in-process
+runs, a multiprocessing worker, and a cache hit all have to produce
+byte-identical ``ExperimentResult.data``.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import get_experiment
+from repro.experiments.cache import ResultCache, cell_key
+from repro.experiments.parallel import Cell, CellRunner, run_cell
+
+
+def _data_bytes(result):
+    return json.dumps(result.data, sort_keys=True).encode()
+
+
+def test_same_seed_same_data_in_process():
+    first = get_experiment("fig1").run(quick=True, seed=7, use_cache=False)
+    second = get_experiment("fig1").run(quick=True, seed=7, use_cache=False)
+    assert _data_bytes(first) == _data_bytes(second)
+
+
+def test_different_seed_changes_data():
+    base = get_experiment("fig1").run(quick=True, seed=7, use_cache=False)
+    other = get_experiment("fig1").run(quick=True, seed=8, use_cache=False)
+    assert _data_bytes(base) != _data_bytes(other)
+
+
+def test_jobs_1_and_jobs_4_are_byte_identical():
+    serial = get_experiment("fig1").run(
+        quick=True, seed=3, jobs=1, use_cache=False
+    )
+    parallel = get_experiment("fig1").run(
+        quick=True, seed=3, jobs=4, use_cache=False
+    )
+    assert _data_bytes(serial) == _data_bytes(parallel)
+
+
+def test_cache_hit_is_byte_identical(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    cell = Cell("vanilla", 10, None, 5)
+    fresh = run_cell(cell)
+
+    runner = CellRunner(jobs=1, cache=cache)
+    runner.prefetch([cell])
+    assert runner.cache_misses == 1
+
+    rerun = CellRunner(jobs=1, cache=cache)
+    rerun.prefetch([cell])
+    assert rerun.cache_hits == 1 and rerun.cache_misses == 0
+    cached = rerun.summary(cell.preset, cell.concurrency, seed=cell.seed)
+    assert json.dumps(cached, sort_keys=True) == json.dumps(
+        fresh, sort_keys=True
+    )
+
+
+def test_cache_key_depends_on_cell_parameters():
+    from repro.spec import PAPER_TESTBED
+
+    base = cell_key(Cell("vanilla", 10, None, 0).as_dict(), PAPER_TESTBED)
+    assert base != cell_key(Cell("fastiov", 10, None, 0).as_dict(), PAPER_TESTBED)
+    assert base != cell_key(Cell("vanilla", 20, None, 0).as_dict(), PAPER_TESTBED)
+    assert base != cell_key(Cell("vanilla", 10, None, 1).as_dict(), PAPER_TESTBED)
+    assert base == cell_key(Cell("vanilla", 10, None, 0).as_dict(), PAPER_TESTBED)
+
+
+def test_corrupt_cache_entry_falls_back_to_fresh_run(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    cell = Cell("vanilla", 10, None, 5)
+    runner = CellRunner(jobs=1, cache=cache)
+    runner.prefetch([cell])
+    [path] = list(cache.directory.glob("*.json"))
+    path.write_text("{not json")
+
+    rerun = CellRunner(jobs=1, cache=cache)
+    rerun.prefetch([cell])
+    assert rerun.cache_misses == 1
+    fresh = run_cell(cell)
+    got = rerun.summary(cell.preset, cell.concurrency, seed=cell.seed)
+    assert got == pytest.approx(fresh)

@@ -114,3 +114,122 @@ def test_recycled_memory_never_loses_dirty_marking(tags):
         # Zeroed-then-freed frames must never be flagged residual.
         if page.content_tag is None and not page.is_residual:
             assert page.is_zeroed
+
+
+@given(
+    max_run_pages=st.integers(min_value=1, max_value=16),
+    sizes=st.lists(st.integers(min_value=1, max_value=12), min_size=1, max_size=8),
+)
+@settings(max_examples=100, deadline=None)
+def test_fragment_preserves_accounting_and_batch_structure(max_run_pages, sizes):
+    """fragment() only reshapes free extents; allocations stay correct."""
+    mem = PhysicalMemory(TOTAL_PAGES * PAGE, PAGE)
+    free_before = mem.free_bytes
+    mem.fragment(max_run_bytes=max_run_pages * PAGE)
+    assert mem.free_bytes == free_before
+    assert mem.allocated_bytes == 0
+
+    live = []
+    for npages in sizes:
+        if npages * PAGE > mem.free_bytes:
+            continue
+        region = mem.allocate(npages * PAGE, owner="w")
+        live.append(region)
+        # Each retrieval batch fits inside one (fragmented) free extent.
+        for start, end in region._batch_spans:
+            assert (end - start) <= max_run_pages * PAGE
+        # The batch-span index and the run list describe the same pages.
+        assert sum(e - s for s, e in region._batch_spans) == region.size_bytes
+        assert sum(run.nbytes for run in region.runs) == region.size_bytes
+        # page_at_index agrees with the flattened batch order.
+        flattened = [p for batch in region.batches for p in batch]
+        for i in (0, region.page_count // 2, region.page_count - 1):
+            assert region.page_at_index(i) is flattened[i]
+    for region in live:
+        mem.free(region)
+    assert mem.allocated_bytes == 0
+    assert mem.free_bytes == free_before
+
+
+@given(
+    tags=st.lists(
+        st.sampled_from(["tenant-a", "tenant-b", "tenant-c"]),
+        min_size=1,
+        max_size=6,
+    ),
+    max_run_pages=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=50, deadline=None)
+def test_recycled_tags_survive_fragmentation(tags, max_run_pages):
+    """Per-frame residual tags stay exact through fragment + recycle.
+
+    The run-length representation may merge or split spans arbitrarily,
+    but the byte an auditor would read from a recycled frame — and the
+    tenant tag naming who wrote it — must match a per-frame oracle.
+    """
+    mem = PhysicalMemory(TOTAL_PAGES * PAGE, PAGE)
+    mem.fragment(max_run_bytes=max_run_pages * PAGE)
+    oracle = {}  # hpa -> ("zero", None) | ("residual", tag)
+    for tag in tags:
+        region = mem.allocate(6 * PAGE, owner=tag)
+        for i in range(region.page_count):
+            page = region.page_at_index(i)
+            if i % 3 == 0:
+                page.write(f"{tag}-secret")
+                oracle[page.hpa] = ("residual", f"{tag}-secret")
+            elif i % 3 == 1:
+                page.zero()
+                oracle[page.hpa] = ("zero", None)
+            else:
+                # Untouched allocation: keeps whatever state the frame
+                # already had; pristine frames free as owner-tagged dirt.
+                oracle.setdefault(page.hpa, ("residual", tag))
+        mem.free(region)
+
+    final = mem.allocate(TOTAL_PAGES * PAGE, owner="auditor")
+    for i in range(final.page_count):
+        page = final.page_at_index(i)
+        kind, tag = oracle.get(page.hpa, ("residual", None))
+        if kind == "zero":
+            assert page.is_zeroed and page.content_tag is None
+        else:
+            assert page.is_residual
+            assert page.content_tag == tag
+
+
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=10), min_size=1, max_size=8),
+    writes=st.lists(st.integers(min_value=0, max_value=63), max_size=20),
+)
+@settings(max_examples=100, deadline=None)
+def test_runs_stay_sorted_disjoint_and_maximally_coalesced(sizes, writes):
+    """Structural invariants of the run-length region representation."""
+    mem = PhysicalMemory(TOTAL_PAGES * PAGE, PAGE)
+    mem.fragment(max_run_bytes=4 * PAGE)
+    live = []
+    for npages in sizes:
+        if npages * PAGE > mem.free_bytes:
+            continue
+        live.append(mem.allocate(npages * PAGE, owner="w"))
+    if not live:
+        return
+    for w in writes:
+        region = live[w % len(live)]
+        index = w % region.page_count
+        if w % 2:
+            region.page_at_index(index).write(f"data-{w}")
+        else:
+            region.page_at_index(index).zero()
+    for region in live:
+        runs = region.runs
+        for a, b in zip(runs, runs[1:]):
+            assert a.end <= b.hpa, "runs overlap or are unsorted"
+        # Splitting never inflates the representation past one run per
+        # page (adjacent same-state runs from separate retrieval batches
+        # are legal until a mutation merges them).
+        assert len(runs) <= region.page_count
+        # Views resolve through the run list with stable identity.
+        for i in (0, region.page_count - 1):
+            page = region.page_at_index(i)
+            assert region.page_at_index(i) is page
+            assert mem.page_at(page.hpa) is page

@@ -119,3 +119,68 @@ def test_rate_per_job_property():
     sim.run(until=0.5)
     assert cpu.rate_per_job == pytest.approx(0.5)
     sim.run()
+
+
+# ----------------------------------------------------------------------
+# numerical-guard regression: float drift must never stall completion
+# ----------------------------------------------------------------------
+def test_tiny_work_at_huge_virtual_time_terminates():
+    """A work amount below the clock's ulp cannot advance ``now``.
+
+    At t=1e16 the float ulp is 2.0 s, so ``now + amount/rate`` rounds
+    back to ``now`` for small amounts and the completion event makes no
+    virtual-time progress.  The scheduler's guard must finish the head
+    job anyway instead of re-arming the same event forever.
+    """
+    sim = Simulator()
+    cpu = FairShareCPU(sim, cores=4)
+    done = []
+
+    def proc(tag, amount):
+        yield Timeout(1e16)
+        yield cpu.work(amount)
+        done.append(tag)
+
+    sim.spawn(proc("a", 1e-3))
+    sim.run()
+    assert done == ["a"]
+    assert sim.now >= 1e16
+
+
+def test_adversarial_amount_mix_terminates_and_completes_all():
+    """Amounts spanning 19 orders of magnitude at a huge epoch all finish."""
+    sim = Simulator()
+    cpu = FairShareCPU(sim, cores=2)
+    done = []
+    amounts = [1e-9, 1e-3, 2.0, 1e-6, 0.5, 3e-12, 1.0, 1e10]
+
+    def proc(tag, amount):
+        yield Timeout(1e15 + tag)  # stagger admits across the epoch
+        yield cpu.work(amount)
+        done.append(tag)
+
+    for tag, amount in enumerate(amounts):
+        sim.spawn(proc(tag, amount))
+    sim.run()
+    assert sorted(done) == list(range(len(amounts)))
+    # Work conservation still holds to float accuracy at this scale.
+    assert cpu.total_core_seconds == pytest.approx(sum(amounts), rel=1e-6)
+
+
+def test_zero_progress_guard_finishes_jobs_in_tag_order():
+    """When the guard fires, jobs retire in fair-queueing finish order."""
+    sim = Simulator()
+    cpu = FairShareCPU(sim, cores=1)
+    done = []
+
+    def proc(tag, amount):
+        yield Timeout(4e15)
+        yield cpu.work(amount)
+        done.append(tag)
+
+    # Both amounts are far below the ulp of 4e15 (0.5 s): neither can
+    # move the clock, so completion order must follow the finish tags.
+    sim.spawn(proc("small", 1e-6))
+    sim.spawn(proc("large", 1e-1))
+    sim.run()
+    assert done == ["small", "large"]
