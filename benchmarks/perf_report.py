@@ -1,6 +1,7 @@
 """Wall-clock performance report for the simulator fast path.
 
-Times a fixed set of experiments end-to-end (quick scale, cache off)
+Times a fixed set of experiments end-to-end (quick scale, cache off),
+measures raw event-engine throughput with a synthetic dispatch storm,
 and writes ``BENCH_wallclock.json`` next to this file::
 
     python benchmarks/perf_report.py                 # measure + write
@@ -8,7 +9,8 @@ and writes ``BENCH_wallclock.json`` next to this file::
     python benchmarks/perf_report.py --jobs 4        # parallel cells
 
 ``--check`` compares against the committed baseline and exits non-zero
-if any experiment regressed by more than ``--threshold`` (default 20%),
+if any experiment regressed by more than ``--threshold`` (default 20%)
+or the engine's events/sec dropped by more than the same threshold,
 which is what CI runs.  After an intentional perf change, regenerate the
 baseline with ``--update-baseline``.
 """
@@ -27,33 +29,77 @@ REPORT_PATH = HERE / "BENCH_wallclock.json"
 BASELINE_PATH = HERE / "wallclock_baseline.json"
 
 #: Experiments timed by the report (quick scale).
-EXPERIMENTS = ("fig1", "fig11", "fig13c")
+EXPERIMENTS = ("fig1", "fig11", "fig13c", "scale")
 
 
-def measure(experiment_ids, jobs=None):
+def engine_events_per_sec(procs=200, rounds=200, repeats=5):
+    """Raw dispatch throughput of the discrete-event engine.
+
+    A synthetic storm with the simulator's real event mix: zero-delay
+    resumes (the ready-ring fast path), mutex hand-offs, and short
+    heap-scheduled timeouts.  Model callbacks are trivial, so this
+    isolates the engine — `Simulator.run` dispatch, `schedule`, the
+    Process trampoline, and the sync grant path.  Returns the
+    best-of-``repeats`` events/sec (best-of defuses scheduler noise).
+    """
+    from repro.sim import Mutex, Simulator, Timeout
+
+    def one_run():
+        sim = Simulator()
+        lock = Mutex(sim, name="bench")
+
+        def worker(index):
+            for _ in range(rounds):
+                yield Timeout(0.0)
+                yield lock.acquire()
+                yield Timeout(1e-6)
+                lock.release()
+                yield Timeout((index % 7) * 1e-5)
+
+        for index in range(procs):
+            sim.spawn(worker(index))
+        started = time.perf_counter()
+        sim.run()
+        elapsed = time.perf_counter() - started
+        return sim.events_dispatched / elapsed
+
+    return max(one_run() for _ in range(repeats))
+
+
+def measure(experiment_ids, jobs=None, repeats=2):
+    """Time each experiment end-to-end; best-of-``repeats`` per id.
+
+    One-shot timings of 1-3 s experiments swing by 20%+ on shared CI
+    runners; the minimum of two runs is what the machine can actually
+    do and keeps the regression gate quiet.
+    """
     from repro.experiments import get_experiment
 
     timings = {}
     for experiment_id in experiment_ids:
         experiment = get_experiment(experiment_id)
-        started = time.perf_counter()
-        result = experiment.run(quick=True, jobs=jobs, use_cache=False)
-        elapsed = time.perf_counter() - started
-        assert result.comparisons()
-        timings[experiment_id] = round(elapsed, 4)
-        print(f"{experiment_id:8s} {elapsed:8.3f} s")
+        best = None
+        for _ in range(repeats):
+            started = time.perf_counter()
+            result = experiment.run(quick=True, jobs=jobs, use_cache=False)
+            elapsed = time.perf_counter() - started
+            assert result.comparisons()
+            if best is None or elapsed < best:
+                best = elapsed
+        timings[experiment_id] = round(best, 4)
+        print(f"{experiment_id:8s} {best:8.3f} s")
     return timings
 
 
-def check(timings, threshold):
+def check(timings, events_per_sec, threshold):
     """Compare against the committed baseline; returns failures."""
     if not BASELINE_PATH.is_file():
         print(f"no baseline at {BASELINE_PATH}; skipping regression check")
         return []
-    baseline = json.loads(BASELINE_PATH.read_text())["timings"]
+    baseline = json.loads(BASELINE_PATH.read_text())
     failures = []
     for experiment_id, elapsed in timings.items():
-        base = baseline.get(experiment_id)
+        base = baseline["timings"].get(experiment_id)
         if base is None:
             continue
         ratio = elapsed / base
@@ -64,6 +110,17 @@ def check(timings, threshold):
         print(
             f"{experiment_id:8s} baseline {base:7.3f} s  now {elapsed:7.3f} s "
             f"({ratio * 100:5.1f}%)  {status}"
+        )
+    base_eps = baseline.get("engine_events_per_sec")
+    if base_eps:
+        ratio = events_per_sec / base_eps
+        status = "ok"
+        if ratio < 1.0 - threshold:
+            status = "REGRESSION"
+            failures.append(("engine", base_eps, events_per_sec, ratio))
+        print(
+            f"{'engine':8s} baseline {base_eps:9,.0f} ev/s  "
+            f"now {events_per_sec:9,.0f} ev/s ({ratio * 100:5.1f}%)  {status}"
         )
     return failures
 
@@ -79,9 +136,12 @@ def main(argv=None):
                         help="write the measured timings as the new baseline")
     args = parser.parse_args(argv)
 
+    events_per_sec = round(engine_events_per_sec())
+    print(f"{'engine':8s} {events_per_sec:9,} events/s")
     timings = measure(EXPERIMENTS, jobs=args.jobs)
     report = {
         "timings": timings,
+        "engine_events_per_sec": events_per_sec,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "jobs": args.jobs or 1,
@@ -95,7 +155,7 @@ def main(argv=None):
         )
         print(f"wrote {BASELINE_PATH}")
     if args.check:
-        failures = check(timings, args.threshold)
+        failures = check(timings, events_per_sec, args.threshold)
         if failures:
             print(f"{len(failures)} wall-clock regression(s) detected")
             return 1

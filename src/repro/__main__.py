@@ -8,6 +8,7 @@ Usage::
     python -m repro run fig11 --no-cache     # ignore the result cache
     python -m repro launch fastiov -c 200    # raw concurrent launch
     python -m repro profile fig11 --quick    # cProfile an experiment
+    python -m repro profile fig11 --hot      # cProfile its heaviest cell
 
 ``run`` caches per-launch summaries under ``.repro-cache/`` (override
 with ``REPRO_CACHE_DIR``), keyed by source digest + host spec + cell
@@ -47,15 +48,45 @@ def cmd_run(args):
 
 
 def cmd_profile(args):
-    """cProfile one experiment and print the top cumulative offenders."""
+    """cProfile one experiment and print the top cumulative offenders.
+
+    ``--hot`` profiles the experiment's single heaviest launch cell
+    instead of the whole run: one simulator, no harness overhead, so the
+    top of the listing is the engine/model hot path a perf PR should
+    attack.  Experiments without launch cells fall back to a full run.
+    """
     import cProfile
     import pstats
 
     experiment = get_experiment(args.experiment)
+    target_label = f"experiment {args.experiment!r}"
+    if args.hot:
+        from repro.experiments.parallel import run_cell
+
+        cells = experiment._cells(quick=args.quick, seed=args.seed)
+        if cells:
+            cell = max(cells, key=lambda c: (c.concurrency, c.hosts))
+            target_label = f"hot cell {cell}"
+
+            def target():
+                run_cell(cell)
+        else:
+            print(f"{args.experiment}: no launch cells; profiling the "
+                  f"full run instead")
+
+            def target():
+                experiment.run(quick=args.quick, seed=args.seed,
+                               jobs=1, use_cache=False)
+    else:
+        def target():
+            experiment.run(quick=args.quick, seed=args.seed,
+                           jobs=1, use_cache=False)
+
     profiler = cProfile.Profile()
     profiler.enable()
-    experiment.run(quick=args.quick, seed=args.seed, jobs=1, use_cache=False)
+    target()
     profiler.disable()
+    print(f"profile of {target_label}, top {args.top} by cumulative time:")
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.strip_dirs().sort_stats("cumulative").print_stats(args.top)
     if args.output:
@@ -101,6 +132,11 @@ def main(argv=None):
     profile_p = sub.add_parser("profile", help="cProfile one experiment")
     profile_p.add_argument("experiment")
     profile_p.add_argument("--quick", action="store_true")
+    profile_p.add_argument(
+        "--hot", action="store_true",
+        help="profile only the experiment's heaviest launch cell "
+             "(one simulator, no harness overhead)",
+    )
     profile_p.add_argument("--top", type=int, default=20,
                            help="rows of cumulative-time stats to print")
     profile_p.add_argument("-o", "--output", default=None,

@@ -1,0 +1,29 @@
+"""Cluster layer: many simulated hosts on one virtual timeline.
+
+* :class:`~repro.cluster.cluster.Cluster` — N fully wired hosts sharing
+  one :class:`~repro.sim.core.Simulator`.
+* :mod:`~repro.cluster.placement` — deterministic round-robin and
+  least-loaded placement.
+* :class:`~repro.cluster.churn.ClusterChurnDriver` — serverless churn
+  (place, start, optional SeBS app, teardown) at burst sizes a single
+  host's VF pool could never absorb.
+"""
+
+from repro.cluster.churn import ClusterChurnDriver, run_cluster_cell
+from repro.cluster.cluster import Cluster
+from repro.cluster.placement import (
+    LeastLoadedPlacement,
+    PLACEMENT_POLICIES,
+    RoundRobinPlacement,
+    make_placement,
+)
+
+__all__ = [
+    "Cluster",
+    "ClusterChurnDriver",
+    "LeastLoadedPlacement",
+    "PLACEMENT_POLICIES",
+    "RoundRobinPlacement",
+    "make_placement",
+    "run_cluster_cell",
+]

@@ -1,0 +1,137 @@
+"""Serverless churn driver for cluster-scale startup storms.
+
+Drives the full secure-container lifecycle — place, start, (optionally)
+run a SeBS app, tear down — across every host of a
+:class:`~repro.cluster.cluster.Cluster`, at burst sizes far beyond what
+a single host's 256-VF pool could absorb.  This is the Quark-style
+workload the ROADMAP points at: thousands of concurrent microVM
+startups arriving nearly simultaneously.
+
+Placement happens at *arrival* time (after the arrival offset elapses),
+so least-loaded placement sees the load that actually exists when the
+invocation lands, and the whole schedule remains a deterministic
+function of the seed.
+"""
+
+from repro.containers.engine import ContainerRequest
+from repro.metrics.stats import Distribution
+from repro.metrics.timeline import StartupRecord
+from repro.sim.core import Timeout
+from repro.workloads.generator import ArrivalPattern
+from repro.workloads.serverless import make_app
+
+
+class ClusterChurnDriver:
+    """Submits container lifecycles to a cluster and collects records.
+
+    Args:
+        cluster: The target :class:`Cluster`.
+        app_name: Optional SeBS app (``repro.workloads.serverless``)
+            each container runs after startup.
+        teardown: Remove each container after it completes, recycling
+            its VF and memory (the churn part of the workload).
+    """
+
+    def __init__(self, cluster, app_name=None, teardown=True):
+        self.cluster = cluster
+        self.app_name = app_name
+        self.teardown = teardown
+        self.records = []
+        #: Containers currently between arrival and readiness.
+        self.in_flight = 0
+        #: Peak of ``in_flight`` — the realized startup concurrency.
+        self.peak_in_flight = 0
+
+    def submit(self, count, arrivals=None, memory_bytes=None,
+               name_prefix="w"):
+        """Spawn ``count`` lifecycles; returns their StartupRecords.
+
+        Args:
+            count: Number of invocations.
+            arrivals: :class:`ArrivalPattern` (default: simultaneous
+                burst, matching the paper's startup storms).
+            memory_bytes: Per-container memory (None = spec default).
+            name_prefix: Container name prefix (names must be unique
+                across the cluster's lifetime).
+        """
+        if arrivals is None:
+            arrivals = ArrivalPattern("burst")
+        offsets = arrivals.offsets(count)
+        records = []
+        cluster = self.cluster
+        for index, offset in enumerate(offsets):
+            name = f"{name_prefix}{index}"
+            record = StartupRecord(name)
+            records.append(record)
+            cluster.sim.spawn(
+                self._lifecycle(name, record, offset, memory_bytes),
+                name=f"churn-{name}",
+            )
+        self.records.extend(records)
+        return records
+
+    def _lifecycle(self, name, record, offset, memory_bytes):
+        if offset:
+            yield Timeout(offset)
+        cluster = self.cluster
+        index = cluster.place()
+        host = cluster.hosts[index]
+        self.in_flight += 1
+        if self.in_flight > self.peak_in_flight:
+            self.peak_in_flight = self.in_flight
+        app = make_app(self.app_name) if self.app_name else None
+        request = ContainerRequest(name, memory_bytes=memory_bytes, app=app)
+        try:
+            try:
+                yield from host.engine.run_container(request, record)
+            finally:
+                self.in_flight -= 1
+            if self.teardown:
+                yield from host.engine.remove_container(name)
+        finally:
+            cluster.unplace(index)
+
+    def run(self, until=None):
+        """Execute the simulation; returns the collected records."""
+        self.cluster.sim.run(until=until)
+        return self.records
+
+    def startup_times(self, label=""):
+        return Distribution(
+            [record.startup_time for record in self.records], label=label
+        )
+
+    def __repr__(self):
+        return (
+            f"<ClusterChurnDriver n={len(self.records)} "
+            f"app={self.app_name!r} peak={self.peak_in_flight}>"
+        )
+
+
+def run_cluster_cell(preset, concurrency, hosts, seed=0, app_name=None,
+                     placement="least-loaded", teardown=True):
+    """One cluster-scale launch cell; returns a plain-JSON summary.
+
+    The cluster analogue of ``launch_preset`` + ``summarize_launch``:
+    pure in (preset, concurrency, hosts, seed), so it is safe to run in
+    a worker process and to cache.
+    """
+    from repro.cluster.cluster import Cluster
+
+    cluster = Cluster(preset, hosts=hosts, seed=seed, placement=placement)
+    driver = ClusterChurnDriver(cluster, app_name=app_name, teardown=teardown)
+    driver.submit(concurrency)
+    driver.run()
+    summary = driver.startup_times().summary()
+    return {
+        "count": summary["count"],
+        "mean": summary["mean"],
+        "p50": summary["p50"],
+        "p99": summary["p99"],
+        "min": summary["min"],
+        "max": summary["max"],
+        "hosts": hosts,
+        "peak_in_flight": driver.peak_in_flight,
+        "events": cluster.sim.events_dispatched,
+        "free_vfs_total": cluster.free_vf_total(),
+    }

@@ -1,0 +1,60 @@
+"""Container placement policies for the multi-host cluster.
+
+Placement is intentionally simple and deterministic: the scheduling
+decision the paper cares about happens *inside* one host (lock
+decomposition, zeroing, VF init), so the cluster layer only needs to
+spread load the way a serverless control plane would — round-robin for
+uniformity, least-loaded to absorb bursty skew.  Ties break by host
+index so every run is reproducible.
+"""
+
+
+class RoundRobinPlacement:
+    """Cycle through hosts in index order."""
+
+    name = "round-robin"
+
+    __slots__ = ("_next",)
+
+    def __init__(self):
+        self._next = 0
+
+    def pick(self, loads):
+        index = self._next
+        self._next = (index + 1) % len(loads)
+        return index
+
+
+class LeastLoadedPlacement:
+    """Pick the host with the fewest active containers (ties: lowest index)."""
+
+    name = "least-loaded"
+
+    __slots__ = ()
+
+    def pick(self, loads):
+        best = 0
+        best_load = loads[0]
+        for index in range(1, len(loads)):
+            load = loads[index]
+            if load < best_load:
+                best = index
+                best_load = load
+        return best
+
+
+PLACEMENT_POLICIES = {
+    RoundRobinPlacement.name: RoundRobinPlacement,
+    LeastLoadedPlacement.name: LeastLoadedPlacement,
+}
+
+
+def make_placement(name):
+    """Instantiate a placement policy by name."""
+    try:
+        return PLACEMENT_POLICIES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown placement policy {name!r}; "
+            f"available: {sorted(PLACEMENT_POLICIES)}"
+        ) from None

@@ -38,7 +38,8 @@ NIC_BUS = 0x3B
 class Host:
     """One fully assembled simulated server."""
 
-    def __init__(self, config, spec=None, seed=0, vf_count=None):
+    def __init__(self, config, spec=None, seed=0, vf_count=None,
+                 sim=None, name="host"):
         """Args:
         config: A :class:`SolutionConfig` (or preset name via
             :func:`build_host`).
@@ -47,14 +48,19 @@ class Host:
             seed) is bit-identical.
         vf_count: VFs to pre-create (defaults to the NIC maximum,
             256 on the modeled E810).
+        sim: Optional shared :class:`Simulator`.  A cluster passes one
+            simulator to all of its hosts so they advance on a single
+            virtual timeline; standalone hosts build their own.
+        name: Diagnostic name (distinguishes hosts within a cluster).
         """
         self.config = config
         self.spec = spec if spec is not None else PAPER_TESTBED
         self.seed = seed
+        self.name = name
         spec = self.spec
 
         # -- simulation substrate --------------------------------------
-        self.sim = Simulator()
+        self.sim = sim if sim is not None else Simulator()
         self.jitter = Jitter(seed)
         self.cpu = FairShareCPU(self.sim, cores=spec.cores, name="host-cpu")
         #: The storage-server link: fair-shared among concurrent
@@ -169,13 +175,17 @@ class Host:
         return report
 
     def __repr__(self):
-        return f"<Host config={self.config.name!r} seed={self.seed}>"
+        return (
+            f"<Host {self.name} config={self.config.name!r} seed={self.seed}>"
+        )
 
 
-def build_host(preset_or_config, spec=None, seed=0, vf_count=None):
+def build_host(preset_or_config, spec=None, seed=0, vf_count=None,
+               sim=None, name="host"):
     """Build a host from a preset name or a :class:`SolutionConfig`."""
     if isinstance(preset_or_config, str):
         config = get_preset(preset_or_config)
     else:
         config = preset_or_config
-    return Host(config, spec=spec, seed=seed, vf_count=vf_count)
+    return Host(config, spec=spec, seed=seed, vf_count=vf_count,
+                sim=sim, name=name)

@@ -98,7 +98,13 @@ class Experiment:
         return []
 
     def _launch_summary(self, preset, concurrency, memory_bytes=None, seed=0):
-        """Summary dict for one launch cell (see ``summarize_launch``).
+        """Summary dict for one launch cell (see ``summarize_launch``)."""
+        from repro.experiments.parallel import Cell
+
+        return self._cell_summary(Cell(preset, concurrency, memory_bytes, seed))
+
+    def _cell_summary(self, cell):
+        """Summary dict for one cell of any kind.
 
         Served from the prefetched/cached cell results when available;
         falls back to an in-process run when `_execute` is called
@@ -109,7 +115,7 @@ class Experiment:
             from repro.experiments.parallel import CellRunner
 
             runner = self._runner = CellRunner(jobs=1, cache=None)
-        return runner.summary(preset, concurrency, memory_bytes, seed)
+        return runner.cell_summary(cell)
 
     def _execute(self, quick, seed):
         raise NotImplementedError

@@ -28,12 +28,19 @@ JOBS_ENV = "REPRO_JOBS"
 
 @dataclasses.dataclass(frozen=True)
 class Cell:
-    """One independent launch: the unit of parallelism and caching."""
+    """One independent launch: the unit of parallelism and caching.
+
+    ``kind`` selects the cell body: "launch" is a single-host
+    ``launch_preset`` run; "cluster" is a multi-host churn burst
+    (``repro.cluster.churn.run_cluster_cell``) over ``hosts`` hosts.
+    """
 
     preset: str
     concurrency: int
     memory_bytes: int = None
     seed: int = 0
+    kind: str = "launch"
+    hosts: int = 0
 
     def as_dict(self):
         return dataclasses.asdict(self)
@@ -56,6 +63,15 @@ def summarize_launch(result):
 
 def run_cell(cell):
     """Execute one cell in this process; returns its summary."""
+    if cell.kind == "cluster":
+        from repro.cluster.churn import run_cluster_cell
+
+        return run_cluster_cell(
+            cell.preset,
+            cell.concurrency,
+            hosts=cell.hosts,
+            seed=cell.seed,
+        )
     _host, result = launch_preset(
         cell.preset,
         cell.concurrency,
@@ -128,8 +144,11 @@ class CellRunner:
         return self
 
     def summary(self, preset, concurrency, memory_bytes=None, seed=0):
-        """The summary for one cell (computed now if not prefetched)."""
-        cell = Cell(preset, concurrency, memory_bytes, seed)
+        """The summary for one single-host launch cell."""
+        return self.cell_summary(Cell(preset, concurrency, memory_bytes, seed))
+
+    def cell_summary(self, cell):
+        """The summary for any cell (computed now if not prefetched)."""
         if cell not in self._summaries:
             hit = self._cache_get(cell)
             if hit is not None:

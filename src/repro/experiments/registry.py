@@ -11,6 +11,7 @@ from repro.experiments.fig14 import Fig14
 from repro.experiments.fig15 import Fig15
 from repro.experiments.fig16 import Fig16
 from repro.experiments.impl_rebind import ImplRebind
+from repro.experiments.scale import Scale
 from repro.experiments.sec65 import Sec65
 from repro.experiments.vdpa import Vdpa
 from repro.experiments.viommu import Viommu
@@ -21,7 +22,7 @@ ALL_EXPERIMENTS = {
         Fig1, Fig5, Tab1, Fig11, Fig12, Fig13a, Fig13b, Fig13c,
         Fig14, Sec65, Fig15, Fig16, ImplRebind,
         # Extensions beyond the paper's figures:
-        Vdpa, Churn, Dataplane, Viommu,
+        Vdpa, Churn, Dataplane, Viommu, Scale,
     )
 }
 

@@ -37,6 +37,8 @@ class CoarseLockPolicy:
 
     name = "coarse"
 
+    __slots__ = ("_mutex",)
+
     def __init__(self, sim, devset_name):
         self._mutex = Mutex(sim, name=f"{devset_name}.global-mutex")
 
@@ -77,6 +79,8 @@ class HierarchicalLockPolicy:
     """
 
     name = "hierarchical"
+
+    __slots__ = ("_sim", "_devset_name", "_rwlock", "_child_mutexes")
 
     def __init__(self, sim, devset_name):
         self._sim = sim

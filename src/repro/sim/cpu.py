@@ -52,6 +52,19 @@ class FairShareCPU:
     executed core-seconds are tracked for experiment reporting.
     """
 
+    __slots__ = (
+        "_sim",
+        "cores",
+        "name",
+        "_virtual",
+        "_heap",
+        "_admit_seq",
+        "_last_update",
+        "_version",
+        "total_core_seconds",
+        "busy_core_seconds",
+    )
+
     def __init__(self, sim, cores, name="cpu"):
         if cores <= 0:
             raise ValueError(f"cores must be positive, got {cores}")
@@ -106,7 +119,7 @@ class FairShareCPU:
     def _admit(self, job):
         self._advance()
         if job.amount <= _EPSILON:
-            self._sim.schedule(self._sim.now, job.process._resume, None)
+            self._sim._ready.append((job.process._on_resume, (None,)))
             return
         job.finish_tag = self._virtual + job.amount
         heapq.heappush(self._heap, (job.finish_tag, self._admit_seq, job))
@@ -156,8 +169,9 @@ class FairShareCPU:
             job = heapq.heappop(heap)[2]
             self._virtual = job.finish_tag
             finished.append(job)
+        ready = self._sim._ready
         for job in finished:
-            self._sim.schedule(self._sim.now, job.process._resume, None)
+            ready.append((job.process._on_resume, (None,)))
         self._reschedule()
 
     def __repr__(self):

@@ -9,6 +9,13 @@ the cgroupfs and RTNL locks implicated in the software-CNI comparison
 Every primitive records wait-time statistics (:class:`LockStats`) so
 experiments can attribute elapsed time to contention, mirroring the
 paper's profiling methodology (§3.1).
+
+Accounting contract (uniform across Mutex, RWLock, Resource): every
+``acquire``/``request`` submission appends the request to the waiter
+queue, runs the primitive's grant dispatch, and *then* records the
+queue depth — so a request granted immediately never counts toward
+``max_queue``/``enqueued``, and one that blocks records the true depth
+it observed.  Wait time is measured from submission to grant.
 """
 
 from collections import deque
@@ -23,14 +30,27 @@ class LockStats:
     Attributes:
         acquisitions: Number of successful acquisitions (grants).
         contended: Grants that had to wait at least one event.
+        enqueued: Requests that could not be granted immediately and
+            joined the waiter queue (recorded on the enqueue path).
         total_wait: Sum of wait times across all grants, in seconds.
         max_wait: Longest single wait, in seconds.
-        max_queue: Longest observed waiter-queue length.
+        max_queue: Longest observed waiter-queue length (depth seen by
+            an enqueuing request after the grant dispatch ran).
     """
+
+    __slots__ = (
+        "acquisitions",
+        "contended",
+        "enqueued",
+        "total_wait",
+        "max_wait",
+        "max_queue",
+    )
 
     def __init__(self):
         self.acquisitions = 0
         self.contended = 0
+        self.enqueued = 0
         self.total_wait = 0.0
         self.max_wait = 0.0
         self.max_queue = 0
@@ -40,10 +60,19 @@ class LockStats:
         if waited > 0:
             self.contended += 1
             self.total_wait += waited
-            self.max_wait = max(self.max_wait, waited)
+            if waited > self.max_wait:
+                self.max_wait = waited
 
+    def record_enqueue(self, depth):
+        """A request joined the waiter queue at the given depth."""
+        self.enqueued += 1
+        if depth > self.max_queue:
+            self.max_queue = depth
+
+    # Backward-compatible alias (depth-only update, no enqueue count).
     def record_queue(self, depth):
-        self.max_queue = max(self.max_queue, depth)
+        if depth > self.max_queue:
+            self.max_queue = depth
 
     @property
     def mean_wait(self):
@@ -54,13 +83,16 @@ class LockStats:
     def __repr__(self):
         return (
             f"LockStats(acquisitions={self.acquisitions}, "
-            f"contended={self.contended}, total_wait={self.total_wait:.6f}, "
+            f"contended={self.contended}, enqueued={self.enqueued}, "
+            f"total_wait={self.total_wait:.6f}, "
             f"max_wait={self.max_wait:.6f}, max_queue={self.max_queue})"
         )
 
 
 class _Grantable(Command):
     """A command granted later by its owning primitive."""
+
+    __slots__ = ("primitive", "process", "enqueued_at")
 
     def __init__(self, primitive):
         self.primitive = primitive
@@ -74,65 +106,87 @@ class _Grantable(Command):
 
     def _grant(self, sim, stats, value=None):
         stats.record_grant(sim.now - self.enqueued_at)
-        sim.schedule(sim.now, self.process._resume, value)
+        sim._ready.append((self.process._on_resume, (value,)))
 
 
-class Mutex:
+class _QueuedPrimitive:
+    """Shared submit skeleton: enqueue, dispatch, then record depth.
+
+    Subclasses provide ``_dispatch`` (grant whatever the head of the
+    queue permits) and the ``_waiters`` deque; this base gives all
+    primitives the identical enqueue-path accounting.
+    """
+
+    __slots__ = ("_sim", "name", "_waiters", "stats")
+
+    def __init__(self, sim, name):
+        self._sim = sim
+        self.name = name
+        self._waiters = deque()
+        self.stats = LockStats()
+
+    def _submit(self, request):
+        self._waiters.append(request)
+        self._dispatch()
+        depth = len(self._waiters)
+        if depth:
+            self.stats.record_enqueue(depth)
+
+    def _dispatch(self):
+        raise NotImplementedError
+
+    @property
+    def queue_length(self):
+        return len(self._waiters)
+
+
+class Mutex(_QueuedPrimitive):
     """FIFO mutual-exclusion lock.
 
     Models a Linux kernel ``struct mutex``: one holder at a time,
     waiters queued in arrival order.
     """
 
+    __slots__ = ("_holder",)
+
     def __init__(self, sim, name="mutex"):
-        self._sim = sim
-        self.name = name
+        super().__init__(sim, name)
         self._holder = None
-        self._waiters = deque()
-        self.stats = LockStats()
 
     @property
     def locked(self):
         return self._holder is not None
 
-    @property
-    def queue_length(self):
-        return len(self._waiters)
-
     def acquire(self):
         """Return a command that blocks until the mutex is held."""
         return _Grantable(self)
 
-    def _submit(self, request):
-        if self._holder is None:
+    def _dispatch(self):
+        if self._holder is None and self._waiters:
+            request = self._waiters.popleft()
             self._holder = request.process
             request._grant(self._sim, self.stats)
-        else:
-            self._waiters.append(request)
-            self.stats.record_queue(len(self._waiters))
 
     def release(self):
         """Release the mutex, granting it to the next waiter if any."""
         if self._holder is None:
             raise SimError(f"mutex {self.name!r} released while not held")
-        if self._waiters:
-            request = self._waiters.popleft()
-            self._holder = request.process
-            request._grant(self._sim, self.stats)
-        else:
-            self._holder = None
+        self._holder = None
+        self._dispatch()
 
     def __repr__(self):
         return f"<Mutex {self.name} locked={self.locked} q={self.queue_length}>"
 
 
 class _RWRequest(_Grantable):
+    __slots__ = ("write",)
+
     def __init__(self, primitive, write):
         super().__init__(primitive)
         self.write = write
 
 
-class RWLock:
+class RWLock(_QueuedPrimitive):
     """Fair (FIFO) readers-writer lock.
 
     Models a Linux kernel ``rwlock``/``rw_semaphore`` as used by
@@ -142,13 +196,12 @@ class RWLock:
     starvation and keeps grant order deterministic.
     """
 
+    __slots__ = ("_readers", "_writer")
+
     def __init__(self, sim, name="rwlock"):
-        self._sim = sim
-        self.name = name
+        super().__init__(sim, name)
         self._readers = 0
         self._writer = None
-        self._waiters = deque()
-        self.stats = LockStats()
 
     @property
     def active_readers(self):
@@ -165,11 +218,6 @@ class RWLock:
     def acquire_write(self):
         """Return a command that blocks until write access is granted."""
         return _RWRequest(self, write=True)
-
-    def _submit(self, request):
-        self._waiters.append(request)
-        self.stats.record_queue(len(self._waiters))
-        self._dispatch()
 
     def _dispatch(self):
         while self._waiters:
@@ -206,27 +254,28 @@ class RWLock:
 
 
 class _ResourceRequest(_Grantable):
+    __slots__ = ("amount",)
+
     def __init__(self, primitive, amount):
         super().__init__(primitive)
         self.amount = amount
 
 
-class Resource:
+class Resource(_QueuedPrimitive):
     """FIFO counting resource (semaphore) with capacity accounting.
 
     Used for bounded service pools such as virtiofsd worker threads or
     the storage server's NIC bandwidth slots.
     """
 
+    __slots__ = ("capacity", "in_use")
+
     def __init__(self, sim, capacity, name="resource"):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
-        self._sim = sim
-        self.name = name
+        super().__init__(sim, name)
         self.capacity = capacity
         self.in_use = 0
-        self._waiters = deque()
-        self.stats = LockStats()
 
     @property
     def available(self):
@@ -240,11 +289,6 @@ class Resource:
                 f"(capacity {self.capacity})"
             )
         return _ResourceRequest(self, amount)
-
-    def _submit(self, request):
-        self._waiters.append(request)
-        self.stats.record_queue(len(self._waiters))
-        self._dispatch()
 
     def _dispatch(self):
         while self._waiters and self._waiters[0].amount <= self.available:
@@ -269,14 +313,17 @@ class Resource:
 
 
 class _EventWait(Command):
+    __slots__ = ("event",)
+
     def __init__(self, event):
         self.event = event
 
     def subscribe(self, sim, process):
-        if self.event.triggered:
-            sim.schedule(sim.now, process._resume, self.event.payload)
+        event = self.event
+        if event.triggered:
+            sim._ready.append((process._on_resume, (event.payload,)))
         else:
-            self.event._waiters.append(process)
+            event._waiters.append(process)
 
 
 class SimEvent:
@@ -287,6 +334,8 @@ class SimEvent:
     buffer".  Waiting on an already-triggered event completes
     immediately with the stored payload.
     """
+
+    __slots__ = ("_sim", "name", "triggered", "payload", "_waiters")
 
     def __init__(self, sim, name="event"):
         self._sim = sim
@@ -306,8 +355,9 @@ class SimEvent:
         self.triggered = True
         self.payload = payload
         waiters, self._waiters = self._waiters, []
+        ready = self._sim._ready
         for process in waiters:
-            self._sim.schedule(self._sim.now, process._resume, payload)
+            ready.append((process._on_resume, (payload,)))
 
     def __repr__(self):
         return f"<SimEvent {self.name} triggered={self.triggered}>"

@@ -69,6 +69,50 @@ def test_cache_key_depends_on_cell_parameters():
     assert base == cell_key(Cell("vanilla", 10, None, 0).as_dict(), PAPER_TESTBED)
 
 
+def test_scale_jobs_1_and_jobs_2_are_byte_identical():
+    """Cluster cells must not depend on which worker ran them."""
+    serial = get_experiment("scale").run(
+        quick=True, seed=4, jobs=1, use_cache=False
+    )
+    parallel = get_experiment("scale").run(
+        quick=True, seed=4, jobs=2, use_cache=False
+    )
+    assert _data_bytes(serial) == _data_bytes(parallel)
+
+
+def test_cluster_cell_cache_hit_is_byte_identical(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    cell = Cell("fastiov", 60, None, 5, kind="cluster", hosts=3)
+    fresh = run_cell(cell)
+
+    runner = CellRunner(jobs=1, cache=cache)
+    runner.prefetch([cell])
+    assert runner.cache_misses == 1
+
+    rerun = CellRunner(jobs=1, cache=cache)
+    rerun.prefetch([cell])
+    assert rerun.cache_hits == 1 and rerun.cache_misses == 0
+    cached = rerun.cell_summary(cell)
+    assert json.dumps(cached, sort_keys=True) == json.dumps(
+        fresh, sort_keys=True
+    )
+
+
+def test_cluster_cache_key_depends_on_kind_and_hosts():
+    from repro.spec import PAPER_TESTBED
+
+    launch = cell_key(Cell("vanilla", 10, None, 0).as_dict(), PAPER_TESTBED)
+    cluster = cell_key(
+        Cell("vanilla", 10, None, 0, kind="cluster", hosts=4).as_dict(),
+        PAPER_TESTBED,
+    )
+    more_hosts = cell_key(
+        Cell("vanilla", 10, None, 0, kind="cluster", hosts=8).as_dict(),
+        PAPER_TESTBED,
+    )
+    assert len({launch, cluster, more_hosts}) == 3
+
+
 def test_corrupt_cache_entry_falls_back_to_fresh_run(tmp_path):
     cache = ResultCache(tmp_path / "cache")
     cell = Cell("vanilla", 10, None, 5)

@@ -9,7 +9,7 @@ EXPECTED_IDS = {
     "fig1", "fig5", "tab1", "fig11", "fig12", "fig13a", "fig13b",
     "fig13c", "fig14", "sec65", "fig15", "fig16", "impl_rebind",
     # extensions
-    "vdpa", "churn", "dataplane", "viommu",
+    "vdpa", "churn", "dataplane", "viommu", "scale",
 }
 
 

@@ -246,6 +246,184 @@ def test_nested_spawn_runs_child():
     assert log == ["parent-before", "child", "parent-after"]
 
 
+# ----------------------------------------------------------------------
+# Engine-semantics pins: these nail down the documented guarantees the
+# dispatch fast paths (ready ring + same-timestamp batch drain) must
+# preserve bit-for-bit across any future engine rework.
+# ----------------------------------------------------------------------
+
+def test_equal_timestamp_fifo_across_heap_and_ring():
+    """Events already queued at time t fire before events scheduled *at*
+    time t by the first of them — heap batch before ring appends."""
+    sim = Simulator()
+    order = []
+
+    def early(tag):
+        yield Timeout(1.0)
+        order.append(tag)
+        # Scheduled once the clock is at 1.0: must run after every
+        # same-timestamp event that was already pending.
+        sim.schedule(1.0, order.append, f"{tag}-followup")
+
+    def keepalive():
+        # Bare callbacks don't keep the simulation alive, so hold it
+        # open past the t=1.0 cohort.
+        yield Timeout(2.0)
+
+    for tag in ("a", "b", "c"):
+        sim.spawn(early(tag))
+    sim.spawn(keepalive())
+    sim.run()
+    assert order == ["a", "b", "c", "a-followup", "b-followup", "c-followup"]
+
+
+def test_equal_timestamp_fifo_stress():
+    """Hundreds of same-time events, mixed spawn/schedule, exact order."""
+    sim = Simulator()
+    order = []
+
+    def proc(tag):
+        yield Timeout(2.5)
+        order.append(tag)
+
+    expected = []
+    for index in range(200):
+        if index % 3 == 0:
+            sim.schedule(2.5, order.append, index)
+        else:
+            sim.spawn(proc(index))
+            # spawn's first step runs at t=0; the Timeout lands at 2.5
+            # with a later seq than any direct schedule made so far.
+        expected.append(index)
+    sim.run()
+    # Spawned processes take their first step at t=0 (in spawn order)
+    # and all re-enter the t=2.5 cohort in that same order, interleaved
+    # with the directly scheduled callbacks by scheduling order.
+    direct = [i for i in range(200) if i % 3 == 0]
+    spawned = [i for i in range(200) if i % 3 != 0]
+    assert order == direct + spawned
+
+
+def test_zero_delay_timeouts_fifo_with_lock_grants():
+    """Zero-delay resumes and grant resumes share one FIFO ordering."""
+    from repro.sim import Mutex
+
+    sim = Simulator()
+    lock = Mutex(sim)
+    order = []
+
+    def holder():
+        yield lock.acquire()
+        yield Timeout(1.0)
+        lock.release()
+        order.append("released")
+
+    def waiter():
+        yield Timeout(1.0)
+        order.append("pre-acquire")
+        yield lock.acquire()
+        order.append("granted")
+        lock.release()
+
+    def bystander():
+        yield Timeout(1.0)
+        order.append("bystander-1")
+        yield Timeout(0.0)
+        order.append("bystander-2")
+
+    sim.spawn(holder())
+    sim.spawn(waiter())
+    sim.spawn(bystander())
+    sim.run()
+    # At t=1.0 the cohort fires in scheduling order (waiter, bystander,
+    # holder); the release's grant lands in the ready ring *behind*
+    # bystander's already-queued zero-delay resume.
+    assert order == [
+        "pre-acquire", "bystander-1", "released", "bystander-2", "granted",
+    ]
+
+
+def test_schedule_rejects_past_times_directly():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(1.0)
+
+    sim.spawn(proc())
+    sim.run()
+    assert sim.now == 1.0
+    with pytest.raises(ValueError, match="cannot schedule into the past"):
+        sim.schedule(0.999, lambda: None)
+    # Scheduling exactly at the current time is allowed.
+    sim.schedule(1.0, lambda: None)
+
+
+def test_run_until_between_events_does_not_execute_later_ones():
+    sim = Simulator()
+    fired = []
+
+    def proc():
+        yield Timeout(1.0)
+        fired.append(sim.now)
+        yield Timeout(9.0)
+        fired.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run(until=4.0)
+    assert sim.now == 4.0
+    assert fired == [1.0]
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+    assert fired == [1.0, 10.0]
+
+
+def test_run_until_exactly_on_event_executes_it():
+    sim = Simulator()
+    fired = []
+    sim.schedule(3.0, fired.append, "at-horizon")
+
+    def keepalive():
+        yield Timeout(100.0)
+
+    sim.spawn(keepalive())
+    sim.run(until=3.0)
+    assert fired == ["at-horizon"]
+    assert sim.now == 3.0
+
+
+def test_deadlock_reports_all_blocked_nondaemon_processes():
+    from repro.sim import SimEvent
+
+    sim = Simulator()
+    event = SimEvent(sim, name="never")
+
+    def stuck(tag):
+        yield event.wait()
+
+    sim.spawn(stuck("s1"), name="stuck-1")
+    sim.spawn(stuck("s2"), name="stuck-2")
+    with pytest.raises(SimulationDeadlock) as excinfo:
+        sim.run()
+    message = str(excinfo.value)
+    assert "2 process(es)" in message
+    assert "stuck-1" in message and "stuck-2" in message
+
+
+def test_events_dispatched_counts_all_events():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(0.0)   # ready-ring path
+        yield Timeout(1.0)   # heap path
+
+    sim.spawn(proc())
+    assert sim.pending_events == 1
+    sim.run()
+    # spawn step + zero-delay resume + timed resume
+    assert sim.events_dispatched == 3
+    assert sim.pending_events == 0
+
+
 def test_join_command_repr_mentions_target():
     sim = Simulator()
 

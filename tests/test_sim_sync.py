@@ -259,6 +259,102 @@ def test_resource_invalid_requests():
 
 
 # ----------------------------------------------------------------------
+# Contention statistics — uniform across all queued primitives
+# ----------------------------------------------------------------------
+def test_uncontended_acquires_record_no_queueing_anywhere():
+    """Immediately granted requests must not count toward max_queue or
+    enqueued on any primitive — the accounting sits on the enqueue path
+    and only fires for requests still waiting after dispatch."""
+    sim = Simulator()
+    mutex = Mutex(sim)
+    rwlock = RWLock(sim)
+    pool = Resource(sim, capacity=4)
+
+    def proc():
+        yield mutex.acquire()
+        mutex.release()
+        yield rwlock.acquire_read()
+        rwlock.release_read()
+        yield rwlock.acquire_write()
+        rwlock.release_write()
+        yield pool.request(2)
+        pool.release(2)
+
+    sim.spawn(proc())
+    sim.run()
+    for stats in (mutex.stats, rwlock.stats, pool.stats):
+        assert stats.contended == 0
+        assert stats.enqueued == 0
+        assert stats.max_queue == 0
+        assert stats.total_wait == 0.0
+
+
+def test_contention_stats_consistent_across_primitives():
+    """The same hold-then-stack-N-waiters pattern yields the same
+    max_queue/enqueued/wait numbers on Mutex, RWLock, and Resource."""
+    sim = Simulator()
+    mutex = Mutex(sim)
+    rwlock = RWLock(sim)
+    pool = Resource(sim, capacity=1)
+
+    primitives = (
+        ("mutex", mutex, mutex.acquire, mutex.release),
+        ("rwlock", rwlock, rwlock.acquire_write, rwlock.release_write),
+        ("pool", pool, pool.request, pool.release),
+    )
+
+    def holder(acquire, release):
+        yield acquire()
+        yield Timeout(3.0)
+        release()
+
+    def waiter(acquire, release, delay):
+        yield Timeout(delay)
+        yield acquire()
+        release()
+
+    for _name, _prim, acquire, release in primitives:
+        sim.spawn(holder(acquire, release))
+        # Waiters at t=1 and t=2: queue depths 1 then 2, waits 2.0 + 1.0.
+        sim.spawn(waiter(acquire, release, 1.0))
+        sim.spawn(waiter(acquire, release, 2.0))
+    sim.run()
+
+    for name, prim, _acquire, _release in primitives:
+        stats = prim.stats
+        assert stats.acquisitions == 3, name
+        assert stats.contended == 2, name
+        assert stats.enqueued == 2, name
+        assert stats.max_queue == 2, name
+        assert stats.total_wait == pytest.approx(3.0), name
+        assert stats.max_wait == pytest.approx(2.0), name
+
+
+def test_rwlock_read_and_write_share_one_queue_accounting():
+    sim = Simulator()
+    lock = RWLock(sim)
+
+    def writer():
+        yield lock.acquire_write()
+        yield Timeout(2.0)
+        lock.release_write()
+
+    def reader(delay):
+        yield Timeout(delay)
+        yield lock.acquire_read()
+        lock.release_read()
+
+    sim.spawn(writer())
+    sim.spawn(reader(0.5))
+    sim.spawn(reader(1.0))
+    sim.run()
+    assert lock.stats.enqueued == 2
+    assert lock.stats.max_queue == 2
+    assert lock.stats.contended == 2
+    assert lock.stats.total_wait == pytest.approx(1.5 + 1.0)
+
+
+# ----------------------------------------------------------------------
 # SimEvent
 # ----------------------------------------------------------------------
 def test_event_wakes_all_waiters_with_payload():
