@@ -1,22 +1,33 @@
 """Wall-clock performance report for the simulator fast path.
 
-Times a fixed set of experiments end-to-end (quick scale, cache off),
+Times a fixed set of experiments end-to-end (quick scale, cache off) —
+including the quick scale experiment re-run over 4 cluster shards —
 measures raw event-engine throughput with a synthetic dispatch storm,
-and writes ``BENCH_wallclock.json`` next to this file::
+and writes ``BENCH_wallclock.json`` plus a runstamped
+``BENCH_<runstamp>.json`` (a flat metric -> value map for downstream
+tooling) next to this file::
 
     python benchmarks/perf_report.py                 # measure + write
     python benchmarks/perf_report.py --check         # compare vs baseline
     python benchmarks/perf_report.py --jobs 4        # parallel cells
+    python benchmarks/perf_report.py --sharded-speedup
+                                   # heavy 48-host cell, 1 vs 8 shards
 
 ``--check`` compares against the committed baseline and exits non-zero
 if any experiment regressed by more than ``--threshold`` (default 20%)
 or the engine's events/sec dropped by more than the same threshold,
 which is what CI runs.  After an intentional perf change, regenerate the
 baseline with ``--update-baseline``.
+
+``--sharded-speedup`` is the headline number of the sharded runner: one
+heavy cluster cell (48 hosts, 2000 startups) timed single-process and at
+8 shards/8 worker processes, with the two summaries asserted identical.
+It needs the cores to show a speedup, so it is reported, not gated.
 """
 
 import argparse
 import json
+import os
 import pathlib
 import platform
 import sys
@@ -30,6 +41,9 @@ BASELINE_PATH = HERE / "wallclock_baseline.json"
 
 #: Experiments timed by the report (quick scale).
 EXPERIMENTS = ("fig1", "fig11", "fig13c", "scale")
+
+#: Shard count for the gated sharded quick-scale timing.
+GATE_SHARDS = 4
 
 
 def engine_events_per_sec(procs=200, rounds=200, repeats=5):
@@ -66,29 +80,75 @@ def engine_events_per_sec(procs=200, rounds=200, repeats=5):
     return max(one_run() for _ in range(repeats))
 
 
+def _timed_run(factory, jobs, repeats):
+    best = None
+    for _ in range(repeats):
+        experiment = factory()
+        started = time.perf_counter()
+        result = experiment.run(quick=True, jobs=jobs, use_cache=False)
+        elapsed = time.perf_counter() - started
+        assert result.comparisons()
+        if best is None or elapsed < best:
+            best = elapsed
+    return round(best, 4)
+
+
 def measure(experiment_ids, jobs=None, repeats=2):
     """Time each experiment end-to-end; best-of-``repeats`` per id.
 
     One-shot timings of 1-3 s experiments swing by 20%+ on shared CI
     runners; the minimum of two runs is what the machine can actually
     do and keeps the regression gate quiet.
+
+    Besides the plain experiments, the quick scale run is repeated with
+    the cluster split over :data:`GATE_SHARDS` shard worker processes
+    (``scale_shards4``).  That timing rides the same >threshold gate, so
+    a regression in shard spawn/merge overhead fails CI even on runners
+    where sharding cannot be faster than single-process.
     """
     from repro.experiments import get_experiment
 
     timings = {}
     for experiment_id in experiment_ids:
-        experiment = get_experiment(experiment_id)
-        best = None
-        for _ in range(repeats):
-            started = time.perf_counter()
-            result = experiment.run(quick=True, jobs=jobs, use_cache=False)
-            elapsed = time.perf_counter() - started
-            assert result.comparisons()
-            if best is None or elapsed < best:
-                best = elapsed
-        timings[experiment_id] = round(best, 4)
-        print(f"{experiment_id:8s} {best:8.3f} s")
+        timings[experiment_id] = _timed_run(
+            lambda: get_experiment(experiment_id), jobs, repeats
+        )
+        print(f"{experiment_id:14s} {timings[experiment_id]:8.3f} s")
+    label = f"scale_shards{GATE_SHARDS}"
+    timings[label] = _timed_run(
+        lambda: get_experiment("scale").configure(shards=GATE_SHARDS),
+        jobs, repeats,
+    )
+    print(f"{label:14s} {timings[label]:8.3f} s")
     return timings
+
+
+def measure_sharded_speedup(shards=8, hosts=48, concurrency=2000):
+    """Wall-clock speedup of one heavy cluster cell from sharding.
+
+    Runs the same fastiov 48-host burst cell single-process and split
+    over ``shards`` shard simulators in ``shards`` worker processes, and
+    asserts the two summaries are identical (burst placement is
+    byte-deterministic across shard counts).  Returns
+    ``(t_single, t_sharded, speedup)``.
+    """
+    from repro.cluster.churn import run_cluster_cell
+
+    def run(n_shards):
+        started = time.perf_counter()
+        summary = run_cluster_cell(
+            "fastiov", concurrency, hosts=hosts, shards=n_shards
+        )
+        return time.perf_counter() - started, summary
+
+    t_single, single = run(1)
+    print(f"{'1 shard':14s} {t_single:8.3f} s")
+    t_sharded, sharded = run(shards)
+    print(f"{f'{shards} shards':14s} {t_sharded:8.3f} s")
+    assert sharded == single, "sharded summary diverged from single-process"
+    speedup = t_single / t_sharded
+    print(f"{'speedup':14s} {speedup:8.2f} x")
+    return round(t_single, 4), round(t_sharded, 4), round(speedup, 2)
 
 
 def check(timings, events_per_sec, threshold):
@@ -134,10 +194,13 @@ def main(argv=None):
                         help="allowed fractional slowdown (default 0.20)")
     parser.add_argument("--update-baseline", action="store_true",
                         help="write the measured timings as the new baseline")
+    parser.add_argument("--sharded-speedup", action="store_true",
+                        help="also time a heavy 48-host cell at 1 vs 8 "
+                             "shards (needs cores; reported, not gated)")
     args = parser.parse_args(argv)
 
     events_per_sec = round(engine_events_per_sec())
-    print(f"{'engine':8s} {events_per_sec:9,} events/s")
+    print(f"{'engine':14s} {events_per_sec:9,} events/s")
     timings = measure(EXPERIMENTS, jobs=args.jobs)
     report = {
         "timings": timings,
@@ -146,8 +209,32 @@ def main(argv=None):
         "machine": platform.machine(),
         "jobs": args.jobs or 1,
     }
+    if args.sharded_speedup:
+        t_single, t_sharded, speedup = measure_sharded_speedup()
+        report["sharded_speedup"] = {
+            "single_s": t_single,
+            "sharded_s": t_sharded,
+            "speedup_x": speedup,
+            "cpus": os.cpu_count(),
+        }
     REPORT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"wrote {REPORT_PATH}")
+
+    # Flat metric -> seconds (or events/sec) map, runstamped, for
+    # downstream tooling that trends numbers across runs.
+    runstamp = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
+    metrics = {f"{name}_s": elapsed for name, elapsed in timings.items()}
+    metrics["engine_events_per_sec"] = events_per_sec
+    speedup = report.get("sharded_speedup")
+    if speedup:
+        metrics["sharded_cell_single_s"] = speedup["single_s"]
+        metrics["sharded_cell_sharded_s"] = speedup["sharded_s"]
+        metrics["sharded_cell_speedup_x"] = speedup["speedup_x"]
+    stamped_path = HERE / f"BENCH_{runstamp}.json"
+    stamped_path.write_text(
+        json.dumps(metrics, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {stamped_path}")
 
     if args.update_baseline:
         BASELINE_PATH.write_text(

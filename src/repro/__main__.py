@@ -6,6 +6,8 @@ Usage::
     python -m repro run fig11 [--quick]      # one experiment, printed
     python -m repro run fig13c --jobs 8      # parallel launch cells
     python -m repro run fig11 --no-cache     # ignore the result cache
+    python -m repro run scale --shards 8     # sharded cluster simulation
+    python -m repro run scale --hosts 48 --placement round-robin --json out.json
     python -m repro launch fastiov -c 200    # raw concurrent launch
     python -m repro profile fig11 --quick    # cProfile an experiment
     python -m repro profile fig11 --hot      # cProfile its heaviest cell
@@ -35,6 +37,11 @@ def cmd_list(_args):
 
 def cmd_run(args):
     experiment = get_experiment(args.experiment)
+    experiment.configure(
+        hosts=args.hosts,
+        placement=args.placement,
+        shards=args.shards,
+    )
     result = experiment.run(
         quick=args.quick,
         seed=args.seed,
@@ -44,6 +51,13 @@ def cmd_run(args):
     print(result.render())
     print()
     print(result.comparison_table())
+    if args.json:
+        import json
+
+        with open(args.json, "w") as handle:
+            json.dump(result.data, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        print(f"result data written to {args.json}")
     return 0
 
 
@@ -123,6 +137,26 @@ def main(argv=None):
     run_p.add_argument(
         "--no-cache", action="store_true",
         help="ignore and do not update the result cache",
+    )
+    run_p.add_argument(
+        "--hosts", type=int, default=None,
+        help="cluster size for experiments that take one "
+             "(scale: default 8 quick / 48 full; churn: 1 host)",
+    )
+    run_p.add_argument(
+        "--placement", choices=("least-loaded", "round-robin"), default=None,
+        help="cluster placement policy (default least-loaded)",
+    )
+    run_p.add_argument(
+        "--shards", type=int, default=None,
+        help="split the cluster over this many shard simulators, one "
+             "worker process each (default 1 = single-process; results "
+             "are byte-identical across shard counts)",
+    )
+    run_p.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also dump the experiment's structured data (sorted keys) "
+             "to this file — the sharded-determinism gate diffs these",
     )
 
     launch_p = sub.add_parser("launch", help="concurrent container launch")

@@ -108,19 +108,52 @@ class ClusterChurnDriver:
         )
 
 
+def cluster_arrivals(seed, rate_per_s=0.0):
+    """The arrival schedule for one cluster cell.
+
+    ``rate_per_s == 0`` is the paper's simultaneous burst; a positive
+    rate is Poisson with a jitter stream forked from the *cluster* seed,
+    so the schedule is identical whether the cell runs single-process or
+    sharded (the sharded coordinator recomputes it and never perturbs
+    any host's ``host-i`` stream).
+    """
+    if rate_per_s:
+        from repro.sim.rng import Jitter
+
+        return ArrivalPattern(
+            "poisson", rate_per_s=rate_per_s,
+            jitter=Jitter(seed).fork("arrivals"),
+        )
+    return ArrivalPattern("burst")
+
+
 def run_cluster_cell(preset, concurrency, hosts, seed=0, app_name=None,
-                     placement="least-loaded", teardown=True):
+                     placement="least-loaded", teardown=True, shards=1,
+                     workers=None, rate_per_s=0.0):
     """One cluster-scale launch cell; returns a plain-JSON summary.
 
     The cluster analogue of ``launch_preset`` + ``summarize_launch``:
-    pure in (preset, concurrency, hosts, seed), so it is safe to run in
-    a worker process and to cache.
+    pure in (preset, concurrency, hosts, seed, placement, rate), so it
+    is safe to run in a worker process and to cache.  ``shards > 1``
+    routes to the sharded runner (:mod:`repro.cluster.sharded`):
+    round-robin and burst-arrival cells come back byte-identical to the
+    single-process run; spread-arrival least-loaded cells follow the
+    deterministic epoch-barrier protocol.  ``workers`` maps shards to
+    OS processes and never changes results.
     """
+    if shards and shards > 1:
+        from repro.cluster.sharded import run_sharded_cluster
+
+        return run_sharded_cluster(
+            preset, concurrency, hosts, seed=seed, shards=shards,
+            placement=placement, app_name=app_name, teardown=teardown,
+            arrivals=cluster_arrivals(seed, rate_per_s), workers=workers,
+        )
     from repro.cluster.cluster import Cluster
 
     cluster = Cluster(preset, hosts=hosts, seed=seed, placement=placement)
     driver = ClusterChurnDriver(cluster, app_name=app_name, teardown=teardown)
-    driver.submit(concurrency)
+    driver.submit(concurrency, arrivals=cluster_arrivals(seed, rate_per_s))
     driver.run()
     summary = driver.startup_times().summary()
     return {
@@ -134,4 +167,5 @@ def run_cluster_cell(preset, concurrency, hosts, seed=0, app_name=None,
         "peak_in_flight": driver.peak_in_flight,
         "events": cluster.sim.events_dispatched,
         "free_vfs_total": cluster.free_vf_total(),
+        "peak_load_per_host": list(cluster.peak_loads),
     }

@@ -62,11 +62,17 @@ class Cluster:
         ]
         #: Containers currently placed on each host (driver-maintained).
         self.loads = [0] * hosts
+        #: Peak concurrent placements per host — the placement-skew
+        #: metric the scale table reports.
+        self.peak_loads = [0] * hosts
 
     def place(self):
         """Pick a host for a new container; returns its index."""
         index = self.placement.pick(self.loads)
-        self.loads[index] += 1
+        load = self.loads[index] + 1
+        self.loads[index] = load
+        if load > self.peak_loads[index]:
+            self.peak_loads[index] = load
         return index
 
     def unplace(self, index):

@@ -1,0 +1,483 @@
+"""Sharded cluster simulation: one logical timeline over many cores.
+
+The single-process :class:`~repro.cluster.cluster.Cluster` puts N hosts
+on one simulator, so a 10,000-startup storm is one serial event stream
+on one core.  Hosts in the model are almost perfectly independent —
+per-host locks, CPUs, DRAM, VF pools — and interact only through
+*placement*, which is exactly the structure this module exploits: the
+cluster's hosts are partitioned into K contiguous shards, each simulated
+by its own :class:`~repro.cluster.shard.ClusterShard` (optionally in its
+own worker process), and a deterministic placement protocol stitches
+the shards into one logical timeline.
+
+Round-robin: zero synchronization
+---------------------------------
+
+Round-robin placement is a pure function of arrival order (container
+``n`` lands on host ``n % H``), and arrival order is a pure function of
+the arrival schedule, which is known before the simulation starts.  The
+whole placement plan is therefore computed up front, each shard receives
+its containers in one message, and the shards run to completion with no
+barriers at all.  Because a host's event stream does not depend on which
+simulator it shares (per-host jitter forks ``host-i``, per-host state),
+the merged result is **byte-identical** to the single-process run for
+every shard count.
+
+Least-loaded: conservative epoch barriers
+-----------------------------------------
+
+Least-loaded placement needs cross-shard load knowledge: the pick for an
+arrival at time *t* depends on every placement and teardown before *t*.
+Placements are made centrally (the coordinator walks arrivals in
+schedule order), so the only information that must flow between shards
+is *teardown times* — and those become known only as each shard
+simulates.  The protocol advances all shards in lockstep over a fixed
+virtual-time grid of width ``L`` (the lookahead, derived from the
+minimum possible startup latency, :func:`min_startup_lookahead`):
+
+1. at barrier ``kL`` every shard has simulated to exactly ``kL`` and has
+   reported every teardown with time <= ``kL``;
+2. the coordinator applies the reported load deltas, places the arrivals
+   of epoch ``[kL, (k+1)L)`` in (time, index) order against its load
+   vector, and sends each shard its assignments;
+3. every shard advances to ``(k+1)L``, reporting new teardowns.
+
+A teardown is thus visible to an arrival iff it happened at or before
+the start of the arrival's epoch — a *conservative* view (the load
+vector briefly overestimates), but one defined purely on the fixed grid:
+the placement sequence is a deterministic function of the arrival
+schedule and per-host teardown times, both of which are independent of
+the shard count and of how shards map to worker processes.  Results are
+therefore invariant to K and ``workers``.  Epochs without arrivals are
+skipped in one jump (the visibility rule depends only on the grid, not
+on which barriers were visited).  For a simultaneous burst every arrival
+lands in epoch 0 before any teardown exists, the pick sequence cycles
+exactly like round-robin, and the K > 1 result is byte-identical to the
+single-process run for this case too.
+
+``shards=1`` requests are routed by :func:`~repro.cluster.churn.run_cluster_cell`
+to the single-process :class:`Cluster` path — today's behavior, with
+continuous (not epoch-quantized) teardown visibility.
+
+End-of-run alignment
+--------------------
+
+After the last lifecycle finishes, shards have reached *different* local
+end times, but background daemons (the fastiovd scanner) tick for as
+long as the shared timeline stays alive in a single-process run.  The
+coordinator therefore collects every shard's local end time and advances
+the stragglers to the global maximum, so merged event counts match the
+single-process run exactly.
+"""
+
+import multiprocessing
+import os
+import traceback
+
+from repro.cluster.placement import make_placement
+from repro.cluster.shard import ClusterShard
+from repro.metrics.stats import Distribution
+from repro.spec import PAPER_TESTBED
+from repro.workloads.generator import ArrivalPattern
+
+
+def partition_hosts(hosts, shards):
+    """Contiguous balanced host ranges: ``[(start, stop), ...]``.
+
+    The first ``hosts % shards`` shards get one extra host.  With
+    round-robin placement a burst spreads uniformly over hosts, so
+    contiguous ranges balance container counts too.
+    """
+    if hosts <= 0:
+        raise ValueError(f"hosts must be positive, got {hosts}")
+    if not 1 <= shards <= hosts:
+        raise ValueError(
+            f"shards must be in [1, hosts={hosts}], got {shards}"
+        )
+    base, extra = divmod(hosts, shards)
+    bounds = []
+    start = 0
+    for index in range(shards):
+        stop = start + base + (1 if index < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+def min_startup_lookahead(spec=None):
+    """Epoch width: a lower-ish bound on the placement->teardown gap.
+
+    Every lifecycle serially spends at least the VM-create and
+    guest-boot base costs between placement and teardown; half of that
+    floor absorbs the multiplicative (log-normal, unit-mean) jitter in
+    practice.  The protocol is deterministic and K-invariant for *any*
+    positive epoch width — a smaller value only tightens how stale the
+    conservative load vector can get, at the cost of more barriers.
+    """
+    spec = spec if spec is not None else PAPER_TESTBED
+    return (spec.vm_create_base_s + spec.guest_boot_base_s) / 2.0
+
+
+def peak_concurrency(spans):
+    """Peak overlap of ``[(start, end), ...]``, starts before ends on ties.
+
+    This is how the merged run recovers the cluster-wide realized
+    startup concurrency the single-process driver counts incrementally:
+    at equal timestamps an arrival's resume event always carries a
+    smaller sequence number than a completion scheduled later, so
+    arrivals are counted first.
+    """
+    events = []
+    for start, end in spans:
+        events.append((start, 0))
+        events.append((end, 1))
+    events.sort()
+    current = peak = 0
+    for _time, kind in events:
+        if kind == 0:
+            current += 1
+            if current > peak:
+                peak = current
+        else:
+            current -= 1
+    return peak
+
+
+# ----------------------------------------------------------------------
+# shard groups: the same protocol, in-process or over worker processes
+# ----------------------------------------------------------------------
+class _InProcessGroup:
+    """All shards in this process (workers=0, or inside a pool worker)."""
+
+    def __init__(self, shard_specs):
+        self.shards = [ClusterShard(**spec) for _, spec in shard_specs]
+
+    def submit(self, batches):
+        for shard_id, batch in batches.items():
+            self.shards[shard_id].submit(batch)
+
+    def run_until(self, when):
+        deltas = []
+        for shard in self.shards:
+            deltas.extend(shard.run_until(when))
+        return deltas
+
+    def drain(self):
+        return [shard.drain() for shard in self.shards]
+
+    def finish(self, horizon):
+        results = []
+        for shard in self.shards:
+            if shard.sim.now < horizon:
+                shard.sim.run_until(horizon)
+            results.append(shard.result())
+        return results
+
+    def close(self):
+        self.shards = []
+
+
+def _shard_worker_main(conn, shard_specs):
+    """Worker loop: build the assigned shards, serve barrier commands."""
+    try:
+        shards = {shard_id: ClusterShard(**spec)
+                  for shard_id, spec in shard_specs}
+        while True:
+            message = conn.recv()
+            op = message[0]
+            if op == "submit":
+                for shard_id, batch in message[1].items():
+                    shards[shard_id].submit(batch)
+                conn.send(("ok", None))
+            elif op == "run_until":
+                deltas = []
+                for shard in shards.values():
+                    deltas.extend(shard.run_until(message[1]))
+                conn.send(("ok", deltas))
+            elif op == "drain":
+                conn.send(
+                    ("ok", {sid: shard.drain()
+                            for sid, shard in shards.items()})
+                )
+            elif op == "finish":
+                results = {}
+                for shard_id, shard in shards.items():
+                    if shard.sim.now < message[1]:
+                        shard.sim.run_until(message[1])
+                    results[shard_id] = shard.result()
+                conn.send(("ok", results))
+            elif op == "stop":
+                conn.send(("ok", None))
+                return
+            else:  # pragma: no cover - protocol guard
+                conn.send(("error", f"unknown op {op!r}"))
+                return
+    except BaseException as exc:  # noqa: BLE001 - ship it to the parent
+        try:
+            conn.send(("error", f"{exc!r}\n{traceback.format_exc()}"))
+        except OSError:  # pragma: no cover - parent already gone
+            pass
+
+
+class _WorkerGroup:
+    """Shards spread over ``workers`` forked processes.
+
+    Shard-to-process mapping is a pure convenience: every shard is a
+    deterministic object, so results are invariant to how many processes
+    serve them.
+    """
+
+    def __init__(self, shard_specs, workers):
+        context = multiprocessing.get_context("fork")
+        chunks = [shard_specs[index::workers] for index in range(workers)]
+        chunks = [chunk for chunk in chunks if chunk]
+        self._owner = {}
+        self._procs = []
+        self._conns = []
+        for worker_index, chunk in enumerate(chunks):
+            parent_conn, child_conn = context.Pipe()
+            proc = context.Process(
+                target=_shard_worker_main,
+                args=(child_conn, chunk),
+                name=f"repro-shard-worker-{worker_index}",
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+            for shard_id, _ in chunk:
+                self._owner[shard_id] = worker_index
+
+    def _broadcast(self, message):
+        for conn in self._conns:
+            conn.send(message)
+        replies = []
+        for conn in self._conns:
+            status, payload = conn.recv()
+            if status != "ok":
+                self.close()
+                raise RuntimeError(f"shard worker failed:\n{payload}")
+            replies.append(payload)
+        return replies
+
+    def submit(self, batches):
+        routed = [{} for _ in self._conns]
+        for shard_id, batch in batches.items():
+            routed[self._owner[shard_id]][shard_id] = batch
+        for conn, payload in zip(self._conns, routed):
+            conn.send(("submit", payload))
+        for conn in self._conns:
+            status, detail = conn.recv()
+            if status != "ok":
+                self.close()
+                raise RuntimeError(f"shard worker failed:\n{detail}")
+
+    def run_until(self, when):
+        deltas = []
+        for payload in self._broadcast(("run_until", when)):
+            deltas.extend(payload)
+        return deltas
+
+    def drain(self):
+        ends = {}
+        for payload in self._broadcast(("drain", None)):
+            ends.update(payload)
+        return [ends[shard_id] for shard_id in sorted(ends)]
+
+    def finish(self, horizon):
+        results = {}
+        for payload in self._broadcast(("finish", horizon)):
+            results.update(payload)
+        return [results[shard_id] for shard_id in sorted(results)]
+
+    def close(self):
+        for conn in self._conns:
+            try:
+                conn.send(("stop", None))
+            except OSError:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=5)
+        for conn in self._conns:
+            conn.close()
+        self._procs = []
+        self._conns = []
+
+
+def _make_group(shard_specs, workers):
+    if workers is None:
+        workers = len(shard_specs)
+    # A multiprocessing.Pool worker is daemonic and may not fork
+    # children; sharded cells that land there degrade to in-process.
+    if multiprocessing.current_process().daemon:
+        workers = 0
+    if workers < 1:
+        return _InProcessGroup(shard_specs)
+    return _WorkerGroup(shard_specs, min(workers, len(shard_specs)))
+
+
+# ----------------------------------------------------------------------
+# the sharded run
+# ----------------------------------------------------------------------
+def run_sharded_cluster(preset, concurrency, hosts, seed=0, shards=2,
+                        placement="least-loaded", app_name=None,
+                        teardown=True, memory_bytes=None, spec=None,
+                        vf_count=None, arrivals=None, workers=None,
+                        name_prefix="w"):
+    """Run one cluster churn burst over K shards; returns the summary.
+
+    The summary has exactly the shape (and, for round-robin and for
+    burst arrivals, exactly the bytes) of the single-process
+    :func:`~repro.cluster.churn.run_cluster_cell`.
+
+    Args:
+        shards: Number of shards K (clamped to ``hosts``).
+        workers: OS processes serving the shards.  None = one per
+            shard (the parallel fast path); 0 = everything in-process
+            (useful under pool workers and in tests).  Results are
+            invariant to this knob.
+        arrivals: :class:`ArrivalPattern` (default: simultaneous burst).
+        Other arguments: as for ``run_cluster_cell``.
+    """
+    if concurrency <= 0:
+        raise ValueError(f"concurrency must be positive, got {concurrency}")
+    shards = min(shards, hosts)
+    bounds = partition_hosts(hosts, shards)
+    if arrivals is None:
+        arrivals = ArrivalPattern("burst")
+    offsets = arrivals.offsets(concurrency)
+    # Arrival order: schedule time, ties by submission index — exactly
+    # the order the single-process simulator resumes them in.
+    order = sorted(range(concurrency), key=lambda n: (offsets[n], n))
+
+    shard_specs = [
+        (shard_id, {
+            "preset_or_config": preset,
+            "host_start": start,
+            "host_stop": stop,
+            "spec": spec,
+            "seed": seed,
+            "vf_count": vf_count,
+            "app_name": app_name,
+            "teardown": teardown,
+            "memory_bytes": memory_bytes,
+        })
+        for shard_id, (start, stop) in enumerate(bounds)
+    ]
+
+    def shard_of(host_index):
+        for shard_id, (start, stop) in enumerate(bounds):
+            if start <= host_index < stop:
+                return shard_id
+        raise IndexError(host_index)
+
+    host_shard = [shard_of(index) for index in range(hosts)]
+
+    group = _make_group(shard_specs, workers)
+    try:
+        if placement == "round-robin":
+            _place_round_robin(group, order, offsets, hosts, host_shard)
+        else:
+            _place_epoch_barrier(
+                group, order, offsets, hosts, host_shard, placement,
+                min_startup_lookahead(spec),
+            )
+        ends = group.drain()
+        results = group.finish(max(ends))
+    finally:
+        group.close()
+    return _merge(results, hosts, concurrency)
+
+
+def _place_round_robin(group, order, offsets, hosts, host_shard):
+    """The sync-free plan: container n -> host n % H, one submit."""
+    batches = {}
+    for position, n in enumerate(order):
+        host_index = position % hosts
+        batches.setdefault(host_shard[host_index], []).append(
+            (n, offsets[n], host_index)
+        )
+    group.submit(batches)
+
+
+def _place_epoch_barrier(group, order, offsets, hosts, host_shard,
+                         placement, lookahead):
+    """Least-loaded over the fixed epoch grid (see module docstring)."""
+    policy = make_placement(placement)
+    loads = [0] * hosts
+    # Epochs are tracked by integer index so barrier times are always
+    # the product ``k * lookahead`` — products of increasing integers
+    # with the same positive float are monotonic, so shard clocks never
+    # step backwards even when ``start + lookahead`` would round
+    # differently from ``(k + 1) * lookahead``.
+    barrier_epoch = 0
+    position = 0
+    count = len(order)
+    while position < count:
+        epoch = int(offsets[order[position]] // lookahead)
+        if epoch > barrier_epoch:
+            # Jump over empty epochs in one step; the teardowns
+            # collected here all have time <= the epoch start, so the
+            # grid-visibility rule is unaffected by the jump.
+            for _time, host_index in group.run_until(epoch * lookahead):
+                loads[host_index] -= 1
+            barrier_epoch = epoch
+        epoch_end = (epoch + 1) * lookahead
+        batches = {}
+        while position < count and offsets[order[position]] < epoch_end:
+            n = order[position]
+            position += 1
+            host_index = policy.pick(loads)
+            loads[host_index] += 1
+            batches.setdefault(host_shard[host_index], []).append(
+                (n, offsets[n], host_index)
+            )
+        group.submit(batches)
+        for _time, host_index in group.run_until(epoch_end):
+            loads[host_index] -= 1
+        barrier_epoch = epoch + 1
+
+
+def _merge(results, hosts, concurrency):
+    """Stitch shard results into the single-process summary shape."""
+    records = []
+    for result in results:
+        records.extend(result["records"])
+    records.sort()
+    if len(records) != concurrency:
+        raise RuntimeError(
+            f"lost containers: {len(records)} records for "
+            f"{concurrency} submissions"
+        )
+    summary = Distribution(
+        [record[3] for record in records]
+    ).summary()
+    peak_loads = {}
+    free_vfs = {}
+    for result in results:
+        peak_loads.update(result["peak_loads"])
+        free_vfs.update(result["free_vfs"])
+    if any(free_vfs[index] is None for index in free_vfs):
+        free_total = None
+    else:
+        free_total = sum(free_vfs[index] for index in sorted(free_vfs))
+    return {
+        "count": summary["count"],
+        "mean": summary["mean"],
+        "p50": summary["p50"],
+        "p99": summary["p99"],
+        "min": summary["min"],
+        "max": summary["max"],
+        "hosts": hosts,
+        "peak_in_flight": peak_concurrency(
+            [(record[1], record[2]) for record in records]
+        ),
+        "events": sum(result["events"] for result in results),
+        "free_vfs_total": free_total,
+        "peak_load_per_host": [
+            peak_loads[index] for index in range(hosts)
+        ],
+    }

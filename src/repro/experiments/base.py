@@ -59,6 +59,27 @@ class Experiment:
     #: What the paper reports (documented expectations).
     paper_reference = ""
 
+    def configure(self, **options):
+        """Set experiment-specific knobs before :meth:`run`.
+
+        Experiments that support them read knobs like ``hosts``,
+        ``placement``, and ``shards`` through :meth:`option` (the CLI
+        plumbs ``repro run scale --hosts 48 --shards 8`` through here).
+        ``None`` values are ignored so callers can pass parsed CLI
+        arguments straight through.  Returns ``self`` for chaining.
+        """
+        current = getattr(self, "_options", None) or {}
+        for key, value in options.items():
+            if value is not None:
+                current[key] = value
+        self._options = current
+        return self
+
+    def option(self, key, default=None):
+        """One configured knob, or ``default``."""
+        options = getattr(self, "_options", None) or {}
+        return options.get(key, default)
+
     def run(self, quick=False, seed=0, jobs=None, use_cache=None):
         """Run the experiment and return an :class:`ExperimentResult`.
 

@@ -32,7 +32,16 @@ class Cell:
 
     ``kind`` selects the cell body: "launch" is a single-host
     ``launch_preset`` run; "cluster" is a multi-host churn burst
-    (``repro.cluster.churn.run_cluster_cell``) over ``hosts`` hosts.
+    (``repro.cluster.churn.run_cluster_cell``) over ``hosts`` hosts;
+    "churn" is the sustained single-host Poisson lifecycle study
+    (``repro.experiments.churn.run_churn_cell``).
+
+    Every field participates in the cache key (via :meth:`as_dict`):
+    anything that can change a cell's semantics — including ``hosts``,
+    ``placement``, ``shards``, and ``rate_per_s`` — must live here, not
+    in runner state.  ``shards`` changes only wall-clock for round-robin
+    and burst cells but changes teardown visibility for spread-arrival
+    least-loaded cells, so it keys too.
     """
 
     preset: str
@@ -41,6 +50,9 @@ class Cell:
     seed: int = 0
     kind: str = "launch"
     hosts: int = 0
+    placement: str = "least-loaded"
+    shards: int = 1
+    rate_per_s: float = 0.0
 
     def as_dict(self):
         return dataclasses.asdict(self)
@@ -71,6 +83,15 @@ def run_cell(cell):
             cell.concurrency,
             hosts=cell.hosts,
             seed=cell.seed,
+            placement=cell.placement,
+            shards=cell.shards,
+            rate_per_s=cell.rate_per_s,
+        )
+    if cell.kind == "churn":
+        from repro.experiments.churn import run_churn_cell
+
+        return run_churn_cell(
+            cell.preset, cell.concurrency, cell.rate_per_s, cell.seed
         )
     _host, result = launch_preset(
         cell.preset,
@@ -133,14 +154,21 @@ class CellRunner:
                 misses.append(cell)
         if not misses:
             return self
-        if self.jobs > 1 and len(misses) > 1:
-            workers = min(self.jobs, len(misses))
+        # A sharded cell fans out its *own* worker processes (one per
+        # shard), and pool workers are daemonic so they could not fork
+        # them — keep sharded cells in the parent, pool the rest.
+        pooled = [cell for cell in misses if cell.shards <= 1]
+        sharded = [cell for cell in misses if cell.shards > 1]
+        if self.jobs > 1 and len(pooled) > 1:
+            workers = min(self.jobs, len(pooled))
             with multiprocessing.get_context("fork").Pool(workers) as pool:
-                for cell, summary in pool.imap_unordered(_worker, misses):
+                for cell, summary in pool.imap_unordered(_worker, pooled):
                     self._store(cell, summary)
         else:
-            for cell in misses:
+            for cell in pooled:
                 self._store(cell, run_cell(cell))
+        for cell in sharded:
+            self._store(cell, run_cell(cell))
         return self
 
     def summary(self, preset, concurrency, memory_bytes=None, seed=0):

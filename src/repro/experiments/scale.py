@@ -13,9 +13,17 @@ Two claims are exercised:
   bottlenecks it removes are per-host, so spreading the burst does not
   wash the gain out.
 * The simulator itself sustains the workload: a 10k-startup churn run
-  (start + teardown, VFs recycled) is a single-process event stream of
-  tens of millions of events, which is what the engine's slotted hot
-  paths and same-timestamp batch dispatch exist for.
+  (start + teardown, VFs recycled) is an event stream of tens of
+  millions of events.  With ``--shards K`` the cluster is partitioned
+  over K per-shard simulators in their own worker processes
+  (:mod:`repro.cluster.sharded`); the placement protocol keeps the
+  result data byte-identical to the single-process run, so sharding is
+  a pure wall-clock knob here.
+
+Knobs (``repro run scale --hosts N --placement P --shards K`` or
+:meth:`Experiment.configure`): ``hosts`` (default 8 quick / 48 full),
+``placement`` ("least-loaded" default, or "round-robin"), ``shards``
+(default 1 = single-process).
 """
 
 from repro.experiments.base import Comparison, Experiment, pct, reduction
@@ -24,6 +32,13 @@ from repro.metrics.reporting import format_table
 from repro.spec import PAPER_TESTBED
 
 PRESETS = ("vanilla", "fastiov")
+
+
+def host_peak_spread(summary):
+    """Per-host peak load as a compact ``min..max`` skew indicator."""
+    peaks = summary["peak_load_per_host"]
+    low, high = min(peaks), max(peaks)
+    return f"{low}" if low == high else f"{low}..{high}"
 
 
 class Scale(Experiment):
@@ -40,9 +55,14 @@ class Scale(Experiment):
         "fully recycle."
     )
 
-    @staticmethod
-    def _hosts(quick):
-        return 8 if quick else 48
+    def _hosts(self, quick):
+        return self.option("hosts") or (8 if quick else 48)
+
+    def _placement(self):
+        return self.option("placement", "least-loaded")
+
+    def _shards(self):
+        return self.option("shards", 1)
 
     @staticmethod
     def _sweep(quick):
@@ -52,21 +72,27 @@ class Scale(Experiment):
 
     def _cells(self, quick, seed):
         hosts = self._hosts(quick)
+        placement = self._placement()
+        shards = min(self._shards(), hosts)
         return [
-            Cell(preset, concurrency, None, seed, kind="cluster", hosts=hosts)
+            Cell(preset, concurrency, None, seed, kind="cluster",
+                 hosts=hosts, placement=placement, shards=shards)
             for preset in PRESETS
             for concurrency in self._sweep(quick)
         ]
 
     def _execute(self, quick, seed):
         hosts = self._hosts(quick)
+        placement = self._placement()
+        shards = min(self._shards(), hosts)
         sweep = self._sweep(quick)
         series = {preset: [] for preset in PRESETS}
         for preset in PRESETS:
             for concurrency in sweep:
                 summary = self._cell_summary(
                     Cell(preset, concurrency, None, seed,
-                         kind="cluster", hosts=hosts)
+                         kind="cluster", hosts=hosts,
+                         placement=placement, shards=shards)
                 )
                 series[preset].append(
                     {"concurrency": concurrency, **summary}
@@ -79,18 +105,21 @@ class Scale(Experiment):
             rows.append((
                 concurrency,
                 f"{concurrency / hosts:.0f}",
+                host_peak_spread(fastiov),
                 f"{vanilla['mean']:.3f}",
                 f"{vanilla['p99']:.3f}",
                 f"{fastiov['mean']:.3f}",
                 f"{fastiov['p99']:.3f}",
                 pct(reduction(vanilla["mean"], fastiov["mean"])),
             ))
+        sharding = f", {shards} shards" if shards > 1 else ""
         text = format_table(
-            ["burst", "per-host", "vanilla mean (s)", "vanilla p99 (s)",
-             "fastiov mean (s)", "fastiov p99 (s)", "reduction"],
+            ["burst", "per-host", "host peak", "vanilla mean (s)",
+             "vanilla p99 (s)", "fastiov mean (s)", "fastiov p99 (s)",
+             "reduction"],
             rows,
             title=(f"Scale — startup latency vs burst size "
-                   f"({hosts} hosts, least-loaded placement)"),
+                   f"({hosts} hosts, {placement} placement{sharding})"),
         )
 
         top = sweep[-1]
@@ -101,6 +130,7 @@ class Scale(Experiment):
             reduction(series["vanilla"][i]["mean"], series["fastiov"][i]["mean"])
             for i in range(len(sweep))
         ]
+        top_peaks = fio_top["peak_load_per_host"]
         comparisons = [
             Comparison(
                 f"{top}-startup burst feasibility",
@@ -118,6 +148,12 @@ class Scale(Experiment):
                 f"{pct(min(reductions))} .. {pct(max(reductions))}",
             ),
             Comparison(
+                f"placement skew at burst {top} ({placement})",
+                "expected: peak load within 1 of even",
+                f"per-host peak {min(top_peaks)}..{max(top_peaks)} "
+                f"(even share {top / hosts:.1f})",
+            ),
+            Comparison(
                 "VF pools fully recycled after churn",
                 f"{vf_pool} free",
                 f"vanilla={van_top['free_vfs_total']}, "
@@ -132,6 +168,7 @@ class Scale(Experiment):
         ]
         data = {
             "hosts": hosts,
+            "placement": placement,
             "sweep": list(sweep),
             "series": series,
         }

@@ -363,6 +363,28 @@ class Simulator:
                 f"{len(blocked)} process(es) blocked with no pending events: {names}"
             )
 
+    def run_until(self, when):
+        """Epoch stepping: execute every event with time <= ``when`` and
+        leave the clock at exactly ``when``.
+
+        This is the primitive a sharded cluster run is built from: each
+        shard's simulator is advanced barrier-to-barrier in lockstep
+        with its peers, and after the call the clock reads ``when`` even
+        if the shard had no event near the horizon (idle shards advance
+        too, so a subsequent spawn's relative delay is a pure function
+        of the barrier time, not of whatever event happened to run
+        last).  Unlike :meth:`run`, daemon-only activity keeps being
+        dispatched up to the horizon — a background scanner ticks the
+        same number of times whether its host shares the simulator with
+        a busy host or sits in its own shard.
+        """
+        if when < self.now:
+            raise ValueError(
+                f"cannot step backwards: {when} < {self.now}"
+            )
+        self.run(until=when)
+        self.now = when
+
     def _fail(self, failure, cause):
         if self._failure is None:
             self._failure = (failure, cause)

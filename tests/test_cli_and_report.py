@@ -30,6 +30,25 @@ def test_cli_run_experiment(capsys):
     assert "paper" in out
 
 
+def test_cli_run_cluster_flags_and_json_dump(tmp_path, capsys):
+    """--hosts/--placement/--shards reshape the experiment and --json
+    writes its structured data for the determinism gate to diff."""
+    import json
+
+    out = tmp_path / "scale.json"
+    assert cli_main([
+        "run", "scale", "--quick", "--no-cache", "--hosts", "4",
+        "--placement", "round-robin", "--shards", "2",
+        "--json", str(out),
+    ]) == 0
+    text = capsys.readouterr().out
+    assert "4 hosts, round-robin placement, 2 shards" in text
+    data = json.loads(out.read_text())
+    assert data["hosts"] == 4
+    assert data["placement"] == "round-robin"
+    assert set(data["series"]) == {"vanilla", "fastiov"}
+
+
 def test_cli_unknown_experiment():
     with pytest.raises(KeyError):
         cli_main(["run", "fig99"])

@@ -74,6 +74,18 @@ def test_placement_tracks_load():
     assert cluster.place() == first  # went back to the emptiest host
 
 
+def test_placement_tracks_per_host_peaks():
+    cluster = Cluster("fastiov", hosts=2, placement="round-robin")
+    for _ in range(4):
+        cluster.place()
+    for index in range(2):
+        cluster.unplace(index)
+    cluster.place()
+    # Peaks hold the high-water mark, not the current load.
+    assert cluster.loads == [2, 1]
+    assert cluster.peak_loads == [2, 2]
+
+
 # ----------------------------------------------------------------------
 # Churn driver
 # ----------------------------------------------------------------------

@@ -113,6 +113,54 @@ def test_cluster_cache_key_depends_on_kind_and_hosts():
     assert len({launch, cluster, more_hosts}) == 3
 
 
+def test_cache_key_covers_every_cell_field():
+    """Regression guard: no Cell field may be silently dropped from the
+    cache key.  A collision across different ``hosts`` (or any other
+    semantic field) would serve one cluster's cached summary for
+    another's — perturb each field in turn and demand a fresh key."""
+    import dataclasses
+
+    from repro.spec import PAPER_TESTBED
+
+    base_cell = Cell("vanilla", 10, None, 0, kind="cluster", hosts=4)
+    base = cell_key(base_cell.as_dict(), PAPER_TESTBED)
+    perturbed = {
+        "preset": "fastiov",
+        "concurrency": 11,
+        "memory_bytes": 1 << 20,
+        "seed": 1,
+        "kind": "launch",
+        "hosts": 5,
+        "placement": "round-robin",
+        "shards": 2,
+        "rate_per_s": 15.0,
+    }
+    # Every declared field must appear here — adding a Cell field
+    # without extending this test (and hence the key) fails loudly.
+    fields = {f.name for f in dataclasses.fields(Cell)}
+    assert fields == set(perturbed), (
+        "Cell fields changed; update the perturbation map"
+    )
+    for name, value in perturbed.items():
+        changed = dataclasses.replace(base_cell, **{name: value})
+        assert cell_key(changed.as_dict(), PAPER_TESTBED) != base, (
+            f"cache key ignores Cell.{name}"
+        )
+
+
+def test_cache_key_hosts_collision_impossible_across_range():
+    from repro.spec import PAPER_TESTBED
+
+    keys = {
+        cell_key(
+            Cell("vanilla", 10, None, 0, kind="cluster", hosts=h).as_dict(),
+            PAPER_TESTBED,
+        )
+        for h in range(1, 65)
+    }
+    assert len(keys) == 64
+
+
 def test_corrupt_cache_entry_falls_back_to_fresh_run(tmp_path):
     cache = ResultCache(tmp_path / "cache")
     cell = Cell("vanilla", 10, None, 5)

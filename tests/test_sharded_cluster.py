@@ -1,0 +1,237 @@
+"""Tests for the sharded cluster runner (repro.cluster.sharded).
+
+The contract under test: splitting a cluster over K shard simulators
+(optionally K worker processes) is a wall-clock optimization only.
+Round-robin and burst placements must come back *byte-identical* to the
+single-process run for every K and worker count; spread-arrival
+least-loaded follows the deterministic epoch-barrier protocol, which is
+invariant to K and workers (though intentionally a conservative
+approximation of the single-process schedule).
+"""
+
+import json
+
+import pytest
+
+from repro.cluster import (
+    cluster_arrivals,
+    min_startup_lookahead,
+    partition_hosts,
+    peak_concurrency,
+    run_cluster_cell,
+    run_sharded_cluster,
+)
+from repro.core import PRESETS
+from repro.spec import PAPER_TESTBED
+
+
+def _bytes(summary):
+    return json.dumps(summary, sort_keys=True)
+
+
+def _single(preset, concurrency, hosts, seed=0, **kw):
+    return run_cluster_cell(preset, concurrency, hosts=hosts, seed=seed,
+                            shards=1, **kw)
+
+
+# ----------------------------------------------------------------------
+# Pure helpers
+# ----------------------------------------------------------------------
+def test_partition_hosts_is_contiguous_and_balanced():
+    assert partition_hosts(6, 3) == [(0, 2), (2, 4), (4, 6)]
+    assert partition_hosts(7, 3) == [(0, 3), (3, 5), (5, 7)]
+    assert partition_hosts(5, 1) == [(0, 5)]
+    assert partition_hosts(4, 4) == [(0, 1), (1, 2), (2, 3), (3, 4)]
+    ranges = partition_hosts(48, 8)
+    assert ranges[0][0] == 0 and ranges[-1][1] == 48
+    sizes = [stop - start for start, stop in ranges]
+    assert max(sizes) - min(sizes) <= 1
+    assert all(a[1] == b[0] for a, b in zip(ranges, ranges[1:]))
+
+
+def test_partition_hosts_rejects_bad_shard_counts():
+    with pytest.raises(ValueError):
+        partition_hosts(4, 0)
+    with pytest.raises(ValueError):
+        partition_hosts(4, 5)
+
+
+def test_peak_concurrency_counts_overlap_with_arrivals_first_at_ties():
+    assert peak_concurrency([]) == 0
+    assert peak_concurrency([(0.0, 1.0), (2.0, 3.0)]) == 1
+    assert peak_concurrency([(0.0, 2.0), (1.0, 3.0), (1.5, 4.0)]) == 3
+    # An arrival at exactly a completion time counts as overlapping,
+    # matching the in-simulator semantics (same-timestamp arrivals are
+    # dispatched in spawn order, before the completion's bookkeeping).
+    assert peak_concurrency([(0.0, 1.0), (1.0, 2.0)]) == 2
+
+
+def test_lookahead_is_positive_for_every_preset():
+    for name in PRESETS:
+        spec = PAPER_TESTBED
+        assert min_startup_lookahead(spec) > 0
+        assert name  # every preset shares the testbed spec
+
+
+def test_run_until_steps_clock_without_skipping_events():
+    from repro.sim.core import Simulator, Timeout
+
+    sim = Simulator()
+    fired = []
+
+    def proc():
+        yield Timeout(1.0)
+        fired.append(sim.now)
+        yield Timeout(1.0)
+        fired.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run_until(0.5)
+    assert sim.now == 0.5 and fired == []
+    sim.run_until(1.0)
+    assert sim.now == 1.0 and fired == [1.0]
+    with pytest.raises(ValueError):
+        sim.run_until(0.25)
+    sim.run_until(5.0)
+    assert sim.now == 5.0 and fired == [1.0, 2.0]
+
+
+# ----------------------------------------------------------------------
+# Byte-identity: burst and round-robin
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("shards", [2, 4, 8])
+def test_burst_least_loaded_is_byte_identical_across_shards(shards):
+    base = _bytes(_single("fastiov", 80, hosts=8, seed=7))
+    sharded = run_cluster_cell(
+        "fastiov", 80, hosts=8, seed=7, shards=shards
+    )
+    assert _bytes(sharded) == base
+
+
+@pytest.mark.parametrize("preset", ["vanilla", "fastiov"])
+def test_round_robin_is_byte_identical_across_shards(preset):
+    base = _bytes(_single(preset, 60, hosts=6, seed=3,
+                          placement="round-robin"))
+    for shards in (2, 3, 6):
+        sharded = run_cluster_cell(
+            preset, 60, hosts=6, seed=3, placement="round-robin",
+            shards=shards,
+        )
+        assert _bytes(sharded) == base, f"{preset} diverged at K={shards}"
+
+
+def test_worker_count_never_changes_results():
+    """Worker processes are transport, not semantics: 0 workers (all
+    shards in-process) and one process per shard agree bytewise."""
+    in_process = run_sharded_cluster(
+        "fastiov", 48, hosts=6, seed=5, shards=3, workers=0
+    )
+    fanned_out = run_sharded_cluster(
+        "fastiov", 48, hosts=6, seed=5, shards=3, workers=None
+    )
+    assert _bytes(in_process) == _bytes(fanned_out)
+
+
+def test_shards_clamp_to_host_count():
+    base = _bytes(_single("fastiov", 20, hosts=2, seed=1))
+    sharded = run_cluster_cell("fastiov", 20, hosts=2, seed=1, shards=16)
+    assert _bytes(sharded) == base
+
+
+# ----------------------------------------------------------------------
+# Epoch-barrier protocol: spread arrivals
+# ----------------------------------------------------------------------
+def test_poisson_least_loaded_is_invariant_to_shards_and_workers():
+    """The epoch-barrier schedule depends only on (seed, hosts), never
+    on how hosts are grouped into shards or shards into processes."""
+    reference = None
+    for shards in (2, 3, 6):
+        for workers in (0, None):
+            summary = run_sharded_cluster(
+                "fastiov", 60, hosts=6, seed=9, shards=shards,
+                workers=workers, arrivals=cluster_arrivals(9, 15.0),
+            )
+            if reference is None:
+                reference = _bytes(summary)
+            else:
+                assert _bytes(summary) == reference, (
+                    f"diverged at K={shards} workers={workers}"
+                )
+
+
+def test_poisson_round_robin_matches_single_process_exactly():
+    """Round-robin ignores load, so even spread arrivals are placed
+    identically with zero synchronization."""
+    base = _bytes(_single("vanilla", 40, hosts=4, seed=6,
+                          placement="round-robin", rate_per_s=20.0))
+    sharded = run_cluster_cell(
+        "vanilla", 40, hosts=4, seed=6, placement="round-robin",
+        shards=4, rate_per_s=20.0,
+    )
+    assert _bytes(sharded) == base
+
+
+def test_poisson_least_loaded_approximation_stays_close():
+    """The conservative epoch schedule may differ from single-process
+    least-loaded, but the startup distribution must stay in family."""
+    single = _single("fastiov", 60, hosts=6, seed=9, rate_per_s=15.0)
+    sharded = run_cluster_cell(
+        "fastiov", 60, hosts=6, seed=9, rate_per_s=15.0, shards=3
+    )
+    assert sharded["count"] == single["count"]
+    assert sharded["free_vfs_total"] == single["free_vfs_total"]
+    assert sharded["mean"] == pytest.approx(single["mean"], rel=0.05)
+    assert sharded["p99"] == pytest.approx(single["p99"], rel=0.10)
+
+
+# ----------------------------------------------------------------------
+# Cluster edge cases (single-process and sharded)
+# ----------------------------------------------------------------------
+def test_burst_smaller_than_host_count():
+    """3 invocations over 8 hosts: only 3 hosts ever see load, peaks
+    are 0/1, and sharding agrees bytewise."""
+    single = _single("fastiov", 3, hosts=8, seed=2)
+    assert single["count"] == 3
+    peaks = single["peak_load_per_host"]
+    assert sorted(peaks, reverse=True) == [1, 1, 1, 0, 0, 0, 0, 0]
+    sharded = run_cluster_cell("fastiov", 3, hosts=8, seed=2, shards=4)
+    assert _bytes(sharded) == _bytes(single)
+
+
+def test_single_host_cluster_matches_itself_sharded():
+    """hosts=1 is the degenerate cluster: everything lands on host0."""
+    single = _single("fastiov", 30, hosts=1, seed=4)
+    assert single["peak_load_per_host"] == [30]
+    assert single["free_vfs_total"] == PAPER_TESTBED.nic_max_vfs
+    sharded = run_cluster_cell("fastiov", 30, hosts=1, seed=4, shards=8)
+    assert _bytes(sharded) == _bytes(single)
+
+
+def test_one_host_least_loaded_equals_round_robin():
+    """With one host there is nothing to choose: both policies must
+    produce byte-identical results."""
+    least = _single("vanilla", 25, hosts=1, seed=8)
+    robin = _single("vanilla", 25, hosts=1, seed=8,
+                    placement="round-robin")
+    assert _bytes(least) == _bytes(robin)
+
+
+def test_vf_recycling_when_teardown_races_last_placement():
+    """Spread arrivals longer than a lifecycle: early containers tear
+    down (recycling VFs) while later ones are still being placed.  The
+    pool must end full, and the sharded run must agree on it."""
+    single = _single("fastiov", 40, hosts=2, seed=13, rate_per_s=10.0)
+    # The race actually happened: peak concurrency stayed below the
+    # burst size because teardowns freed slots before the last arrival.
+    assert single["peak_in_flight"] < 40
+    assert single["free_vfs_total"] == 2 * PAPER_TESTBED.nic_max_vfs
+    sharded = run_cluster_cell(
+        "fastiov", 40, hosts=2, seed=13, rate_per_s=10.0, shards=2
+    )
+    assert sharded["free_vfs_total"] == 2 * PAPER_TESTBED.nic_max_vfs
+    assert sharded["count"] == 40
+
+
+def test_shard_worker_failure_surfaces_as_runtime_error():
+    with pytest.raises((ValueError, RuntimeError)):
+        run_sharded_cluster("no-such-preset", 10, hosts=2, shards=2)
