@@ -2,10 +2,12 @@
 
 Times a fixed set of experiments end-to-end (quick scale, cache off) —
 including the quick scale experiment re-run over 4 cluster shards —
-measures raw event-engine throughput with a synthetic dispatch storm,
-and writes ``BENCH_wallclock.json`` plus a runstamped
+measures raw event-engine throughput with two synthetic storms (a
+dispatch-heavy mix and a timer-dense churn shape, the latter also run
+against the retained heap scheduler for comparison), and writes
+``BENCH_wallclock.json`` next to this file plus a runstamped
 ``BENCH_<runstamp>.json`` (a flat metric -> value map for downstream
-tooling) next to this file::
+tooling; CI uploads it as an artifact) at the repo root::
 
     python benchmarks/perf_report.py                 # measure + write
     python benchmarks/perf_report.py --check         # compare vs baseline
@@ -15,9 +17,9 @@ tooling) next to this file::
 
 ``--check`` compares against the committed baseline and exits non-zero
 if any experiment regressed by more than ``--threshold`` (default 20%)
-or the engine's events/sec dropped by more than the same threshold,
-which is what CI runs.  After an intentional perf change, regenerate the
-baseline with ``--update-baseline``.
+or either engine storm's events/sec dropped by more than the same
+threshold, which is what CI runs.  After an intentional perf change,
+regenerate the baseline with ``--update-baseline``.
 
 ``--sharded-speedup`` is the headline number of the sharded runner: one
 heavy cluster cell (48 hosts, 2000 startups) timed single-process and at
@@ -34,7 +36,9 @@ import sys
 import time
 
 HERE = pathlib.Path(__file__).resolve().parent
-sys.path.insert(0, str(HERE.parent / "src"))
+ROOT = HERE.parent
+sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT))  # for tests.reference_scheduler (oracle)
 
 REPORT_PATH = HERE / "BENCH_wallclock.json"
 BASELINE_PATH = HERE / "wallclock_baseline.json"
@@ -69,6 +73,59 @@ def engine_events_per_sec(procs=200, rounds=200, repeats=5):
                 yield Timeout(1e-6)
                 lock.release()
                 yield Timeout((index % 7) * 1e-5)
+
+        for index in range(procs):
+            sim.spawn(worker(index))
+        started = time.perf_counter()
+        sim.run()
+        elapsed = time.perf_counter() - started
+        return sim.events_dispatched / elapsed
+
+    return max(one_run() for _ in range(repeats))
+
+
+def _noop():
+    return None
+
+
+def engine_timer_events_per_sec(procs=4000, rounds=25, repeats=3,
+                                sim_factory=None):
+    """Dispatch throughput under a *timer-dense* storm (churn shape).
+
+    Every worker arms a retry timer and a deadline watchdog a few
+    milliseconds out and cancels both after a couple of short sleeps —
+    the retry/deadline pattern of the cluster churn driver, where the
+    timers are always ahead of the typical completion but the clock
+    soon passes them.  Two hundred thousand timers are armed and
+    cancelled without ever firing; the heap engine must carry every
+    tombstone until the clock reaches its timestamp and then heappop it
+    individually (O(log n) in a heap bloated with the others), while
+    the timing wheel sweeps them out in bulk compactions and keeps its
+    per-op structures a bucket wide.  ``sim_factory`` selects the
+    engine (default: the production wheel; the report also runs
+    ``tests.reference_scheduler`` for comparison).
+    """
+    from repro.sim import Simulator, Timeout
+
+    make_sim = sim_factory or Simulator
+
+    def one_run():
+        sim = make_sim()
+
+        def worker(index):
+            for _ in range(rounds):
+                # ~10x the event timescale: cancelled before firing,
+                # but the clock passes their slots a few rounds later.
+                retry = sim.call_later(
+                    0.0015 + (index % 17) * 1e-4, _noop
+                )
+                deadline = sim.call_later(
+                    0.002 + (index % 40) * 1e-4, _noop
+                )
+                yield Timeout(1e-4 + (index % 13) * 1e-5)
+                yield Timeout(0.0)
+                retry.cancel()
+                deadline.cancel()
 
         for index in range(procs):
             sim.spawn(worker(index))
@@ -151,8 +208,12 @@ def measure_sharded_speedup(shards=8, hosts=48, concurrency=2000):
     return round(t_single, 4), round(t_sharded, 4), round(speedup, 2)
 
 
-def check(timings, events_per_sec, threshold):
-    """Compare against the committed baseline; returns failures."""
+def check(timings, engine_rates, threshold):
+    """Compare against the committed baseline; returns failures.
+
+    ``engine_rates`` maps baseline key -> measured events/sec; each is
+    gated the same way: a drop of more than ``threshold`` fails.
+    """
     if not BASELINE_PATH.is_file():
         print(f"no baseline at {BASELINE_PATH}; skipping regression check")
         return []
@@ -171,15 +232,17 @@ def check(timings, events_per_sec, threshold):
             f"{experiment_id:8s} baseline {base:7.3f} s  now {elapsed:7.3f} s "
             f"({ratio * 100:5.1f}%)  {status}"
         )
-    base_eps = baseline.get("engine_events_per_sec")
-    if base_eps:
+    for key, events_per_sec in engine_rates.items():
+        base_eps = baseline.get(key)
+        if not base_eps:
+            continue
         ratio = events_per_sec / base_eps
         status = "ok"
         if ratio < 1.0 - threshold:
             status = "REGRESSION"
-            failures.append(("engine", base_eps, events_per_sec, ratio))
+            failures.append((key, base_eps, events_per_sec, ratio))
         print(
-            f"{'engine':8s} baseline {base_eps:9,.0f} ev/s  "
+            f"{key:8s} baseline {base_eps:9,.0f} ev/s  "
             f"now {events_per_sec:9,.0f} ev/s ({ratio * 100:5.1f}%)  {status}"
         )
     return failures
@@ -201,10 +264,25 @@ def main(argv=None):
 
     events_per_sec = round(engine_events_per_sec())
     print(f"{'engine':14s} {events_per_sec:9,} events/s")
+    timer_eps = round(engine_timer_events_per_sec())
+    print(f"{'engine-timer':14s} {timer_eps:9,} events/s")
+    # The retained heap scheduler under the same timer-dense storm:
+    # reported (not gated) so the wheel's advantage stays visible.
+    from tests.reference_scheduler import ReferenceHeapSimulator
+
+    timer_eps_heap = round(
+        engine_timer_events_per_sec(sim_factory=ReferenceHeapSimulator)
+    )
+    wheel_speedup = round(timer_eps / timer_eps_heap, 2)
+    print(f"{'  (heap ref)':14s} {timer_eps_heap:9,} events/s  "
+          f"wheel speedup {wheel_speedup:.2f}x")
     timings = measure(EXPERIMENTS, jobs=args.jobs)
     report = {
         "timings": timings,
         "engine_events_per_sec": events_per_sec,
+        "engine_timer_events_per_sec": timer_eps,
+        "engine_timer_events_per_sec_heap_ref": timer_eps_heap,
+        "timer_wheel_speedup_x": wheel_speedup,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "jobs": args.jobs or 1,
@@ -220,17 +298,21 @@ def main(argv=None):
     REPORT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"wrote {REPORT_PATH}")
 
-    # Flat metric -> seconds (or events/sec) map, runstamped, for
-    # downstream tooling that trends numbers across runs.
+    # Flat metric -> seconds (or events/sec) map, runstamped, written at
+    # the repo root for downstream tooling that trends numbers across
+    # runs (CI uploads it as a build artifact).
     runstamp = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
     metrics = {f"{name}_s": elapsed for name, elapsed in timings.items()}
     metrics["engine_events_per_sec"] = events_per_sec
+    metrics["engine_timer_events_per_sec"] = timer_eps
+    metrics["engine_timer_events_per_sec_heap_ref"] = timer_eps_heap
+    metrics["timer_wheel_speedup_x"] = wheel_speedup
     speedup = report.get("sharded_speedup")
     if speedup:
         metrics["sharded_cell_single_s"] = speedup["single_s"]
         metrics["sharded_cell_sharded_s"] = speedup["sharded_s"]
         metrics["sharded_cell_speedup_x"] = speedup["speedup_x"]
-    stamped_path = HERE / f"BENCH_{runstamp}.json"
+    stamped_path = ROOT / f"BENCH_{runstamp}.json"
     stamped_path.write_text(
         json.dumps(metrics, indent=2, sort_keys=True) + "\n"
     )
@@ -242,7 +324,14 @@ def main(argv=None):
         )
         print(f"wrote {BASELINE_PATH}")
     if args.check:
-        failures = check(timings, events_per_sec, args.threshold)
+        failures = check(
+            timings,
+            {
+                "engine_events_per_sec": events_per_sec,
+                "engine_timer_events_per_sec": timer_eps,
+            },
+            args.threshold,
+        )
         if failures:
             print(f"{len(failures)} wall-clock regression(s) detected")
             return 1

@@ -68,6 +68,9 @@ def cmd_profile(args):
     instead of the whole run: one simulator, no harness overhead, so the
     top of the listing is the engine/model hot path a perf PR should
     attack.  Experiments without launch cells fall back to a full run.
+    ``--hot`` also prints the cell simulator's timing-wheel statistics
+    (max bucket occupancy, spill re-bucketing count, cancelled-timer
+    compactions, ...) after the profile listing.
     """
     import cProfile
     import pstats
@@ -103,6 +106,14 @@ def cmd_profile(args):
     print(f"profile of {target_label}, top {args.top} by cumulative time:")
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.strip_dirs().sort_stats("cumulative").print_stats(args.top)
+    if args.hot:
+        from repro.experiments import parallel
+
+        engine = parallel.LAST_ENGINE_STATS
+        if engine:
+            print("engine statistics for the profiled cell:")
+            for key, value in engine.items():
+                print(f"  {key:22s} {value}")
     if args.output:
         stats.dump_stats(args.output)
         print(f"profile data written to {args.output}")

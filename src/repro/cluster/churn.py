@@ -30,17 +30,34 @@ class ClusterChurnDriver:
             each container runs after startup.
         teardown: Remove each container after it completes, recycling
             its VF and memory (the churn part of the workload).
+        startup_deadline_s: Per-container startup watchdog (virtual
+            seconds; None disables).  Each lifecycle arms a cancellable
+            engine timer at placement and cancels it the moment the
+            container is running, so a healthy storm pays O(1) per
+            container and the watchdog never dispatches an event (the
+            default is far above any modeled startup, keeping result
+            byte-identity).  A blown deadline only increments
+            ``deadline_misses`` — a liveness canary for pathological
+            configurations, not a behavior change.
     """
 
-    def __init__(self, cluster, app_name=None, teardown=True):
+    #: Generous default: the slowest modeled startups (vanilla SR-IOV at
+    #: 10k concurrency) stay well under a minute of virtual time.
+    STARTUP_DEADLINE_S = 900.0
+
+    def __init__(self, cluster, app_name=None, teardown=True,
+                 startup_deadline_s=STARTUP_DEADLINE_S):
         self.cluster = cluster
         self.app_name = app_name
         self.teardown = teardown
+        self.startup_deadline_s = startup_deadline_s
         self.records = []
         #: Containers currently between arrival and readiness.
         self.in_flight = 0
         #: Peak of ``in_flight`` — the realized startup concurrency.
         self.peak_in_flight = 0
+        #: Startups that outlived the watchdog deadline.
+        self.deadline_misses = 0
 
     def submit(self, count, arrivals=None, memory_bytes=None,
                name_prefix="w"):
@@ -81,15 +98,25 @@ class ClusterChurnDriver:
             self.peak_in_flight = self.in_flight
         app = make_app(self.app_name) if self.app_name else None
         request = ContainerRequest(name, memory_bytes=memory_bytes, app=app)
+        watchdog = None
+        if self.startup_deadline_s:
+            watchdog = cluster.sim.call_later(
+                self.startup_deadline_s, self._deadline_missed, name
+            )
         try:
             try:
                 yield from host.engine.run_container(request, record)
             finally:
+                if watchdog is not None:
+                    watchdog.cancel()
                 self.in_flight -= 1
             if self.teardown:
                 yield from host.engine.remove_container(name)
         finally:
             cluster.unplace(index)
+
+    def _deadline_missed(self, name):
+        self.deadline_misses += 1
 
     def run(self, until=None):
         """Execute the simulation; returns the collected records."""
@@ -129,7 +156,7 @@ def cluster_arrivals(seed, rate_per_s=0.0):
 
 def run_cluster_cell(preset, concurrency, hosts, seed=0, app_name=None,
                      placement="least-loaded", teardown=True, shards=1,
-                     workers=None, rate_per_s=0.0):
+                     workers=None, rate_per_s=0.0, engine_stats=None):
     """One cluster-scale launch cell; returns a plain-JSON summary.
 
     The cluster analogue of ``launch_preset`` + ``summarize_launch``:
@@ -140,6 +167,11 @@ def run_cluster_cell(preset, concurrency, hosts, seed=0, app_name=None,
     single-process run; spread-arrival least-loaded cells follow the
     deterministic epoch-barrier protocol.  ``workers`` maps shards to
     OS processes and never changes results.
+
+    ``engine_stats``, if given, is a dict filled with the simulator's
+    :meth:`~repro.sim.core.Simulator.wheel_stats` for diagnostics
+    (single-process runs only — sharded simulators live in worker
+    processes); it is never part of the returned summary.
     """
     if shards and shards > 1:
         from repro.cluster.sharded import run_sharded_cluster
@@ -155,6 +187,8 @@ def run_cluster_cell(preset, concurrency, hosts, seed=0, app_name=None,
     driver = ClusterChurnDriver(cluster, app_name=app_name, teardown=teardown)
     driver.submit(concurrency, arrivals=cluster_arrivals(seed, rate_per_s))
     driver.run()
+    if engine_stats is not None:
+        engine_stats.update(cluster.sim.wheel_stats())
     summary = driver.startup_times().summary()
     return {
         "count": summary["count"],

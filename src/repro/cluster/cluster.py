@@ -17,6 +17,7 @@ cluster run is a pure function of (config, spec, hosts, seed).
 from repro.core.presets import get_preset
 from repro.sim.core import Simulator
 from repro.sim.rng import Jitter
+from repro.spec import PAPER_TESTBED
 
 from repro.cluster.placement import make_placement
 from repro.core.host import Host
@@ -46,7 +47,11 @@ class Cluster:
             config = preset_or_config
         self.config = config
         self.seed = seed
-        self.sim = Simulator()
+        # One wheel width for the whole cluster (and the same one every
+        # shard uses), derived from the spec: sharding stays a pure
+        # wall-clock knob.
+        wheel_spec = spec if spec is not None else PAPER_TESTBED
+        self.sim = Simulator(bucket_width=wheel_spec.timer_wheel_width())
         self.placement = make_placement(placement)
         base = Jitter(seed)
         self.hosts = [

@@ -27,6 +27,7 @@ from repro.core.presets import get_preset
 from repro.metrics.timeline import StartupRecord
 from repro.sim.core import Simulator, Timeout
 from repro.sim.rng import Jitter
+from repro.spec import PAPER_TESTBED
 from repro.workloads.serverless import make_app
 
 
@@ -64,7 +65,10 @@ class ClusterShard:
         self.app_name = app_name
         self.teardown = teardown
         self.memory_bytes = memory_bytes
-        self.sim = Simulator()
+        # Same spec-derived wheel width as the unsharded Cluster: shard
+        # count must stay a pure wall-clock knob.
+        wheel_spec = spec if spec is not None else PAPER_TESTBED
+        self.sim = Simulator(bucket_width=wheel_spec.timer_wheel_width())
         base = Jitter(seed)
         #: Hosts keyed by *global* index.
         self.hosts = {
@@ -86,6 +90,8 @@ class ClusterShard:
         #: Teardown load deltas (time, global host index) not yet
         #: handed to the coordinator.
         self._teardowns = []
+        #: Startup-watchdog expiries (mirrors ClusterChurnDriver).
+        self.deadline_misses = 0
 
     # ------------------------------------------------------------------
     # driving
@@ -123,10 +129,20 @@ class ClusterShard:
         request = ContainerRequest(
             name, memory_bytes=self.memory_bytes, app=app
         )
+        # Same startup watchdog as ClusterChurnDriver._lifecycle (armed
+        # and cancelled at the same yield points, so the per-shard event
+        # stream matches the single-process one exactly).
+        from repro.cluster.churn import ClusterChurnDriver
+
+        watchdog = sim.call_later(
+            ClusterChurnDriver.STARTUP_DEADLINE_S,
+            self._deadline_missed, name,
+        )
         try:
             try:
                 yield from host.engine.run_container(request, record)
             finally:
+                watchdog.cancel()
                 self.records[global_index] = (
                     arrival_time, sim.now, record.startup_time
                 )
@@ -135,6 +151,9 @@ class ClusterShard:
         finally:
             self.loads[host_index] -= 1
             self._teardowns.append((sim.now, host_index))
+
+    def _deadline_missed(self, name):
+        self.deadline_misses += 1
 
     def run_until(self, when):
         """Advance to barrier ``when``; returns the new teardown deltas."""

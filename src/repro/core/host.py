@@ -60,7 +60,11 @@ class Host:
         spec = self.spec
 
         # -- simulation substrate --------------------------------------
-        self.sim = sim if sim is not None else Simulator()
+        self.sim = (
+            sim
+            if sim is not None
+            else Simulator(bucket_width=spec.timer_wheel_width())
+        )
         self.jitter = Jitter(seed)
         self.cpu = FairShareCPU(self.sim, cores=spec.cores, name="host-cpu")
         #: The storage-server link: fair-shared among concurrent

@@ -55,14 +55,18 @@ def run_churn(preset, total, rate_per_s, app_name, seed):
     return records, host
 
 
-def run_churn_cell(preset, total, rate_per_s, seed):
+def run_churn_cell(preset, total, rate_per_s, seed, engine_stats=None):
     """One single-host churn cell; returns a plain-JSON summary.
 
     Pure in its arguments (the app is fixed to "image", matching the
     experiment), so it is safe to run in a worker process and to cache.
     Steady state drops the first third of arrivals (warm-up).
+    ``engine_stats``, if given, is filled with the host simulator's
+    ``wheel_stats()`` for diagnostics; never part of the summary.
     """
     records, host = run_churn(preset, total, rate_per_s, "image", seed)
+    if engine_stats is not None:
+        engine_stats.update(host.sim.wheel_stats())
     steady = records[total // 3:]
     return {
         "startup": Distribution(

@@ -73,12 +73,21 @@ def summarize_launch(result):
     }
 
 
+#: Engine statistics (:meth:`repro.sim.core.Simulator.wheel_stats`) of
+#: the most recent :func:`run_cell` in this process.  Diagnostic only —
+#: read by ``repro profile --hot`` after profiling a cell; never part
+#: of a cell's summary, so caches and worker pipes are unaffected.
+LAST_ENGINE_STATS = None
+
+
 def run_cell(cell):
     """Execute one cell in this process; returns its summary."""
+    global LAST_ENGINE_STATS
+    stats = {}
     if cell.kind == "cluster":
         from repro.cluster.churn import run_cluster_cell
 
-        return run_cluster_cell(
+        summary = run_cluster_cell(
             cell.preset,
             cell.concurrency,
             hosts=cell.hosts,
@@ -86,20 +95,26 @@ def run_cell(cell):
             placement=cell.placement,
             shards=cell.shards,
             rate_per_s=cell.rate_per_s,
+            engine_stats=stats,
         )
-    if cell.kind == "churn":
+    elif cell.kind == "churn":
         from repro.experiments.churn import run_churn_cell
 
-        return run_churn_cell(
-            cell.preset, cell.concurrency, cell.rate_per_s, cell.seed
+        summary = run_churn_cell(
+            cell.preset, cell.concurrency, cell.rate_per_s, cell.seed,
+            engine_stats=stats,
         )
-    _host, result = launch_preset(
-        cell.preset,
-        cell.concurrency,
-        memory_bytes=cell.memory_bytes,
-        seed=cell.seed,
-    )
-    return summarize_launch(result)
+    else:
+        host, result = launch_preset(
+            cell.preset,
+            cell.concurrency,
+            memory_bytes=cell.memory_bytes,
+            seed=cell.seed,
+        )
+        stats.update(host.sim.wheel_stats())
+        summary = summarize_launch(result)
+    LAST_ENGINE_STATS = stats or None
+    return summary
 
 
 def _worker(cell):

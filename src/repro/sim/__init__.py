@@ -22,11 +22,11 @@ a Python generator that ``yield``\\ s command objects (``Timeout``,
 and the simulator interprets them.
 """
 
-from repro.sim.core import Process, Simulator, Timeout
+from repro.sim.core import Process, Simulator, Timeout, Timer
 from repro.sim.cpu import FairShareCPU
 from repro.sim.errors import SimError, SimulationDeadlock
 from repro.sim.rng import Jitter
-from repro.sim.sync import Mutex, Resource, RWLock, SimEvent
+from repro.sim.sync import TIMED_OUT, Mutex, Resource, RWLock, SimEvent
 
 __all__ = [
     "FairShareCPU",
@@ -39,5 +39,7 @@ __all__ = [
     "SimEvent",
     "SimulationDeadlock",
     "Simulator",
+    "TIMED_OUT",
     "Timeout",
+    "Timer",
 ]

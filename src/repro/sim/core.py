@@ -21,46 +21,107 @@ and deterministic: events at equal timestamps fire in scheduling order.
 Engine layout (the hot path)
 ----------------------------
 
-The event store is split in two:
+The event store is split in three:
 
 * ``_ready`` — a FIFO ring (:class:`collections.deque`) of events whose
   timestamp equals the current clock.  Same-time scheduling — process
   resumption after a lock grant, zero-delay timeouts, spawn, join
   completion — is by far the dominant case in this simulator, and it
-  costs one ``append``/``popleft`` pair instead of a heap push/pop.
-* ``_queue`` — a binary heap of strictly-future events, keyed by
-  ``(when, seq)``.  ``seq`` is a monotonically increasing int that
-  breaks timestamp ties in scheduling order.
+  costs one ``append``/``popleft`` pair instead of any ordered insert.
+* a *timing wheel* of ``_WHEEL_SLOTS`` fixed-width buckets holding
+  strictly-future events within the wheel's horizon (the near level of
+  a calendar queue / hierarchical timing wheel — the same structure the
+  Linux kernel uses for its timers).  Insert is O(1): an integer
+  divide, a bitmask, a list append.
+* ``_spill`` — a binary heap (the sorted far level) for events beyond
+  the wheel horizon.  As the wheel turns, spill events whose slot
+  enters the window are re-bucketed, each exactly once.
 
-The two structures together preserve the documented tie order exactly:
+Events are keyed by ``(when, seq)``; ``seq`` is a monotonically
+increasing int that breaks timestamp ties in scheduling order.  A
+bucket is left unsorted until the wheel cursor reaches it; the cursor
+then *detaches* it from the wheel array and heapifies it (the *front
+heap*), and cohorts are drained by ``heappop`` — which yields exact
+(when, seq) order — so the documented tie order is preserved
+bit-for-bit:
 
-* Events already in the heap at timestamp *t* were scheduled before the
+* Events already stored at timestamp *t* were scheduled before the
   clock reached *t*, so their seq is smaller than that of any event
   scheduled once the clock is at *t*.  When the clock advances to *t*,
-  :meth:`Simulator.run` drains the *entire* equal-time batch from the
-  heap into the ring in one pass (consecutive heap pops yield seq
-  order), before executing anything.
+  :meth:`Simulator.run` drains the *entire* equal-time cohort from the
+  front heap into the ring in one pass (heappop yields seq order),
+  before executing anything.
 * Events scheduled *at* the current time while the batch executes are
-  appended behind it.  Their seq is necessarily larger than everything
-  already in the ring, so FIFO order equals scheduling order.
+  appended behind it in the ring.  Their seq is necessarily larger than
+  everything already there, so FIFO order equals scheduling order.
+* An event scheduled into the *currently draining* slot (the cursor's)
+  is heappushed into the front heap — O(log bucket) against one small
+  bucket's worth of entries, not O(bucket) as a sorted-list insert
+  would be and not O(log total) as a global heap pays.
 
-The invariant between runs is: every pending event with ``when ==
-now`` lives in the ring (in scheduling order) and the heap holds only
-``when > now``.  Because the ring never needs seq numbers, same-time
-events carry no ordering metadata at all — a ring slot is just the
-``(callback, args)`` pair, which is what "eliminates per-event
-tuple/heap churn" amounts to in CPython: no counter increment, no
-4-tuple, no sift-up/sift-down.
+The invariant between runs is: every pending event with ``when == now``
+lives in the ring (in scheduling order); the front heap holds only the
+cursor slot's entries; the wheel holds only ``when > now`` within the
+window ``[_cur_slot, _cur_slot + _WHEEL_SLOTS)`` of slots; the spill
+heap holds only slots at or beyond the window end.
+Slot mapping is order-preserving (``slot_a < slot_b`` implies
+``when_a < when_b``), so draining slots in order never reorders events.
+
+Cancellable timers and pooling
+------------------------------
+
+:meth:`Simulator.call_at` / :meth:`Simulator.call_later` return a
+:class:`Timer` handle whose ``cancel()`` is O(1) *lazy deletion*: the
+stored entry is tombstoned in place and skipped (reaped) when the
+cursor reaches it.  When tombstones outnumber live events (past a small
+floor), a compaction sweep rebuilds the buckets and spill without them,
+so a workload that arms and cancels timers that never fire — retry
+watchdogs in a 10k-startup churn storm — pays O(1) per timer instead
+of carrying dead entries through every subsequent operation.
+
+Entries are mutable 4-lists ``[when, seq, callback, args]`` recycled on
+a per-simulator free list, which eliminates the per-event allocation of
+the old heap engine's tuples.  A recycled entry always has its callback
+slot cleared first and ``seq`` values are never reused, so a stale
+:class:`Timer` handle can never cancel an entry that was recycled out
+from under it.
+
+Bucket width is a constructor parameter derived deterministically from
+the model (see :func:`repro.spec.timer_wheel_width`: a quarter of the
+fastiovd daemon tick, the finest recurring granularity) — never from
+wall-clock measurement, so two runs of the same spec always build the
+same wheel.  Width affects performance only, never event order.
+
+The retained reference implementation of the old heap scheduler lives
+in ``tests/reference_scheduler.py`` and is the oracle for the
+differential property tests (and the baseline for the timer-dense
+micro-benchmark in ``benchmarks/perf_report.py``).
 """
 
-import heapq
 from collections import deque
+from heapq import heapify, heappop, heappush
 
 from repro.sim.errors import (
     InvalidCommand,
     ProcessFailed,
     SimulationDeadlock,
 )
+
+#: Default timing-wheel bucket width in virtual seconds.  Hosts built
+#: from a :class:`~repro.spec.HostSpec` pass an explicit width derived
+#: from the spec (``timer_wheel_width``); this default matches the
+#: paper testbed's derivation.
+DEFAULT_BUCKET_WIDTH = 0.001
+
+#: Number of wheel slots (power of two — slot index is ``slot & MASK``).
+_WHEEL_SLOTS = 256
+_WHEEL_MASK = _WHEEL_SLOTS - 1
+
+#: Free-list capacity: bounds memory kept for entry recycling.
+_POOL_MAX = 4096
+
+#: Compaction floor: never sweep for fewer tombstones than this.
+_COMPACT_MIN = 64
 
 
 class Command:
@@ -118,6 +179,56 @@ class Join(Command):
 
     def __repr__(self):
         return f"Join({self.process.name})"
+
+
+class Timer:
+    """Handle to one strictly-future scheduled callback.
+
+    Returned by :meth:`Simulator.call_at` / :meth:`Simulator.call_later`.
+    :meth:`cancel` is O(1) lazy deletion — the stored entry is
+    tombstoned and reaped (or compacted) later; the callback will not
+    run and the event never counts as dispatched.
+
+    A handle is safe to cancel at any point, including after the timer
+    fired or after the engine recycled its entry: ``seq`` values are
+    globally unique and never reused, so a stale handle degrades to a
+    no-op instead of touching an unrelated event.
+    """
+
+    __slots__ = ("_sim", "_entry", "_seq")
+
+    def __init__(self, sim, entry):
+        self._sim = sim
+        self._entry = entry
+        self._seq = entry[1]
+
+    @property
+    def active(self):
+        """True while the callback is still pending (not fired/cancelled)."""
+        entry = self._entry
+        return (
+            entry is not None
+            and entry[1] == self._seq
+            and entry[2] is not None
+        )
+
+    @property
+    def when(self):
+        """The scheduled fire time, or None once inactive."""
+        return self._entry[0] if self.active else None
+
+    def cancel(self):
+        """Cancel the pending callback; returns True if it was active."""
+        entry = self._entry
+        if entry is None or entry[1] != self._seq or entry[2] is None:
+            return False
+        self._entry = None
+        self._sim._cancel_entry(entry)
+        return True
+
+    def __repr__(self):
+        state = f"at {self._entry[0]}" if self.active else "inactive"
+        return f"<Timer {state}>"
 
 
 class Process:
@@ -231,11 +342,16 @@ class Simulator:
     Time is a float in *seconds* of virtual time.  All model components
     (locks, CPUs, devices) hold a reference to the simulator so they can
     schedule events and read the clock.
+
+    Args:
+        bucket_width: Timing-wheel bucket width in virtual seconds.
+            Derived from the host spec by callers that have one
+            (:func:`repro.spec.timer_wheel_width`); affects performance
+            only — event order is width-independent.
     """
 
     __slots__ = (
         "now",
-        "_queue",
         "_ready",
         "_seq",
         "_processes",
@@ -243,11 +359,30 @@ class Simulator:
         "_current",
         "_failure",
         "events_dispatched",
+        # -- timing wheel ------------------------------------------------
+        "_width",
+        "_inv_width",
+        "_buckets",
+        "_occupied",
+        "_cur_slot",
+        "_front_slot",
+        "_front",
+        "_spill",
+        "_pool",
+        "_future_live",
+        "_cancelled_unreaped",
+        # -- statistics --------------------------------------------------
+        "_timers_cancelled",
+        "_compactions",
+        "_spill_rebuckets",
+        "_spill_peak",
+        "_max_bucket",
     )
 
-    def __init__(self):
+    def __init__(self, bucket_width=DEFAULT_BUCKET_WIDTH):
+        if bucket_width <= 0:
+            raise ValueError(f"bucket_width must be positive: {bucket_width}")
         self.now = 0.0
-        self._queue = []
         self._ready = deque()
         self._seq = 0
         self._processes = []
@@ -255,7 +390,33 @@ class Simulator:
         self._current = None
         self._failure = None
         #: Total events executed, for engine throughput reporting.
+        #: Cancelled timers never dispatch and never count.
         self.events_dispatched = 0
+        self._width = bucket_width
+        self._inv_width = 1.0 / bucket_width
+        self._buckets = [[] for _ in range(_WHEEL_SLOTS)]
+        #: Bitmap of non-empty buckets, indexed by ``slot & _WHEEL_MASK``.
+        self._occupied = 0
+        #: Lowest slot that may still hold entries; the wheel window is
+        #: ``[_cur_slot, _cur_slot + _WHEEL_SLOTS)``.
+        self._cur_slot = 0
+        #: The slot the cursor is draining (-1: none); its entries live
+        #: in ``_front``, a small (when, seq) heap detached from the
+        #: wheel array, so same-slot inserts during the drain are
+        #: O(log bucket) instead of an O(bucket) sorted insert.
+        self._front_slot = -1
+        self._front = []
+        self._spill = []
+        self._pool = []
+        #: Live (non-cancelled) strictly-future events.
+        self._future_live = 0
+        #: Tombstoned entries not yet reaped or compacted.
+        self._cancelled_unreaped = 0
+        self._timers_cancelled = 0
+        self._compactions = 0
+        self._spill_rebuckets = 0
+        self._spill_peak = 0
+        self._max_bucket = 0
 
     # ------------------------------------------------------------------
     # scheduling
@@ -264,7 +425,7 @@ class Simulator:
         """Run ``callback(*args)`` at virtual time ``when``.
 
         Equal timestamps fire in scheduling order.  Scheduling at the
-        current time bypasses the heap entirely (see the module
+        current time bypasses the wheel entirely (see the module
         docstring for why that preserves the tie order).
         """
         now = self.now
@@ -274,7 +435,36 @@ class Simulator:
                 return
             raise ValueError(f"cannot schedule into the past: {when} < {now}")
         self._seq = seq = self._seq + 1
-        heapq.heappush(self._queue, (when, seq, callback, args))
+        self._insert_future(when, seq, callback, args)
+
+    def call_at(self, when, callback, *args):
+        """Schedule a cancellable callback at ``when``; returns a Timer.
+
+        Timers must be strictly future: a handle for an event already in
+        the ready ring could not be cancelled exactly, so ``when`` must
+        be greater than the current time.
+        """
+        if when <= self.now:
+            raise ValueError(
+                f"timers must be strictly future: {when} <= {self.now}"
+            )
+        self._seq = seq = self._seq + 1
+        return Timer(self, self._insert_future(when, seq, callback, args))
+
+    def call_later(self, delay, callback, *args):
+        """Schedule a cancellable callback after ``delay``; returns a Timer."""
+        if delay <= 0:
+            raise ValueError(f"timer delay must be positive: {delay}")
+        # Inlined call_at: timer arming is hot in churn workloads and
+        # the wrapper call was measurable.
+        now = self.now
+        when = now + delay
+        if when <= now:
+            raise ValueError(
+                f"timers must be strictly future: {when} <= {now}"
+            )
+        self._seq = seq = self._seq + 1
+        return Timer(self, self._insert_future(when, seq, callback, args))
 
     def spawn(self, generator, name=None, daemon=False):
         """Start a new process from ``generator`` and return it.
@@ -298,8 +488,284 @@ class Simulator:
 
     @property
     def pending_events(self):
-        """Number of events waiting to execute (ring + heap)."""
-        return len(self._ready) + len(self._queue)
+        """Number of events waiting to execute (ring + live future set).
+
+        Exact under lazy deletion: a cancelled-but-unreaped timer is a
+        tombstone, not a pending event, and is never counted.
+        """
+        return len(self._ready) + self._future_live
+
+    def __len__(self):
+        return self.pending_events
+
+    # ------------------------------------------------------------------
+    # future-event set (timing wheel + sorted spill)
+    # ------------------------------------------------------------------
+    def _insert_future(self, when, seq, callback, args):
+        """Store a strictly-future event; returns its entry."""
+        pool = self._pool
+        if pool:
+            entry = pool.pop()
+            entry[0] = when
+            entry[1] = seq
+            entry[2] = callback
+            entry[3] = args
+        else:
+            entry = [when, seq, callback, args]
+        slot = int(when * self._inv_width)
+        if slot == self._front_slot:
+            # The cursor is mid-drain in this slot: its entries live in
+            # the detached front heap.
+            heappush(self._front, entry)
+        else:
+            cur = self._cur_slot
+            if slot < cur:
+                # The window raced ahead of the clock: _next_when may
+                # park the cursor on a far-future event (e.g. a 900 s
+                # watchdog) and run(until=...) then stops the clock at
+                # the horizon.  An insert landing between the clock and
+                # the cursor — the sharded epoch protocol submits new
+                # lifecycles exactly there — needs the window pulled
+                # back first.
+                self._rewind_window(slot)
+                cur = slot
+            if slot - cur < _WHEEL_SLOTS:
+                idx = slot & _WHEEL_MASK
+                self._buckets[idx].append(entry)
+                self._occupied |= 1 << idx
+            else:
+                spill = self._spill
+                heappush(spill, entry)
+                if len(spill) > self._spill_peak:
+                    self._spill_peak = len(spill)
+        self._future_live += 1
+        return entry
+
+    def _cancel_entry(self, entry):
+        """Tombstone a stored entry (Timer.cancel); O(1) lazy deletion."""
+        entry[2] = None
+        entry[3] = None
+        self._future_live -= 1
+        cancelled = self._cancelled_unreaped + 1
+        self._cancelled_unreaped = cancelled
+        self._timers_cancelled += 1
+        if cancelled >= _COMPACT_MIN and cancelled > self._future_live:
+            self._compact()
+
+    def _recycle(self, entry):
+        entry[2] = None
+        entry[3] = None
+        pool = self._pool
+        if len(pool) < _POOL_MAX:
+            pool.append(entry)
+
+    def _rewind_window(self, slot):
+        """Move the wheel window back so it starts at ``slot``.
+
+        Every bucketed entry — including the front heap's, whose
+        consumed events were already popped and recycled — is pushed
+        back to the spill level (keeping its tombstone accounting
+        intact) and the window is rebuilt from there.  Rare — at most
+        once per idle jump — so simplicity beats speed.
+        """
+        buckets = self._buckets
+        spill = self._spill
+        front = self._front
+        if front:
+            spill += front
+            del front[:]
+        self._front_slot = -1
+        occupied = self._occupied
+        while occupied:
+            idx = (occupied & -occupied).bit_length() - 1
+            bucket = buckets[idx]
+            spill += bucket
+            bucket.clear()
+            occupied &= occupied - 1
+        self._occupied = 0
+        heapify(spill)
+        self._cur_slot = slot
+        self._refill_from_spill()
+
+    def _refill_from_spill(self):
+        """Re-bucket spill events whose slot entered the wheel window."""
+        spill = self._spill
+        if not spill:
+            return
+        limit = self._cur_slot + _WHEEL_SLOTS
+        inv = self._inv_width
+        buckets = self._buckets
+        while spill and int(spill[0][0] * inv) < limit:
+            entry = heappop(spill)
+            if entry[2] is None:
+                self._cancelled_unreaped -= 1
+                self._recycle(entry)
+                continue
+            slot = int(entry[0] * inv)
+            bucket = buckets[slot & _WHEEL_MASK]
+            bucket.append(entry)
+            self._occupied |= 1 << (slot & _WHEEL_MASK)
+            self._spill_rebuckets += 1
+            if len(bucket) > self._max_bucket:
+                self._max_bucket = len(bucket)
+
+    def _next_when(self):
+        """Earliest pending future time, or None if none remain.
+
+        Positions the wheel cursor on the head event so that
+        :meth:`_pop_cohort` can drain its equal-time cohort; reaps any
+        tombstoned entries it walks over.
+        """
+        if self._future_live == 0:
+            return None
+        front = self._front
+        pool = self._pool
+        while True:
+            while front:
+                entry = front[0]
+                if entry[2] is not None:
+                    return entry[0]
+                # Lazy-reap a cancelled timer at the front.
+                heappop(front)
+                self._cancelled_unreaped -= 1
+                entry[3] = None
+                if len(pool) < _POOL_MAX:
+                    pool.append(entry)
+            if self._front_slot >= 0:
+                # Front slot exhausted: advance the wheel past it.
+                self._cur_slot = self._front_slot + 1
+                self._front_slot = -1
+                self._refill_from_spill()
+            occupied = self._occupied
+            if occupied:
+                # Next occupied slot at/after the cursor: all occupied
+                # slots live in [_cur_slot, _cur_slot + _WHEEL_SLOTS), so
+                # the bitmap rotation below is unambiguous.
+                cur = self._cur_slot
+                idx = cur & _WHEEL_MASK
+                high = occupied >> idx
+                if high:
+                    slot = cur + (high & -high).bit_length() - 1
+                else:
+                    low = occupied & ((1 << idx) - 1)
+                    slot = (
+                        cur
+                        + (_WHEEL_SLOTS - idx)
+                        + (low & -low).bit_length()
+                        - 1
+                    )
+                self._cur_slot = slot
+                self._refill_from_spill()
+                # Detach the slot's bucket as the new front heap; the
+                # (empty) old front list takes its place in the wheel
+                # array, so no allocation happens here.
+                idx = slot & _WHEEL_MASK
+                buckets = self._buckets
+                bucket = buckets[idx]
+                buckets[idx] = front
+                self._occupied &= ~(1 << idx)
+                heapify(bucket)
+                self._front = front = bucket
+                self._front_slot = slot
+                if len(bucket) > self._max_bucket:
+                    self._max_bucket = len(bucket)
+                continue
+            # Near wheel empty: reap cancelled spill heads, then jump the
+            # window to the spill's first live slot and re-bucket.
+            spill = self._spill
+            while spill and spill[0][2] is None:
+                self._cancelled_unreaped -= 1
+                self._recycle(heappop(spill))
+            if not spill:
+                return None
+            self._cur_slot = max(
+                self._cur_slot, int(spill[0][0] * self._inv_width)
+            )
+            self._refill_from_spill()
+
+    def _pop_cohort(self, when):
+        """Move every future event with time exactly ``when`` (the batch
+        :meth:`_next_when` is positioned on) into the ready ring."""
+        front = self._front
+        ready = self._ready
+        pool = self._pool
+        live = 0
+        while front and front[0][0] == when:
+            entry = heappop(front)
+            callback = entry[2]
+            if callback is not None:
+                ready.append((callback, entry[3]))
+                live += 1
+            else:
+                self._cancelled_unreaped -= 1
+            # Physically removed: recycle the body right away.  A stale
+            # Timer handle still can't touch it — the callback slot is
+            # cleared and seq values are never reused.
+            entry[2] = None
+            entry[3] = None
+            if len(pool) < _POOL_MAX:
+                pool.append(entry)
+        self._future_live -= live
+
+    def _compact(self):
+        """Sweep tombstoned entries out of the wheel, front, and spill."""
+        buckets = self._buckets
+        occupied = self._occupied
+        new_occupied = 0
+        for idx in range(_WHEEL_SLOTS):
+            if not occupied >> idx & 1:
+                continue
+            bucket = buckets[idx]
+            keep = [e for e in bucket if e[2] is not None]
+            if len(keep) != len(bucket):
+                pool = self._pool
+                for entry in bucket:
+                    if entry[2] is None:
+                        entry[3] = None
+                        if len(pool) < _POOL_MAX:
+                            pool.append(entry)
+                bucket[:] = keep
+            if bucket:
+                new_occupied |= 1 << idx
+        self._occupied = new_occupied
+        front = self._front
+        if front:
+            keep = [e for e in front if e[2] is not None]
+            if len(keep) != len(front):
+                for entry in front:
+                    if entry[2] is None:
+                        self._recycle(entry)
+                front[:] = keep
+                # Filtering can break the heap invariant; rebuild.
+                heapify(front)
+        spill = self._spill
+        if spill:
+            keep = [e for e in spill if e[2] is not None]
+            if len(keep) != len(spill):
+                for entry in spill:
+                    if entry[2] is None:
+                        self._recycle(entry)
+                spill[:] = keep
+                # Filtering can break the heap invariant; rebuild.
+                heapify(spill)
+        self._cancelled_unreaped = 0
+        self._compactions += 1
+
+    def wheel_stats(self):
+        """Timing-wheel engine statistics (``repro profile --hot``)."""
+        return {
+            "engine": "timing-wheel",
+            "bucket_width_s": self._width,
+            "buckets": _WHEEL_SLOTS,
+            "max_bucket_occupancy": self._max_bucket,
+            "spill_rebuckets": self._spill_rebuckets,
+            "spill_peak": self._spill_peak,
+            "timers_cancelled": self._timers_cancelled,
+            "cancelled_unreaped": self._cancelled_unreaped,
+            "compactions": self._compactions,
+            "pending_events": self.pending_events,
+            "events_dispatched": self.events_dispatched,
+        }
 
     # ------------------------------------------------------------------
     # execution
@@ -319,8 +785,6 @@ class Simulator:
                 processes were still blocked.
         """
         ready = self._ready
-        queue = self._queue
-        heappop = heapq.heappop
         dispatched = 0
         no_horizon = until is None
         while True:
@@ -333,20 +797,18 @@ class Simulator:
                 dispatched += 1
                 callback(*args)
                 continue
-            if not queue:
+            when = self._next_when()
+            if when is None:
                 break
-            when = queue[0][0]
             if not no_horizon and when > until:
                 self.now = until
                 break
             self.now = when
             # Batch-drain the whole equal-time cohort into the ring.
-            # Consecutive heap pops come out in seq (scheduling) order,
-            # and anything scheduled at ``when`` while the cohort runs
-            # has a larger seq and is appended behind it.
-            while queue and queue[0][0] == when:
-                entry = heappop(queue)
-                ready.append((entry[2], entry[3]))
+            # The sorted bucket yields seq (scheduling) order, and
+            # anything scheduled at ``when`` while the cohort runs has a
+            # larger seq and is appended behind it.
+            self._pop_cohort(when)
         self.events_dispatched += dispatched
         if self._failure is not None:
             failure, cause = self._failure

@@ -16,12 +16,44 @@ queue, runs the primitive's grant dispatch, and *then* records the
 queue depth — so a request granted immediately never counts toward
 ``max_queue``/``enqueued``, and one that blocks records the true depth
 it observed.  Wait time is measured from submission to grant.
+
+Bounded waits: ``acquire``/``request`` take an optional ``timeout``
+(virtual seconds).  A request that is not granted within the bound is
+resumed with the :data:`TIMED_OUT` sentinel instead of blocking
+forever::
+
+    got = yield lock.acquire(timeout=0.5)
+    if got is TIMED_OUT:
+        ...retry / fall back...
+
+``timeout=0`` is a try-lock: grant-now or fail-now.  The machinery
+rides on the engine's cancellable timers (:meth:`Simulator.call_later`)
+— a granted request cancels its watchdog in O(1) and the timer never
+fires, never dispatches, and never perturbs event counts; a timed-out
+request is *abandoned* in place and lazily dequeued when it reaches the
+head of the waiter queue, so timeouts cost O(1) rather than a queue
+scan.
 """
 
 from collections import deque
 
 from repro.sim.core import Command
 from repro.sim.errors import SimError
+
+
+class _TimedOut:
+    """Singleton resume value for a wait that exceeded its timeout."""
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return "TIMED_OUT"
+
+
+#: Sentinel delivered to a waiter whose ``timeout`` expired before the
+#: grant.  Compare with ``is`` — successful grants deliver ``None``
+#: (Mutex/RWLock/Resource), which is distinct from this object.
+TIMED_OUT = _TimedOut()
 
 
 class LockStats:
@@ -36,6 +68,8 @@ class LockStats:
         max_wait: Longest single wait, in seconds.
         max_queue: Longest observed waiter-queue length (depth seen by
             an enqueuing request after the grant dispatch ran).
+        timeouts: Requests resumed with :data:`TIMED_OUT` instead of a
+            grant.
     """
 
     __slots__ = (
@@ -45,6 +79,7 @@ class LockStats:
         "total_wait",
         "max_wait",
         "max_queue",
+        "timeouts",
     )
 
     def __init__(self):
@@ -54,6 +89,7 @@ class LockStats:
         self.total_wait = 0.0
         self.max_wait = 0.0
         self.max_queue = 0
+        self.timeouts = 0
 
     def record_grant(self, waited):
         self.acquisitions += 1
@@ -85,28 +121,73 @@ class LockStats:
             f"LockStats(acquisitions={self.acquisitions}, "
             f"contended={self.contended}, enqueued={self.enqueued}, "
             f"total_wait={self.total_wait:.6f}, "
-            f"max_wait={self.max_wait:.6f}, max_queue={self.max_queue})"
+            f"max_wait={self.max_wait:.6f}, max_queue={self.max_queue}, "
+            f"timeouts={self.timeouts})"
         )
 
 
 class _Grantable(Command):
-    """A command granted later by its owning primitive."""
+    """A command granted later by its owning primitive.
 
-    __slots__ = ("primitive", "process", "enqueued_at")
+    With a ``timeout``, a per-request watchdog timer races the grant:
+    whichever happens first cancels the other (the grant cancels the
+    timer in O(1); the timer marks the request *abandoned* so the grant
+    dispatch skips it when it reaches the queue head).
+    """
 
-    def __init__(self, primitive):
+    __slots__ = (
+        "primitive",
+        "process",
+        "enqueued_at",
+        "timeout",
+        "granted",
+        "abandoned",
+        "_timer",
+    )
+
+    def __init__(self, primitive, timeout=None):
+        if timeout is not None and timeout < 0:
+            raise ValueError(f"negative timeout: {timeout}")
         self.primitive = primitive
         self.process = None
         self.enqueued_at = None
+        self.timeout = timeout
+        self.granted = False
+        self.abandoned = False
+        self._timer = None
 
     def subscribe(self, sim, process):
         self.process = process
         self.enqueued_at = sim.now
         self.primitive._submit(self)
+        if self.granted:
+            return
+        timeout = self.timeout
+        if timeout is None:
+            return
+        if timeout == 0.0:
+            # Try-lock: not granted synchronously means fail now.
+            self._expire()
+        else:
+            self._timer = sim.call_later(timeout, self._expire)
 
     def _grant(self, sim, stats, value=None):
+        self.granted = True
+        timer = self._timer
+        if timer is not None:
+            timer.cancel()
+            self._timer = None
         stats.record_grant(sim.now - self.enqueued_at)
         sim._ready.append((self.process._on_resume, (value,)))
+
+    def _expire(self):
+        """Watchdog fired (or try-lock failed): give up on the grant."""
+        self.abandoned = True
+        self._timer = None
+        primitive = self.primitive
+        primitive.stats.timeouts += 1
+        sim = primitive._sim
+        sim._ready.append((self.process._on_resume, (TIMED_OUT,)))
 
 
 class _QueuedPrimitive:
@@ -157,15 +238,25 @@ class Mutex(_QueuedPrimitive):
     def locked(self):
         return self._holder is not None
 
-    def acquire(self):
-        """Return a command that blocks until the mutex is held."""
-        return _Grantable(self)
+    def acquire(self, timeout=None):
+        """Return a command that blocks until the mutex is held.
+
+        With ``timeout``, the waiter is resumed with :data:`TIMED_OUT`
+        if the grant does not arrive within the bound.
+        """
+        return _Grantable(self, timeout)
 
     def _dispatch(self):
-        if self._holder is None and self._waiters:
-            request = self._waiters.popleft()
+        if self._holder is not None:
+            return
+        waiters = self._waiters
+        while waiters:
+            request = waiters.popleft()
+            if request.abandoned:
+                continue
             self._holder = request.process
             request._grant(self._sim, self.stats)
+            return
 
     def release(self):
         """Release the mutex, granting it to the next waiter if any."""
@@ -181,8 +272,8 @@ class Mutex(_QueuedPrimitive):
 class _RWRequest(_Grantable):
     __slots__ = ("write",)
 
-    def __init__(self, primitive, write):
-        super().__init__(primitive)
+    def __init__(self, primitive, write, timeout=None):
+        super().__init__(primitive, timeout)
         self.write = write
 
 
@@ -211,26 +302,30 @@ class RWLock(_QueuedPrimitive):
     def write_locked(self):
         return self._writer is not None
 
-    def acquire_read(self):
+    def acquire_read(self, timeout=None):
         """Return a command that blocks until read access is granted."""
-        return _RWRequest(self, write=False)
+        return _RWRequest(self, write=False, timeout=timeout)
 
-    def acquire_write(self):
+    def acquire_write(self, timeout=None):
         """Return a command that blocks until write access is granted."""
-        return _RWRequest(self, write=True)
+        return _RWRequest(self, write=True, timeout=timeout)
 
     def _dispatch(self):
-        while self._waiters:
-            head = self._waiters[0]
+        waiters = self._waiters
+        while waiters:
+            head = waiters[0]
+            if head.abandoned:
+                waiters.popleft()
+                continue
             if head.write:
                 if self._readers == 0 and self._writer is None:
-                    self._waiters.popleft()
+                    waiters.popleft()
                     self._writer = head.process
                     head._grant(self._sim, self.stats)
                 break
             if self._writer is not None:
                 break
-            self._waiters.popleft()
+            waiters.popleft()
             self._readers += 1
             head._grant(self._sim, self.stats)
 
@@ -256,8 +351,8 @@ class RWLock(_QueuedPrimitive):
 class _ResourceRequest(_Grantable):
     __slots__ = ("amount",)
 
-    def __init__(self, primitive, amount):
-        super().__init__(primitive)
+    def __init__(self, primitive, amount, timeout=None):
+        super().__init__(primitive, timeout)
         self.amount = amount
 
 
@@ -281,20 +376,27 @@ class Resource(_QueuedPrimitive):
     def available(self):
         return self.capacity - self.in_use
 
-    def request(self, amount=1):
+    def request(self, amount=1, timeout=None):
         """Return a command that blocks until ``amount`` units are held."""
         if amount <= 0 or amount > self.capacity:
             raise ValueError(
                 f"resource {self.name!r}: bad request amount {amount} "
                 f"(capacity {self.capacity})"
             )
-        return _ResourceRequest(self, amount)
+        return _ResourceRequest(self, amount, timeout)
 
     def _dispatch(self):
-        while self._waiters and self._waiters[0].amount <= self.available:
-            request = self._waiters.popleft()
-            self.in_use += request.amount
-            request._grant(self._sim, self.stats)
+        waiters = self._waiters
+        while waiters:
+            head = waiters[0]
+            if head.abandoned:
+                waiters.popleft()
+                continue
+            if head.amount > self.available:
+                break
+            waiters.popleft()
+            self.in_use += head.amount
+            head._grant(self._sim, self.stats)
 
     def release(self, amount=1):
         if amount > self.in_use:

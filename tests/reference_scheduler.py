@@ -1,0 +1,89 @@
+"""The retained heap-based future-event scheduler.
+
+This is the pre-timing-wheel engine of ``repro.sim.core``, kept in-tree
+as the *oracle* for the differential property tests
+(``test_timing_wheel_differential.py``) and as the baseline the
+timer-dense micro-benchmark in ``benchmarks/perf_report.py`` compares
+against.
+
+It subclasses :class:`repro.sim.core.Simulator` and overrides only the
+future-event-set hooks (``_insert_future`` / ``_cancel_entry`` /
+``_next_when`` / ``_pop_cohort``), so the dispatch loop, the ready
+ring, process semantics, and the public API are shared with the real
+engine — any ordering difference between the two is therefore a
+difference between the binary heap and the timing wheel, which is
+exactly what the differential tests probe.
+
+Cancellation is the classic heapq recipe (lazy deletion: tombstone the
+entry in place, reap at pop), which also keeps the micro-benchmark
+comparison honest — the heap engine is given the same O(1) ``cancel``
+the wheel has, and still loses on the O(log n) inserts over a set
+bloated with dead timers.
+"""
+
+from heapq import heappop, heappush
+
+from repro.sim.core import Simulator
+
+
+class ReferenceHeapSimulator(Simulator):
+    """Drop-in ``Simulator`` whose future-event set is a binary heap."""
+
+    def __init__(self, bucket_width=None):
+        # bucket_width is accepted (and ignored) so factories can build
+        # either engine with the same arguments.
+        if bucket_width is None:
+            super().__init__()
+        else:
+            super().__init__(bucket_width=bucket_width)
+        self._heap = []
+
+    def _insert_future(self, when, seq, callback, args):
+        entry = [when, seq, callback, args]
+        heappush(self._heap, entry)
+        self._future_live += 1
+        return entry
+
+    def _cancel_entry(self, entry):
+        entry[2] = None
+        entry[3] = None
+        self._future_live -= 1
+        self._cancelled_unreaped += 1
+        self._timers_cancelled += 1
+
+    def _next_when(self):
+        heap = self._heap
+        while heap and heap[0][2] is None:
+            heappop(heap)
+            self._cancelled_unreaped -= 1
+        if not heap:
+            return None
+        return heap[0][0]
+
+    def _pop_cohort(self, when):
+        heap = self._heap
+        ready = self._ready
+        live = 0
+        while heap and heap[0][0] == when:
+            entry = heappop(heap)
+            callback = entry[2]
+            if callback is None:
+                self._cancelled_unreaped -= 1
+                continue
+            ready.append((callback, entry[3]))
+            live += 1
+            # Tombstone the consumed entry so a stale Timer handle on a
+            # fired event is a no-op (matches the wheel engine).
+            entry[2] = None
+            entry[3] = None
+        self._future_live -= live
+
+    def wheel_stats(self):
+        return {
+            "engine": "reference-heap",
+            "heap_len": len(self._heap),
+            "timers_cancelled": self._timers_cancelled,
+            "cancelled_unreaped": self._cancelled_unreaped,
+            "pending_events": self.pending_events,
+            "events_dispatched": self.events_dispatched,
+        }

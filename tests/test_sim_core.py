@@ -424,6 +424,159 @@ def test_events_dispatched_counts_all_events():
     assert sim.pending_events == 0
 
 
+# ----------------------------------------------------------------------
+# Cancellable timers (Timer handles) and lazy-deletion accounting.
+# ----------------------------------------------------------------------
+
+def test_cancelled_timer_never_fires_and_never_dispatches():
+    sim = Simulator()
+    fired = []
+    timer = sim.call_later(1.0, fired.append, "nope")
+
+    def keepalive():
+        yield Timeout(2.0)
+
+    sim.spawn(keepalive())
+    assert timer.active and timer.when == 1.0
+    assert timer.cancel() is True
+    assert timer.cancel() is False  # idempotent
+    assert not timer.active and timer.when is None
+    sim.run()
+    assert fired == []
+    # spawn step + keepalive timeout only — the cancelled timer must not
+    # count as a dispatched event.
+    assert sim.events_dispatched == 2
+
+
+def test_cancel_after_fire_is_a_noop():
+    sim = Simulator()
+    fired = []
+    timer = sim.call_later(1.0, fired.append, "yes")
+
+    def keepalive():
+        yield Timeout(2.0)
+
+    sim.spawn(keepalive())
+    sim.run()
+    assert fired == ["yes"]
+    assert not timer.active
+    assert timer.cancel() is False
+
+
+def test_stale_timer_handle_cannot_cancel_recycled_entry():
+    """Entry bodies are pooled; a handle to a dead timer must not reach
+    through the free list and cancel an unrelated newer timer."""
+    sim = Simulator()
+    fired = []
+    stale = sim.call_later(1.0, fired.append, "first")
+    stale.cancel()
+    # Drain so the tombstone is reaped and its body recycled.
+    def spin():
+        yield Timeout(1.5)
+
+    sim.spawn(spin())
+    sim.run()
+    fresh = sim.call_later(1.0, fired.append, "second")
+    assert stale.cancel() is False
+    assert fresh.active
+    sim.spawn(spin())
+    sim.run()
+    assert fired == ["second"]
+
+
+def test_timers_must_be_strictly_future():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.call_later(0.0, lambda: None)
+    with pytest.raises(ValueError):
+        sim.call_later(-1.0, lambda: None)
+    with pytest.raises(ValueError):
+        sim.call_at(0.0, lambda: None)
+
+
+def test_pending_events_exact_under_lazy_deletion():
+    """Cancelled-but-unreaped timers must not inflate pending_events or
+    len(sim)."""
+    sim = Simulator()
+    timers = [sim.call_later(5.0 + i, lambda: None) for i in range(8)]
+    assert sim.pending_events == 8
+    assert len(sim) == 8
+    for timer in timers[:5]:
+        timer.cancel()
+    # The five tombstones are still physically stored (lazy deletion),
+    # but accounting is exact.
+    assert sim.pending_events == 3
+    assert len(sim) == 3
+    for timer in timers[5:]:
+        timer.cancel()
+    assert sim.pending_events == 0
+    assert len(sim) == 0
+    sim.run()  # nothing live: returns immediately, clock unchanged
+    assert sim.now == 0.0
+
+
+def test_mass_cancellation_triggers_compaction():
+    sim = Simulator()
+    for _ in range(3):
+        timers = [sim.call_later(60.0 + i * 0.01, lambda: None) for i in range(500)]
+        for timer in timers:
+            timer.cancel()
+    stats = sim.wheel_stats()
+    assert stats["timers_cancelled"] == 1500
+    assert stats["compactions"] >= 1
+    assert sim.pending_events == 0
+    # The engine still runs correctly afterwards.
+    fired = []
+    sim.call_later(0.5, fired.append, "ok")
+
+    def keepalive():
+        yield Timeout(1.0)
+
+    sim.spawn(keepalive())
+    sim.run()
+    assert fired == ["ok"]
+
+
+def test_insert_behind_advanced_window_after_run_until():
+    """A far-future timer can park the wheel cursor way ahead of the
+    clock during run_until; inserts landing in the gap (the sharded
+    epoch protocol's submit-after-barrier shape) must still fire at the
+    right time and in the right order."""
+    sim = Simulator()
+    fired = []
+    sim.call_later(900.0, fired.append, "watchdog")
+    sim.run_until(1.0)  # cursor races to the 900 s slot, clock stops at 1
+    assert sim.now == 1.0
+    # These land behind the advanced window.
+    sim.schedule(1.5, fired.append, "near-a")
+    sim.schedule(1.25, fired.append, "near-b")
+    sim.schedule(400.0, fired.append, "mid")
+    sim.run_until(2.0)
+    assert fired == ["near-b", "near-a"]
+    sim.run_until(1000.0)
+    assert fired == ["near-b", "near-a", "mid", "watchdog"]
+    assert sim.pending_events == 0
+
+
+def test_wheel_stats_reports_engine_counters():
+    sim = Simulator()
+    sim.call_later(1000.0, lambda: None)  # far future: spill level
+    cancelled = sim.call_later(0.5, lambda: None)
+    cancelled.cancel()
+
+    def keepalive():
+        yield Timeout(1500.0)
+
+    sim.spawn(keepalive())
+    sim.run()
+    stats = sim.wheel_stats()
+    assert stats["engine"] == "timing-wheel"
+    assert stats["spill_rebuckets"] >= 1
+    assert stats["timers_cancelled"] == 1
+    assert stats["max_bucket_occupancy"] >= 1
+    assert stats["pending_events"] == 0
+
+
 def test_join_command_repr_mentions_target():
     sim = Simulator()
 

@@ -399,3 +399,170 @@ def test_event_double_trigger_raises():
     event.trigger()
     with pytest.raises(SimError):
         event.trigger()
+
+
+# ----------------------------------------------------------------------
+# Bounded waits (timeout= / TIMED_OUT)
+# ----------------------------------------------------------------------
+def test_mutex_acquire_timeout_delivers_sentinel():
+    from repro.sim import TIMED_OUT
+
+    sim = Simulator()
+    mutex = Mutex(sim)
+    got = []
+
+    def holder():
+        yield mutex.acquire()
+        yield Timeout(2.0)
+        mutex.release()
+
+    def impatient():
+        value = yield mutex.acquire(timeout=0.5)
+        got.append((value, sim.now))
+
+    sim.spawn(holder())
+    sim.spawn(impatient())
+    sim.run()
+    assert got == [(TIMED_OUT, 0.5)]
+    assert mutex.stats.timeouts == 1
+    # The abandoned request must not receive the lock at release time.
+    assert not mutex.locked
+
+
+def test_mutex_grant_before_timeout_cancels_watchdog():
+    from repro.sim import TIMED_OUT
+
+    sim = Simulator()
+    mutex = Mutex(sim)
+    got = []
+
+    def holder():
+        yield mutex.acquire()
+        yield Timeout(0.2)
+        mutex.release()
+
+    def patient():
+        value = yield mutex.acquire(timeout=5.0)
+        got.append((value, sim.now))
+        mutex.release()
+
+    sim.spawn(holder())
+    sim.spawn(patient())
+    sim.run()
+    assert got == [(None, 0.2)]
+    assert mutex.stats.timeouts == 0
+    # The cancelled watchdog never fires: the clock stops at the last
+    # real event, not at the 5.0 s timeout horizon.
+    assert sim.now == 0.2
+
+
+def test_mutex_trylock_timeout_zero():
+    from repro.sim import TIMED_OUT
+
+    sim = Simulator()
+    mutex = Mutex(sim)
+    got = []
+
+    def holder():
+        yield mutex.acquire(timeout=0)   # uncontended: granted
+        got.append("held")
+        yield Timeout(1.0)
+        mutex.release()
+
+    def trier():
+        yield Timeout(0.5)
+        value = yield mutex.acquire(timeout=0)
+        got.append("timed-out" if value is TIMED_OUT else "granted")
+
+    sim.spawn(holder())
+    sim.spawn(trier())
+    sim.run()
+    assert got == ["held", "timed-out"]
+
+
+def test_abandoned_waiter_is_skipped_and_next_gets_grant():
+    from repro.sim import TIMED_OUT
+
+    sim = Simulator()
+    mutex = Mutex(sim)
+    order = []
+
+    def holder():
+        yield mutex.acquire()
+        yield Timeout(1.0)
+        mutex.release()
+
+    def quitter():
+        value = yield mutex.acquire(timeout=0.5)
+        order.append(("quitter", value is TIMED_OUT, sim.now))
+
+    def steady():
+        yield Timeout(0.1)
+        value = yield mutex.acquire()
+        order.append(("steady", value is TIMED_OUT, sim.now))
+        mutex.release()
+
+    sim.spawn(holder())
+    sim.spawn(quitter())
+    sim.spawn(steady())
+    sim.run()
+    # quitter was ahead of steady in the queue, timed out at 0.5, and the
+    # release at 1.0 skipped its abandoned request.
+    assert order == [("quitter", True, 0.5), ("steady", False, 1.0)]
+
+
+def test_rwlock_reader_timeout_behind_writer():
+    from repro.sim import TIMED_OUT
+
+    sim = Simulator()
+    lock = RWLock(sim)
+    got = []
+
+    def writer():
+        yield lock.acquire_write()
+        yield Timeout(2.0)
+        lock.release_write()
+
+    def reader():
+        value = yield lock.acquire_read(timeout=1.0)
+        got.append(value)
+
+    sim.spawn(writer())
+    sim.spawn(reader())
+    sim.run()
+    assert got == [TIMED_OUT]
+    assert lock.stats.timeouts == 1
+
+
+def test_resource_request_timeout_and_lazy_dequeue():
+    from repro.sim import TIMED_OUT
+
+    sim = Simulator()
+    pool = Resource(sim, capacity=1)
+    got = []
+
+    def hog():
+        yield pool.request()
+        yield Timeout(3.0)
+        pool.release()
+
+    def big_then_small():
+        value = yield pool.request(timeout=1.0)
+        got.append(("first", value is TIMED_OUT))
+        value = yield pool.request(timeout=5.0)
+        got.append(("second", value is TIMED_OUT, sim.now))
+        pool.release()
+
+    sim.spawn(hog())
+    sim.spawn(big_then_small())
+    sim.run()
+    assert got == [("first", True), ("second", False, 3.0)]
+    assert pool.stats.timeouts == 1
+    assert pool.in_use == 0
+
+
+def test_negative_timeout_rejected_by_primitives():
+    sim = Simulator()
+    mutex = Mutex(sim)
+    with pytest.raises(ValueError):
+        mutex.acquire(timeout=-1.0)
