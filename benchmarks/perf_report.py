@@ -317,6 +317,13 @@ def main(argv=None):
         json.dumps(metrics, indent=2, sort_keys=True) + "\n"
     )
     print(f"wrote {stamped_path}")
+    # Keep only the fresh runstamped report: CI uploads it as the run's
+    # artifact, so stale ones from earlier local runs would just pile up
+    # at the repo root (and confuse "latest" globs downstream).
+    for stale in ROOT.glob("BENCH_*.json"):
+        if stale != stamped_path:
+            stale.unlink()
+            print(f"pruned {stale.name}")
 
     if args.update_baseline:
         BASELINE_PATH.write_text(

@@ -11,6 +11,7 @@ Usage::
     python -m repro launch fastiov -c 200    # raw concurrent launch
     python -m repro profile fig11 --quick    # cProfile an experiment
     python -m repro profile fig11 --hot      # cProfile its heaviest cell
+    python -m repro trace fig13c --out trace.json   # Perfetto timeline
 
 ``run`` caches per-launch summaries under ``.repro-cache/`` (override
 with ``REPRO_CACHE_DIR``), keyed by source digest + host spec + cell
@@ -120,6 +121,55 @@ def cmd_profile(args):
     return 0
 
 
+def cmd_trace(args):
+    """Run one experiment cell with the flight recorder and export it.
+
+    Picks the experiment's heaviest cell (same choice as ``profile
+    --hot``), re-runs it with ``trace=True``, and writes the resulting
+    timeline as Chrome trace-event JSON — load it at https://ui.perfetto.dev
+    — plus an optional flat metrics dump.  Tracing never changes the
+    cell's summary; the traced run bypasses the result cache.
+    """
+    import dataclasses
+
+    from repro.experiments import parallel
+    from repro.experiments.parallel import run_cell
+    from repro.obs.export import (render_span_summary, write_chrome_trace,
+                                  write_metrics)
+
+    experiment = get_experiment(args.experiment)
+    experiment.configure(
+        hosts=args.hosts,
+        placement=args.placement,
+        shards=args.shards,
+    )
+    cells = experiment._cells(quick=args.quick, seed=args.seed)
+    if not cells:
+        print(f"{args.experiment}: no launch cells to trace", file=sys.stderr)
+        return 1
+    cell = max(cells, key=lambda c: (c.concurrency, c.hosts))
+    replacements = {"trace": True}
+    if args.shards is not None and cell.kind == "cluster":
+        replacements["shards"] = args.shards
+    cell = dataclasses.replace(cell, **replacements)
+    print(f"tracing cell {cell}")
+    run_cell(cell)
+    bundle = parallel.LAST_TRACE
+    if not bundle:
+        print("no trace produced", file=sys.stderr)
+        return 1
+    write_chrome_trace(bundle, args.out)
+    events = sum(len(track) for track in bundle["tracks"].values())
+    print(f"{len(bundle['tracks'])} tracks, {events} events "
+          f"written to {args.out} (open in https://ui.perfetto.dev)")
+    if args.metrics:
+        write_metrics(bundle, args.metrics)
+        print(f"metrics written to {args.metrics}")
+    print()
+    print(render_span_summary(bundle))
+    return 0
+
+
 def cmd_launch(args):
     host = build_host(args.preset, seed=args.seed)
     result = host.launch(args.concurrency)
@@ -170,6 +220,34 @@ def main(argv=None):
              "to this file — the sharded-determinism gate diffs these",
     )
 
+    trace_p = sub.add_parser(
+        "trace", help="flight-record one experiment cell (Perfetto JSON)"
+    )
+    trace_p.add_argument("experiment")
+    trace_p.add_argument("--quick", action="store_true")
+    trace_p.add_argument(
+        "--hosts", type=int, default=None,
+        help="cluster size for experiments that take one",
+    )
+    trace_p.add_argument(
+        "--placement", choices=("least-loaded", "round-robin"), default=None,
+        help="cluster placement policy (default least-loaded)",
+    )
+    trace_p.add_argument(
+        "--shards", type=int, default=None,
+        help="shard simulators for cluster cells; traces of burst and "
+             "round-robin cells are byte-identical across shard counts",
+    )
+    trace_p.add_argument(
+        "--out", default="trace.json", metavar="PATH",
+        help="Chrome trace-event JSON output (default trace.json)",
+    )
+    trace_p.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="also dump the flat metrics registry (counters/gauges/"
+             "histograms) to this file",
+    )
+
     launch_p = sub.add_parser("launch", help="concurrent container launch")
     launch_p.add_argument("preset", choices=sorted(PRESETS))
     launch_p.add_argument("-c", "--concurrency", type=int, default=50)
@@ -193,6 +271,7 @@ def main(argv=None):
         "run": cmd_run,
         "launch": cmd_launch,
         "profile": cmd_profile,
+        "trace": cmd_trace,
     }
     return handler[args.command](args)
 

@@ -156,7 +156,8 @@ def cluster_arrivals(seed, rate_per_s=0.0):
 
 def run_cluster_cell(preset, concurrency, hosts, seed=0, app_name=None,
                      placement="least-loaded", teardown=True, shards=1,
-                     workers=None, rate_per_s=0.0, engine_stats=None):
+                     workers=None, rate_per_s=0.0, engine_stats=None,
+                     trace=None):
     """One cluster-scale launch cell; returns a plain-JSON summary.
 
     The cluster analogue of ``launch_preset`` + ``summarize_launch``:
@@ -172,6 +173,12 @@ def run_cluster_cell(preset, concurrency, hosts, seed=0, app_name=None,
     :meth:`~repro.sim.core.Simulator.wheel_stats` for diagnostics
     (single-process runs only — sharded simulators live in worker
     processes); it is never part of the returned summary.
+
+    ``trace``, if given, is a dict filled with the flight-recorder
+    bundle (``repro.obs``): single-process runs record on one shared
+    recorder; sharded runs record per shard and merge by track.  Never
+    part of the returned summary, so the summary stays byte-identical
+    with tracing on or off.
     """
     if shards and shards > 1:
         from repro.cluster.sharded import run_sharded_cluster
@@ -180,15 +187,27 @@ def run_cluster_cell(preset, concurrency, hosts, seed=0, app_name=None,
             preset, concurrency, hosts, seed=seed, shards=shards,
             placement=placement, app_name=app_name, teardown=teardown,
             arrivals=cluster_arrivals(seed, rate_per_s), workers=workers,
+            trace=trace,
         )
     from repro.cluster.cluster import Cluster
 
-    cluster = Cluster(preset, hosts=hosts, seed=seed, placement=placement)
+    recorder = None
+    if trace is not None:
+        from repro.obs.recorder import TraceRecorder
+
+        recorder = TraceRecorder()
+    cluster = Cluster(preset, hosts=hosts, seed=seed, placement=placement,
+                      trace=recorder)
     driver = ClusterChurnDriver(cluster, app_name=app_name, teardown=teardown)
     driver.submit(concurrency, arrivals=cluster_arrivals(seed, rate_per_s))
     driver.run()
     if engine_stats is not None:
         engine_stats.update(cluster.sim.wheel_stats())
+    if recorder is not None:
+        for host in cluster.hosts:
+            host.finalize_trace()
+        recorder.registry.ingest_wheel_stats(cluster.sim.wheel_stats())
+        trace.update(recorder.dump())
     summary = driver.startup_times().summary()
     return {
         "count": summary["count"],

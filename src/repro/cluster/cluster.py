@@ -38,7 +38,7 @@ class Cluster:
     """
 
     def __init__(self, preset_or_config, hosts=4, spec=None, seed=0,
-                 vf_count=None, placement="least-loaded"):
+                 vf_count=None, placement="least-loaded", trace=None):
         if hosts <= 0:
             raise ValueError(f"hosts must be positive, got {hosts}")
         if isinstance(preset_or_config, str):
@@ -52,6 +52,12 @@ class Cluster:
         # wall-clock knob.
         wheel_spec = spec if spec is not None else PAPER_TESTBED
         self.sim = Simulator(bucket_width=wheel_spec.timer_wheel_width())
+        #: Optional flight recorder shared by every host (one simulator,
+        #: one timeline); tracks stay disjoint because each host scopes
+        #: its locks/daemons with its own name.
+        self.trace = trace
+        if trace is not None:
+            trace.bind(self.sim)
         self.placement = make_placement(placement)
         base = Jitter(seed)
         self.hosts = [
@@ -62,6 +68,7 @@ class Cluster:
                 vf_count=vf_count,
                 sim=self.sim,
                 name=f"host{index}",
+                trace=trace,
             )
             for index in range(hosts)
         ]

@@ -50,7 +50,7 @@ class ClusterShard:
 
     def __init__(self, preset_or_config, host_start, host_stop, spec=None,
                  seed=0, vf_count=None, app_name=None, teardown=True,
-                 memory_bytes=None):
+                 memory_bytes=None, trace=False):
         if not 0 <= host_start < host_stop:
             raise ValueError(
                 f"empty or negative host range [{host_start}, {host_stop})"
@@ -69,6 +69,15 @@ class ClusterShard:
         # count must stay a pure wall-clock knob.
         wheel_spec = spec if spec is not None else PAPER_TESTBED
         self.sim = Simulator(bucket_width=wheel_spec.timer_wheel_width())
+        #: Per-shard flight recorder (``trace=True``); its dump ships
+        #: with :meth:`result` and the coordinator merges the shards'
+        #: tracks into one logical timeline by global host index.
+        self.trace = None
+        if trace:
+            from repro.obs.recorder import TraceRecorder
+
+            self.trace = TraceRecorder()
+            self.trace.bind(self.sim)
         base = Jitter(seed)
         #: Hosts keyed by *global* index.
         self.hosts = {
@@ -79,6 +88,7 @@ class ClusterShard:
                 vf_count=vf_count,
                 sim=self.sim,
                 name=f"host{index}",
+                trace=self.trace,
             )
             for index in range(host_start, host_stop)
         }
@@ -188,7 +198,7 @@ class ClusterShard:
             index: getattr(host.cni, "free_vf_count", None)
             for index, host in self.hosts.items()
         }
-        return {
+        result = {
             "records": sorted(
                 (index,) + data for index, data in self.records.items()
             ),
@@ -198,6 +208,12 @@ class ClusterShard:
             "events": self.sim.events_dispatched,
             "now": self.sim.now,
         }
+        if self.trace is not None:
+            for host in self.hosts.values():
+                host.finalize_trace()
+            self.trace.registry.ingest_wheel_stats(self.sim.wheel_stats())
+            result["trace"] = self.trace.dump()
+        return result
 
     def __repr__(self):
         return (

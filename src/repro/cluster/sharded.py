@@ -326,7 +326,7 @@ def run_sharded_cluster(preset, concurrency, hosts, seed=0, shards=2,
                         placement="least-loaded", app_name=None,
                         teardown=True, memory_bytes=None, spec=None,
                         vf_count=None, arrivals=None, workers=None,
-                        name_prefix="w"):
+                        name_prefix="w", trace=None):
     """Run one cluster churn burst over K shards; returns the summary.
 
     The summary has exactly the shape (and, for round-robin and for
@@ -340,6 +340,10 @@ def run_sharded_cluster(preset, concurrency, hosts, seed=0, shards=2,
             (useful under pool workers and in tests).  Results are
             invariant to this knob.
         arrivals: :class:`ArrivalPattern` (default: simultaneous burst).
+        trace: Optional dict, filled with the merged flight-recorder
+            bundle (``repro.obs``): each shard records its own hosts
+            and the merge is a disjoint union of host-unique tracks.
+            The returned summary never contains trace data.
         Other arguments: as for ``run_cluster_cell``.
     """
     if concurrency <= 0:
@@ -364,6 +368,7 @@ def run_sharded_cluster(preset, concurrency, hosts, seed=0, shards=2,
             "app_name": app_name,
             "teardown": teardown,
             "memory_bytes": memory_bytes,
+            "trace": trace is not None,
         })
         for shard_id, (start, stop) in enumerate(bounds)
     ]
@@ -389,6 +394,12 @@ def run_sharded_cluster(preset, concurrency, hosts, seed=0, shards=2,
         results = group.finish(max(ends))
     finally:
         group.close()
+    if trace is not None:
+        from repro.obs.recorder import merge_dumps
+
+        trace.update(
+            merge_dumps([result.pop("trace") for result in results])
+        )
     return _merge(results, hosts, concurrency)
 
 

@@ -68,7 +68,8 @@ class Containerd:
             request.memory_bytes = spec.default_vm_memory_bytes
         container = Container(request)
         self.containers[request.name] = container
-        timer = StepTimer(host.sim, record)
+        timer = StepTimer(host.sim, record, trace=host.trace,
+                          probe_owner=host.name)
         timer.mark_start()
         try:
             with timer.step("engine-store"):

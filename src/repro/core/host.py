@@ -39,7 +39,7 @@ class Host:
     """One fully assembled simulated server."""
 
     def __init__(self, config, spec=None, seed=0, vf_count=None,
-                 sim=None, name="host"):
+                 sim=None, name="host", trace=None):
         """Args:
         config: A :class:`SolutionConfig` (or preset name via
             :func:`build_host`).
@@ -52,6 +52,11 @@ class Host:
             simulator to all of its hosts so they advance on a single
             virtual timeline; standalone hosts build their own.
         name: Diagnostic name (distinguishes hosts within a cluster).
+        trace: Optional :class:`repro.obs.recorder.TraceRecorder`.
+            Binds to the host's simulator, host-prefixes every lock
+            track, and registers the host's pull probes (CPU runnable
+            jobs, EPT faults, bytes zeroed, fastiovd backlog).  Tracing
+            never changes simulation results.
         """
         self.config = config
         self.spec = spec if spec is not None else PAPER_TESTBED
@@ -60,11 +65,18 @@ class Host:
         spec = self.spec
 
         # -- simulation substrate --------------------------------------
+        #: Whether this host built (and therefore owns) its simulator —
+        #: engine-level statistics are attributed to the owner only, so
+        #: cluster hosts sharing one simulator never double-report.
+        self.owns_sim = sim is None
         self.sim = (
             sim
             if sim is not None
             else Simulator(bucket_width=spec.timer_wheel_width())
         )
+        self.trace = trace
+        if trace is not None:
+            trace.bind(self.sim)
         self.jitter = Jitter(seed)
         self.cpu = FairShareCPU(self.sim, cores=spec.cores, name="host-cpu")
         #: The storage-server link: fair-shared among concurrent
@@ -101,7 +113,8 @@ class Host:
 
         # -- kernel substrate --------------------------------------------
         self.fastiovd = (
-            Fastiovd(self.sim, self.cpu, spec, dram=self.dram)
+            Fastiovd(self.sim, self.cpu, spec, dram=self.dram,
+                     name=f"{name}-fastiovd")
             if config.needs_fastiovd
             else None
         )
@@ -141,6 +154,9 @@ class Host:
         self.engine = Containerd(self, self.cni, self.runtime)
         self.orchestrator = Orchestrator(self, self.engine)
 
+        if trace is not None:
+            self._wire_trace(trace)
+
     def _build_cni(self, config):
         if config.network == "none":
             return NoNetworkCni(self)
@@ -157,6 +173,74 @@ class Host:
             vdpa=config.vdpa,
             deferred_mapping=config.deferred_mapping,
         )
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _host_primitives(self):
+        """The host-global sync primitives worth trace scoping."""
+        return (
+            self.cgroups._mutex,
+            self.hostnet.rtnl,
+            self.binding._pf_mailbox,
+            self.hypervisor._virtiofs_mutex,
+            self.engine._store_mutex,
+        )
+
+    def _wire_trace(self, trace):
+        """Scope lock tracks to this host and register its pull probes."""
+        scope = f"{self.name}/"
+        for primitive in self._host_primitives():
+            primitive.trace_scope = scope
+        for devset in self.vfio._devsets.values():
+            devset.lock.set_trace_scope(scope)
+        owner = self.name
+        self.vfio.probe_owner = owner
+        trace.add_probe(owner, f"{owner}/cpu", "runnable",
+                        lambda: self.cpu.runnable_jobs)
+        trace.add_probe(owner, f"{owner}/kvm", "ept_faults",
+                        lambda: self.kvm.ept_faults_serviced)
+        trace.add_probe(owner, f"{owner}/vfio", "bytes_zeroed",
+                        lambda: self.vfio.bytes_zeroed_total)
+        fastiovd = self.fastiovd
+        if fastiovd is not None:
+            fastiovd.probe_owner = owner
+            trace.add_probe(owner, f"{owner}/fastiovd", "pending_bytes",
+                            fastiovd.pending_bytes)
+            trace.add_probe(
+                owner, f"{owner}/fastiovd", "background_zeroed_pages",
+                lambda: fastiovd.stats.background_zeroed_pages)
+            trace.add_probe(
+                owner, f"{owner}/fastiovd", "fault_zeroed_pages",
+                lambda: fastiovd.stats.fault_zeroed_pages)
+
+    def finalize_trace(self):
+        """Fold the host's ad-hoc statistics into the trace registry.
+
+        Call after the simulation ran.  Lock contention stats become
+        ``lock/<host>/<name>/*`` counters; CPU utilization a gauge;
+        timing-wheel statistics fold in only for the simulator's owner
+        (cluster hosts share one simulator).
+        """
+        trace = self.trace
+        if trace is None:
+            return
+        registry = trace.registry
+        scope = f"{self.name}/"
+        for primitive in self._host_primitives():
+            registry.ingest_lock_stats(scope + primitive.name,
+                                       primitive.stats)
+        for devset in self.vfio._devsets.values():
+            for lock_name, stats in devset.lock.contention_stats.items():
+                registry.ingest_lock_stats(
+                    f"{scope}{devset.name}/{lock_name}", stats
+                )
+        registry.inc(f"{scope}vfio/bytes_zeroed_total",
+                     self.vfio.bytes_zeroed_total)
+        registry.set_gauge(f"{scope}cpu-utilization",
+                           self.cpu.utilization())
+        if self.owns_sim:
+            registry.ingest_wheel_stats(self.sim.wheel_stats())
 
     # ------------------------------------------------------------------
     # convenience
@@ -185,11 +269,11 @@ class Host:
 
 
 def build_host(preset_or_config, spec=None, seed=0, vf_count=None,
-               sim=None, name="host"):
+               sim=None, name="host", trace=None):
     """Build a host from a preset name or a :class:`SolutionConfig`."""
     if isinstance(preset_or_config, str):
         config = get_preset(preset_or_config)
     else:
         config = preset_or_config
     return Host(config, spec=spec, seed=seed, vf_count=vf_count,
-                sim=sim, name=name)
+                sim=sim, name=name, trace=trace)

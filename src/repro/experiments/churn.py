@@ -26,12 +26,12 @@ from repro.workloads.generator import ArrivalPattern
 from repro.workloads.serverless import make_app
 
 
-def run_churn(preset, total, rate_per_s, app_name, seed):
+def run_churn(preset, total, rate_per_s, app_name, seed, trace=None):
     """Drive ``total`` Poisson invocations at ``rate_per_s``; each runs
     ``app_name`` then is torn down.  Returns (records, host)."""
     from repro.core import build_host
 
-    host = build_host(preset, spec=PAPER_TESTBED, seed=seed)
+    host = build_host(preset, spec=PAPER_TESTBED, seed=seed, trace=trace)
     arrivals = ArrivalPattern(
         "poisson", rate_per_s=rate_per_s, jitter=host.jitter.fork("arrivals")
     )
@@ -55,7 +55,8 @@ def run_churn(preset, total, rate_per_s, app_name, seed):
     return records, host
 
 
-def run_churn_cell(preset, total, rate_per_s, seed, engine_stats=None):
+def run_churn_cell(preset, total, rate_per_s, seed, engine_stats=None,
+                   trace=None):
     """One single-host churn cell; returns a plain-JSON summary.
 
     Pure in its arguments (the app is fixed to "image", matching the
@@ -63,10 +64,21 @@ def run_churn_cell(preset, total, rate_per_s, seed, engine_stats=None):
     Steady state drops the first third of arrivals (warm-up).
     ``engine_stats``, if given, is filled with the host simulator's
     ``wheel_stats()`` for diagnostics; never part of the summary.
+    ``trace``, if given, is a dict filled with the flight-recorder
+    bundle (never part of the summary).
     """
-    records, host = run_churn(preset, total, rate_per_s, "image", seed)
+    recorder = None
+    if trace is not None:
+        from repro.obs.recorder import TraceRecorder
+
+        recorder = TraceRecorder()
+    records, host = run_churn(preset, total, rate_per_s, "image", seed,
+                              trace=recorder)
     if engine_stats is not None:
         engine_stats.update(host.sim.wheel_stats())
+    if recorder is not None:
+        host.finalize_trace()
+        trace.update(recorder.dump())
     steady = records[total // 3:]
     return {
         "startup": Distribution(

@@ -53,6 +53,11 @@ class Cell:
     placement: str = "least-loaded"
     shards: int = 1
     rate_per_s: float = 0.0
+    #: Record a flight-recorder trace (``repro.obs``) while running.
+    #: Tracing never changes a cell's summary, but it keys the cache
+    #: anyway (as_dict) so traced runs never serve or pollute the cache
+    #: entries of untraced ones.
+    trace: bool = False
 
     def as_dict(self):
         return dataclasses.asdict(self)
@@ -79,11 +84,18 @@ def summarize_launch(result):
 #: of a cell's summary, so caches and worker pipes are unaffected.
 LAST_ENGINE_STATS = None
 
+#: Flight-recorder bundle (``repro.obs`` tracks + metrics) of the most
+#: recent *traced* :func:`run_cell` in this process, None otherwise.
+#: Same contract as LAST_ENGINE_STATS: diagnostic side channel for the
+#: CLI (``repro trace``), never part of a summary.
+LAST_TRACE = None
+
 
 def run_cell(cell):
     """Execute one cell in this process; returns its summary."""
-    global LAST_ENGINE_STATS
+    global LAST_ENGINE_STATS, LAST_TRACE
     stats = {}
+    trace = {} if cell.trace else None
     if cell.kind == "cluster":
         from repro.cluster.churn import run_cluster_cell
 
@@ -96,24 +108,36 @@ def run_cell(cell):
             shards=cell.shards,
             rate_per_s=cell.rate_per_s,
             engine_stats=stats,
+            trace=trace,
         )
     elif cell.kind == "churn":
         from repro.experiments.churn import run_churn_cell
 
         summary = run_churn_cell(
             cell.preset, cell.concurrency, cell.rate_per_s, cell.seed,
-            engine_stats=stats,
+            engine_stats=stats, trace=trace,
         )
     else:
+        recorder = None
+        if cell.trace:
+            from repro.obs.recorder import TraceRecorder
+
+            recorder = TraceRecorder()
         host, result = launch_preset(
             cell.preset,
             cell.concurrency,
             memory_bytes=cell.memory_bytes,
             seed=cell.seed,
+            trace=recorder,
         )
         stats.update(host.sim.wheel_stats())
+        if recorder is not None:
+            # launch_preset already finalized the host (which ingests the
+            # wheel stats — a standalone host owns its simulator).
+            trace = recorder.dump()
         summary = summarize_launch(result)
     LAST_ENGINE_STATS = stats or None
+    LAST_TRACE = trace or None
     return summary
 
 

@@ -5,14 +5,19 @@ from repro.spec import GIB, PAPER_TESTBED
 
 
 def launch_preset(preset, concurrency, memory_bytes=None, seed=0,
-                  app_factory=None, spec=None):
+                  app_factory=None, spec=None, trace=None):
     """Build a fresh host for ``preset`` and launch ``concurrency``
-    containers; returns (host, LaunchResult)."""
+    containers; returns (host, LaunchResult).
+
+    ``trace`` is an optional flight recorder
+    (:class:`repro.obs.recorder.TraceRecorder`); tracing never changes
+    the launch results."""
     spec = spec if spec is not None else PAPER_TESTBED
-    host = build_host(preset, spec=spec, seed=seed)
+    host = build_host(preset, spec=spec, seed=seed, trace=trace)
     result = host.launch(
         concurrency, memory_bytes=memory_bytes, app_factory=app_factory
     )
+    host.finalize_trace()
     return host, result
 
 

@@ -66,14 +66,27 @@ class _StepContext:
         self._timer = timer
         self._name = name
         self._span = None
+        self._track = None
 
     def __enter__(self):
         self._span = _Span(self._timer._sim.now)
         self._timer._record._spans.setdefault(self._name, []).append(self._span)
+        trace = self._timer._trace
+        if trace is not None:
+            self._track = trace.current_track()
+            trace.begin(self._track, self._name)
         return self
 
     def __exit__(self, exc_type, exc, tb):
         self._span.end = self._timer._sim.now
+        if self._track is not None:
+            trace = self._timer._trace
+            trace.end(self._track)
+            # Step boundaries are the host's deterministic sampling
+            # instants for its pull probes (CPU runnable, EPT faults,
+            # bytes zeroed): a host's own steps land at identical
+            # virtual times regardless of how the cluster is sharded.
+            trace.sample_probes(self._timer._probe_owner)
         return False
 
 
@@ -149,9 +162,14 @@ class StepTimer:
     integrated into Kata-QEMU and the kernel (§3.1).
     """
 
-    def __init__(self, sim, record):
+    def __init__(self, sim, record, trace=None, probe_owner=None):
         self._sim = sim
         self._record = record
+        #: Optional flight recorder; step spans and lifecycle marks are
+        #: mirrored onto the executing process's trace track, and the
+        #: owning host's pull probes are sampled at every step end.
+        self._trace = trace
+        self._probe_owner = probe_owner
 
     @property
     def record(self):
@@ -163,12 +181,18 @@ class StepTimer:
 
     def mark_start(self):
         self._record.t_start = self._sim.now
+        if self._trace is not None:
+            self._trace.instant(self._trace.current_track(), "start")
 
     def mark_ready(self):
         self._record.t_ready = self._sim.now
+        if self._trace is not None:
+            self._trace.instant(self._trace.current_track(), "ready")
 
     def mark_app_done(self):
         self._record.t_app_done = self._sim.now
+        if self._trace is not None:
+            self._trace.instant(self._trace.current_track(), "app-done")
 
 
 class NullTimer:

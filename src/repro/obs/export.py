@@ -1,0 +1,127 @@
+"""Exporters for flight-recorder bundles.
+
+Three views of the same ``{"tracks", "metrics"}`` bundle (see
+``repro.obs.recorder``):
+
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` — Chrome
+  trace-event JSON, loadable in Perfetto (https://ui.perfetto.dev) and
+  chrome://tracing.  Tracks become threads of one synthetic process;
+  timestamps are virtual microseconds.
+* :func:`flat_metrics` / :func:`write_metrics` — the metrics registry
+  as flat JSON (histogram buckets get human-readable labels).
+* :func:`span_summary` / :func:`render_span_summary` — a terminal
+  aggregate: per span name, how many times it ran and how much
+  simulated time it covered.
+
+Determinism: output depends only on the bundle contents.  Tracks are
+ordered by name, events keep their per-track order, and JSON is dumped
+with sorted keys — so a merged sharded recording serializes
+byte-identically to the single-process one whenever the per-track
+event streams match (round-robin and burst-arrival cells).
+"""
+
+import json
+
+
+def to_chrome_trace(bundle):
+    """Render a recorder bundle as a Chrome trace-event object."""
+    events = [{
+        "ph": "M", "name": "process_name", "pid": 0, "tid": 0,
+        "args": {"name": "repro-sim (virtual time)"},
+    }]
+    tracks = bundle["tracks"]
+    for tid, track in enumerate(sorted(tracks)):
+        events.append({
+            "ph": "M", "name": "thread_name", "pid": 0, "tid": tid,
+            "args": {"name": track},
+        })
+        for event in tracks[track]:
+            kind = event[0]
+            ts = event[1] * 1e6  # virtual seconds -> microseconds
+            if kind == "B":
+                events.append({"ph": "B", "ts": ts, "pid": 0, "tid": tid,
+                               "name": event[2], "cat": "span"})
+            elif kind == "E":
+                events.append({"ph": "E", "ts": ts, "pid": 0, "tid": tid})
+            elif kind == "I":
+                events.append({"ph": "i", "ts": ts, "pid": 0, "tid": tid,
+                               "name": event[2], "s": "t"})
+            else:  # "C"
+                events.append({"ph": "C", "ts": ts, "pid": 0, "tid": tid,
+                               "name": f"{track}:{event[2]}",
+                               "args": {"value": event[3]}})
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(bundle, path):
+    with open(path, "w") as handle:
+        json.dump(to_chrome_trace(bundle), handle, sort_keys=True,
+                  separators=(",", ":"))
+        handle.write("\n")
+
+
+def flat_metrics(bundle):
+    """The metrics snapshot with labeled histogram buckets."""
+    from repro.obs.metrics import bucket_label
+
+    metrics = bundle["metrics"]
+    return {
+        "counters": dict(metrics.get("counters", {})),
+        "gauges": dict(metrics.get("gauges", {})),
+        "histograms": {
+            name: {
+                bucket_label(int(index)): count
+                for index, count in sorted(
+                    buckets.items(), key=lambda item: int(item[0])
+                )
+            }
+            for name, buckets in metrics.get("histograms", {}).items()
+        },
+    }
+
+
+def write_metrics(bundle, path):
+    with open(path, "w") as handle:
+        json.dump(flat_metrics(bundle), handle, sort_keys=True, indent=2)
+        handle.write("\n")
+
+
+def span_summary(bundle):
+    """Aggregate spans by name: {name: (count, total_s, max_s)}.
+
+    Computed by replaying each track's B/E stream (tracks visited in
+    sorted order, so the floating-point accumulation order — and hence
+    the rendered numbers — is shard-invariant).
+    """
+    summary = {}
+    tracks = bundle["tracks"]
+    for track in sorted(tracks):
+        stack = []
+        for event in tracks[track]:
+            kind = event[0]
+            if kind == "B":
+                stack.append((event[2], event[1]))
+            elif kind == "E" and stack:
+                name, started = stack.pop()
+                duration = event[1] - started
+                count, total, peak = summary.get(name, (0, 0.0, 0.0))
+                summary[name] = (
+                    count + 1, total + duration, max(peak, duration)
+                )
+    return summary
+
+
+def render_span_summary(bundle, limit=30):
+    """The terminal span-tree summary, widest spans first."""
+    summary = span_summary(bundle)
+    rows = sorted(summary.items(), key=lambda item: (-item[1][1], item[0]))
+    width = max([len(name) for name, _ in rows[:limit]] + [4])
+    lines = [f"{'span':{width}s}  {'count':>7s}  {'total_s':>10s}  "
+             f"{'max_s':>9s}"]
+    for name, (count, total, peak) in rows[:limit]:
+        lines.append(
+            f"{name:{width}s}  {count:7d}  {total:10.3f}  {peak:9.4f}"
+        )
+    if len(rows) > limit:
+        lines.append(f"... {len(rows) - limit} more span names")
+    return "\n".join(lines)

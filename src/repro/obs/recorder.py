@@ -1,0 +1,256 @@
+"""The flight recorder: spans, instants and counters in virtual time.
+
+One :class:`TraceRecorder` serves one simulator (a standalone host, a
+single-process cluster, or one shard of a sharded cluster).  Model code
+never imports this module on its hot paths: every instrumented layer
+keeps a ``trace`` attribute that is ``None`` by default and calls the
+recorder only behind an ``if trace is not None`` guard, so a disabled
+recorder costs one slot read per guarded site.
+
+Tracks
+------
+Events live on named *tracks*.  Spans emitted from inside a simulated
+process attach to that process's track (``churn-w17``,
+``launch-c3-fastiov``, ``host0-fastiovd-scanner``...); since a process
+executes sequentially, its spans nest properly even when container
+startups interleave on the shared timeline.  Counter samples attach to
+explicitly named per-host tracks (``host0/vfio``, ``host0/cpu``...).
+Track names are globally unique across a cluster — container names are
+unique by construction and daemon/counter tracks are host-prefixed —
+which is what makes the shard merge a disjoint union.
+
+Event encoding (plain tuples, cheap to append and to pickle):
+
+* ``("B", ts, name)`` — span begin
+* ``("E", ts)`` — span end (closes the innermost open span)
+* ``("I", ts, name)`` — instant
+* ``("C", ts, series, value)`` — counter sample
+"""
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class TraceRecorder:
+    """Collects one simulator's timeline; exported via ``repro.obs.export``."""
+
+    __slots__ = (
+        "tracks",
+        "_stacks",
+        "_sim",
+        "_last_counter",
+        "_wait_tracks",
+        "_probes",
+        "registry",
+    )
+
+    def __init__(self):
+        self.tracks = {}
+        self._stacks = {}
+        self._sim = None
+        self._last_counter = {}
+        self._wait_tracks = {}
+        self._probes = {}
+        self.registry = MetricsRegistry()
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def bind(self, sim):
+        """Attach to a simulator (idempotent; a cluster binds once per host)."""
+        self._sim = sim
+        sim.trace = self
+
+    def add_probe(self, owner, track, series, fn):
+        """Register a pull-based counter: ``fn()`` is sampled whenever
+        ``sample_probes(owner)`` fires and emitted (change-detected) as
+        a ``C`` event.
+
+        Pull probes are how high-frequency state (CPU runnable jobs,
+        EPT faults serviced, bytes zeroed) gets a counter track with
+        zero cost on the instrumented hot path.  Probes are keyed by
+        *owner* (the host name) and sampled only from that host's own
+        instrumented sites — never from another host's activity — so a
+        host's counter samples land at the same virtual instants whether
+        it shares a simulator with 47 peers or sits alone in a shard.
+        """
+        self._probes.setdefault(owner, []).append((track, series, fn))
+
+    # ------------------------------------------------------------------
+    # primitives
+    # ------------------------------------------------------------------
+    def _events(self, track):
+        events = self.tracks.get(track)
+        if events is None:
+            events = self.tracks[track] = []
+            self._stacks[track] = []
+        return events
+
+    def current_track(self):
+        """The track of the currently executing process ("engine" if none)."""
+        process = self._sim._current
+        return process.name if process is not None else "engine"
+
+    def begin(self, track, name):
+        now = self._sim.now
+        self._events(track).append(("B", now, name))
+        self._stacks[track].append((name, now))
+
+    def end(self, track):
+        stack = self._stacks.get(track)
+        if not stack:
+            return  # unmatched end: drop rather than corrupt nesting
+        now = self._sim.now
+        name, started = stack.pop()
+        self.tracks[track].append(("E", now))
+        self.registry.observe(f"span/{name}", now - started)
+
+    def instant(self, track, name):
+        self._events(track).append(("I", self._sim.now, name))
+
+    def counter(self, track, series, value):
+        key = (track, series)
+        if self._last_counter.get(key) == value:
+            return
+        self._last_counter[key] = value
+        self._events(track).append(("C", self._sim.now, series, value))
+
+    def sample_probes(self, owner):
+        """Sample one host's pull probes (change-detected)."""
+        probes = self._probes.get(owner)
+        if not probes:
+            return
+        now = self._sim.now
+        last = self._last_counter
+        for track, series, fn in probes:
+            value = fn()
+            key = (track, series)
+            if last.get(key) != value:
+                last[key] = value
+                self._events(track).append(("C", now, series, value))
+
+    # ------------------------------------------------------------------
+    # simulator hooks (core.py)
+    # ------------------------------------------------------------------
+    def process_spawned(self, process):
+        self.instant(process.name, "spawn")
+
+    def process_finished(self, process):
+        """Close any spans the process left open (async VF init that
+        outlived its container's startup window, abandoned waits)."""
+        track = process.name
+        stack = self._stacks.get(track)
+        if stack:
+            now = self._sim.now
+            events = self.tracks[track]
+            while stack:
+                name, started = stack.pop()
+                events.append(("E", now))
+                self.registry.observe(f"span/{name}", now - started)
+        self.instant(track, "exit")
+
+    def timer_wrap(self, callback, when):
+        """Count an armed cancellable timer; returns a fire-counting
+        wrapper for its callback."""
+        registry = self.registry
+        registry.inc("engine/timers_armed")
+
+        def fired(*args):
+            registry.inc("engine/timers_fired")
+            return callback(*args)
+
+        return fired
+
+    def timer_cancelled(self):
+        self.registry.inc("engine/timers_cancelled")
+
+    # ------------------------------------------------------------------
+    # sync-primitive hooks (sync.py)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def scoped_name(primitive):
+        scope = primitive.trace_scope
+        name = primitive.name
+        return scope + name if scope else name
+
+    def lock_wait_begin(self, primitive, request):
+        track = request.process.name
+        self.begin(track, f"wait {self.scoped_name(primitive)}")
+        self._wait_tracks[id(request)] = track
+
+    def lock_granted(self, primitive, request):
+        track = self._wait_tracks.pop(id(request), None)
+        if track is not None:
+            self.end(track)
+        hold = getattr(primitive, "trace_hold", None)
+        if hold:
+            self.begin(request.process.name,
+                       f"hold {self.scoped_name(primitive)}")
+        self.lock_depth(primitive)
+
+    def lock_expired(self, primitive, request):
+        track = self._wait_tracks.pop(id(request), None)
+        if track is not None:
+            self.end(track)
+            self.instant(track, f"timeout {self.scoped_name(primitive)}")
+
+    def lock_released(self, primitive):
+        """End the releasing process's hold span (top-of-stack match only:
+        holds are lexically scoped in this codebase, so a mismatch means
+        the span was already closed defensively)."""
+        process = self._sim._current
+        if process is None:
+            return
+        stack = self._stacks.get(process.name)
+        if stack and stack[-1][0] == f"hold {self.scoped_name(primitive)}":
+            self.end(process.name)
+
+    def lock_depth(self, primitive):
+        self.counter(f"lock/{self.scoped_name(primitive)}", "waiters",
+                     len(primitive._waiters))
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def close_open_spans(self):
+        """Synthetically end every span still open (end of simulation)."""
+        now = self._sim.now if self._sim is not None else 0.0
+        for track, stack in self._stacks.items():
+            events = self.tracks[track]
+            while stack:
+                name, started = stack.pop()
+                events.append(("E", now))
+                self.registry.observe(f"span/{name}", now - started)
+
+    def dump(self):
+        """Plain-data bundle: ``{"tracks", "metrics"}`` — picklable over
+        shard pipes and consumable by ``repro.obs.export``."""
+        self.close_open_spans()
+        return {
+            "tracks": {name: list(events)
+                       for name, events in self.tracks.items()},
+            "metrics": self.registry.snapshot(),
+        }
+
+
+def merge_dumps(dumps):
+    """Disjoint-union merge of per-shard recorder dumps.
+
+    Tracks must be globally unique (they are, by the host-prefixing
+    convention); a collision means two shards claimed the same process
+    name and the merged timeline would interleave nondeterministically,
+    so it is an error rather than a silent concat.
+    """
+    from repro.obs.metrics import merge_metrics
+
+    tracks = {}
+    for dump in dumps:
+        for name, events in dump["tracks"].items():
+            if name in tracks:
+                raise RuntimeError(
+                    f"trace merge: track {name!r} appears in two shards"
+                )
+            tracks[name] = events
+    return {
+        "tracks": tracks,
+        "metrics": merge_metrics([dump["metrics"] for dump in dumps]),
+    }

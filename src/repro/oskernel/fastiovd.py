@@ -162,18 +162,25 @@ class FastiovdStats:
 class Fastiovd:
     """The fastiovd kernel module."""
 
-    def __init__(self, sim, cpu, spec, start_scanner=True, dram=None):
+    def __init__(self, sim, cpu, spec, start_scanner=True, dram=None,
+                 name="fastiovd"):
         self._sim = sim
         self._cpu = cpu
         self._dram = dram if dram is not None else cpu
         self._spec = spec
+        #: Diagnostic name; the host prefixes it ("host3-fastiovd") so
+        #: scanner/worker trace tracks stay unique across a cluster.
+        self.name = name
+        #: Host name whose pull probes we sample at scan-tick ends
+        #: (set by Host._wire_trace when tracing is on).
+        self.probe_owner = None
         self._pending = {}  # pid -> _SpanTable (payload: AllocatedRegion)
         self._inflight = {}  # (pid, hpa) -> SimEvent (claimed pages)
         self._instant = {}  # pid -> set of hpas on the instant list
         self.stats = FastiovdStats()
         self._scanner_enabled = start_scanner
         if start_scanner:
-            sim.spawn(self._scan_loop(), name="fastiovd-scanner", daemon=True)
+            sim.spawn(self._scan_loop(), name=f"{name}-scanner", daemon=True)
 
     # ------------------------------------------------------------------
     # registration (called from the VFIO dma_map path / hypervisor)
@@ -335,6 +342,9 @@ class Fastiovd:
             claimed = self._claim_chunk(spec.fastiovd_scan_chunk_bytes)
             if not claimed:
                 continue
+            trace = self._sim.trace
+            if trace is not None:
+                trace.begin(trace.current_track(), "scan-tick")
             # Split the chunk across the bounded worker pool; each
             # worker is one single-threaded zeroing job on the shared
             # CPU, so interference is capped at scan_workers cores.
@@ -343,13 +353,16 @@ class Fastiovd:
             procs = [
                 self._sim.spawn(
                     self._zero_share(share),
-                    name=f"fastiovd-worker-{i}",
+                    name=f"{self.name}-worker-{i}",
                     daemon=True,
                 )
                 for i, share in enumerate(shares)
             ]
             for proc in procs:
                 yield proc.join()
+            if trace is not None:
+                trace.end(trace.current_track())
+                trace.sample_probes(self.probe_owner)
 
     def _claim_chunk(self, budget_bytes):
         """Claim up to a chunk of pending pages, oldest microVM first.
@@ -377,6 +390,9 @@ class Fastiovd:
         return claimed
 
     def _zero_share(self, share):
+        trace = self._sim.trace
+        if trace is not None:
+            trace.begin(trace.current_track(), "zero-share")
         for key, page, event in share:
             yield self._dram.work(self._spec.zeroing_cpu_seconds(page.size))
             page.zero()

@@ -37,13 +37,24 @@ class CoarseLockPolicy:
 
     name = "coarse"
 
-    __slots__ = ("_mutex",)
+    __slots__ = ("_mutex", "trace_scope")
 
     def __init__(self, sim, devset_name):
         self._mutex = Mutex(sim, name=f"{devset_name}.global-mutex")
+        self.trace_scope = None
 
     def register_child(self, child):
         """No per-child state needed under the coarse policy."""
+
+    def primitives(self):
+        """Every sync primitive the policy owns (for trace scoping)."""
+        return (self._mutex,)
+
+    def set_trace_scope(self, scope):
+        """Host-prefix the lock tracks ("host3/") for cluster traces."""
+        self.trace_scope = scope
+        for primitive in self.primitives():
+            primitive.trace_scope = scope
 
     def acquire_child(self, child):
         yield self._mutex.acquire()
@@ -80,19 +91,32 @@ class HierarchicalLockPolicy:
 
     name = "hierarchical"
 
-    __slots__ = ("_sim", "_devset_name", "_rwlock", "_child_mutexes")
+    __slots__ = ("_sim", "_devset_name", "_rwlock", "_child_mutexes",
+                 "trace_scope")
 
     def __init__(self, sim, devset_name):
         self._sim = sim
         self._devset_name = devset_name
         self._rwlock = RWLock(sim, name=f"{devset_name}.parent-rwlock")
         self._child_mutexes = {}
+        self.trace_scope = None
 
     def register_child(self, child):
         if child not in self._child_mutexes:
-            self._child_mutexes[child] = Mutex(
+            mutex = self._child_mutexes[child] = Mutex(
                 self._sim, name=f"{self._devset_name}.child-{getattr(child, 'bdf', child)}"
             )
+            mutex.trace_scope = self.trace_scope
+
+    def primitives(self):
+        """Every sync primitive the policy owns (for trace scoping)."""
+        return (self._rwlock, *self._child_mutexes.values())
+
+    def set_trace_scope(self, scope):
+        """Host-prefix the lock tracks ("host3/") for cluster traces."""
+        self.trace_scope = scope
+        for primitive in self.primitives():
+            primitive.trace_scope = scope
 
     def _child_mutex(self, child):
         try:

@@ -192,6 +192,12 @@ class VfioDriver:
         self._fastiovd = fastiovd
         self._devsets = {}
         self.open_elapsed_total = 0.0
+        #: Bytes eagerly zeroed on the dma_map path (always maintained;
+        #: the flight recorder samples it as a counter track).
+        self.bytes_zeroed_total = 0
+        #: Host name whose pull probes we sample after bulk zeroing
+        #: (set by Host._wire_trace when tracing is on).
+        self.probe_owner = None
 
     # ------------------------------------------------------------------
     # devset membership
@@ -250,6 +256,10 @@ class VfioDriver:
         """
         devset = self.devset_of(device)
         started = self._sim.now
+        trace = self._sim.trace
+        track = trace.current_track() if trace is not None else None
+        if trace is not None:
+            trace.begin(track, "vfio-open")
         yield from devset.lock.acquire_child(device)
         try:
             yield Timeout(self._spec.vfio_open_base_s * self._jitter.factor(self._spec.jitter_sigma))
@@ -259,6 +269,8 @@ class VfioDriver:
         finally:
             devset.lock.release_child(device)
         yield Timeout(self._spec.vfio_register_ioctls_s)
+        if trace is not None:
+            trace.end(track)
         self.open_elapsed_total += self._sim.now - started
         return VfioDeviceHandle(device, devset, opener)
 
@@ -323,14 +335,20 @@ class VfioDriver:
         """
         spec = self._spec
         jitter = self._jitter.factor(spec.jitter_sigma)
+        trace = self._sim.trace
+        track = trace.current_track() if trace is not None else None
 
         # -- Step 1: page retrieving (batched; P2).
+        if trace is not None:
+            trace.begin(track, "dma-retrieve")
         allocation = self._memory.allocate(nbytes, owner=owner, label=label)
         retrieve_cost = (
             allocation.batch_count * spec.dma_retrieve_per_batch_s
             + allocation.page_count * spec.dma_retrieve_per_page_s
         )
         yield self._cpu.work(retrieve_cost * jitter)
+        if trace is not None:
+            trace.end(track)
 
         # -- Step 2: page zeroing (P3) under the selected policy.
         dirty_count = allocation.page_count - allocation.zeroed_page_count()
@@ -345,25 +363,43 @@ class VfioDriver:
             if dirty_bytes:
                 # Bulk zeroing is DRAM-bandwidth-bound: concurrent
                 # mappings share the memory controller.
+                if trace is not None:
+                    trace.begin(track, "dma-zero")
                 yield self._dram.work(spec.zeroing_cpu_seconds(dirty_bytes) * jitter)
                 allocation.zero_all_dirty()
+                self.bytes_zeroed_total += dirty_bytes
+                if trace is not None:
+                    trace.end(track)
+                    trace.sample_probes(self.probe_owner)
         else:
             if self._fastiovd is None:
                 raise VfioError("decoupled zeroing requires the fastiovd module")
             if remaining_count:
+                if trace is not None:
+                    trace.begin(track, "dma-register-lazy")
                 yield self._cpu.work(
                     remaining_count * spec.fastiovd_register_per_page_s * jitter
                 )
                 lazy_spans = allocation.dirty_spans()
                 self._fastiovd.register_lazy(owner, allocation, lazy_spans)
+                if trace is not None:
+                    trace.end(track)
 
         # -- Step 3: page pinning.
+        if trace is not None:
+            trace.begin(track, "dma-pin")
         yield self._cpu.work(allocation.page_count * spec.dma_pin_per_page_s * jitter)
         allocation.pin_all()
+        if trace is not None:
+            trace.end(track)
 
         # -- Step 4: IOMMU mapping (IOVA == GPA).
+        if trace is not None:
+            trace.begin(track, "iommu-map")
         yield self._cpu.work(allocation.page_count * spec.iommu_map_per_page_s * jitter)
         domain.map_region(gpa_base, allocation)
+        if trace is not None:
+            trace.end(track)
 
         return MappedRegion(allocation, gpa_base, domain, lazy_spans)
 

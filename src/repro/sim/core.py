@@ -224,6 +224,8 @@ class Timer:
             return False
         self._entry = None
         self._sim._cancel_entry(entry)
+        if self._sim.trace is not None:
+            self._sim.trace.timer_cancelled()
         return True
 
     def __repr__(self):
@@ -326,6 +328,8 @@ class Process:
         sim = self._sim
         if not self.daemon:
             sim._live_processes -= 1
+        if sim.trace is not None:
+            sim.trace.process_finished(self)
         ready = sim._ready
         for waiter in self._joiners:
             ready.append((waiter._on_resume, (result,)))
@@ -377,6 +381,8 @@ class Simulator:
         "_spill_rebuckets",
         "_spill_peak",
         "_max_bucket",
+        # -- observability -----------------------------------------------
+        "trace",
     )
 
     def __init__(self, bucket_width=DEFAULT_BUCKET_WIDTH):
@@ -417,6 +423,10 @@ class Simulator:
         self._spill_rebuckets = 0
         self._spill_peak = 0
         self._max_bucket = 0
+        #: Optional :class:`repro.obs.recorder.TraceRecorder`.  None by
+        #: default; every instrumented site guards on it, so a disabled
+        #: recorder costs one slot read.
+        self.trace = None
 
     # ------------------------------------------------------------------
     # scheduling
@@ -448,6 +458,8 @@ class Simulator:
             raise ValueError(
                 f"timers must be strictly future: {when} <= {self.now}"
             )
+        if self.trace is not None:
+            callback = self.trace.timer_wrap(callback, when)
         self._seq = seq = self._seq + 1
         return Timer(self, self._insert_future(when, seq, callback, args))
 
@@ -463,6 +475,8 @@ class Simulator:
             raise ValueError(
                 f"timers must be strictly future: {when} <= {now}"
             )
+        if self.trace is not None:
+            callback = self.trace.timer_wrap(callback, when)
         self._seq = seq = self._seq + 1
         return Timer(self, self._insert_future(when, seq, callback, args))
 
@@ -478,6 +492,8 @@ class Simulator:
         self._processes.append(process)
         if not daemon:
             self._live_processes += 1
+        if self.trace is not None:
+            self.trace.process_spawned(process)
         self._ready.append((process._on_resume, (None,)))
         return process
 

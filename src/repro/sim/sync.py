@@ -116,6 +116,18 @@ class LockStats:
             return 0.0
         return self.total_wait / self.acquisitions
 
+    def as_dict(self):
+        """Plain-data view, for the metrics registry and reports."""
+        return {
+            "acquisitions": self.acquisitions,
+            "contended": self.contended,
+            "enqueued": self.enqueued,
+            "total_wait": self.total_wait,
+            "max_wait": self.max_wait,
+            "max_queue": self.max_queue,
+            "timeouts": self.timeouts,
+        }
+
     def __repr__(self):
         return (
             f"LockStats(acquisitions={self.acquisitions}, "
@@ -162,6 +174,8 @@ class _Grantable(Command):
         self.primitive._submit(self)
         if self.granted:
             return
+        if sim.trace is not None:
+            sim.trace.lock_wait_begin(self.primitive, self)
         timeout = self.timeout
         if timeout is None:
             return
@@ -179,6 +193,8 @@ class _Grantable(Command):
             self._timer = None
         stats.record_grant(sim.now - self.enqueued_at)
         sim._ready.append((self.process._on_resume, (value,)))
+        if sim.trace is not None:
+            sim.trace.lock_granted(self.primitive, self)
 
     def _expire(self):
         """Watchdog fired (or try-lock failed): give up on the grant."""
@@ -188,6 +204,8 @@ class _Grantable(Command):
         primitive.stats.timeouts += 1
         sim = primitive._sim
         sim._ready.append((self.process._on_resume, (TIMED_OUT,)))
+        if sim.trace is not None:
+            sim.trace.lock_expired(primitive, self)
 
 
 class _QueuedPrimitive:
@@ -198,13 +216,21 @@ class _QueuedPrimitive:
     primitives the identical enqueue-path accounting.
     """
 
-    __slots__ = ("_sim", "name", "_waiters", "stats")
+    __slots__ = ("_sim", "name", "_waiters", "stats", "trace_scope")
+
+    #: Subclasses where a grant means exclusive-ish tenure worth a
+    #: "hold" span on the grantee's track (Mutex, RWLock).  Resources
+    #: keep it False: VF-slot tenure spans whole container lifetimes.
+    trace_hold = False
 
     def __init__(self, sim, name):
         self._sim = sim
         self.name = name
         self._waiters = deque()
         self.stats = LockStats()
+        #: Track-name prefix ("host3/") stamped by the owning host so
+        #: lock tracks stay unique across a cluster.
+        self.trace_scope = None
 
     def _submit(self, request):
         self._waiters.append(request)
@@ -212,6 +238,9 @@ class _QueuedPrimitive:
         depth = len(self._waiters)
         if depth:
             self.stats.record_enqueue(depth)
+            trace = self._sim.trace
+            if trace is not None:
+                trace.lock_depth(self)
 
     def _dispatch(self):
         raise NotImplementedError
@@ -229,6 +258,8 @@ class Mutex(_QueuedPrimitive):
     """
 
     __slots__ = ("_holder",)
+
+    trace_hold = True
 
     def __init__(self, sim, name="mutex"):
         super().__init__(sim, name)
@@ -262,6 +293,9 @@ class Mutex(_QueuedPrimitive):
         """Release the mutex, granting it to the next waiter if any."""
         if self._holder is None:
             raise SimError(f"mutex {self.name!r} released while not held")
+        trace = self._sim.trace
+        if trace is not None:
+            trace.lock_released(self)
         self._holder = None
         self._dispatch()
 
@@ -288,6 +322,8 @@ class RWLock(_QueuedPrimitive):
     """
 
     __slots__ = ("_readers", "_writer")
+
+    trace_hold = True
 
     def __init__(self, sim, name="rwlock"):
         super().__init__(sim, name)
@@ -332,12 +368,18 @@ class RWLock(_QueuedPrimitive):
     def release_read(self):
         if self._readers <= 0:
             raise SimError(f"rwlock {self.name!r}: release_read with no readers")
+        trace = self._sim.trace
+        if trace is not None:
+            trace.lock_released(self)
         self._readers -= 1
         self._dispatch()
 
     def release_write(self):
         if self._writer is None:
             raise SimError(f"rwlock {self.name!r}: release_write with no writer")
+        trace = self._sim.trace
+        if trace is not None:
+            trace.lock_released(self)
         self._writer = None
         self._dispatch()
 

@@ -43,15 +43,22 @@ class GuestKernel:
         vm = microvm.vm
         layout = microvm.layout
         sigma = spec.jitter_sigma
+        trace = self._sim.trace
+        track = trace.current_track() if trace is not None else None
         with timer.step("guest-boot"):
             yield Timeout(spec.guest_boot_base_s * self._jitter.factor(sigma))
             yield self._cpu.work(spec.guest_boot_cpu_s * self._jitter.factor(sigma))
             # Execute BIOS + kernel: every ROM page must still hold what
             # the hypervisor wrote.
+            if trace is not None:
+                trace.begin(track, "kernel-exec")
             yield from self._kvm.guest_touch_range(
                 vm, layout.rom_gpa, layout.rom_bytes,
                 expect="hypervisor:kernel", verify=True,
             )
+            if trace is not None:
+                trace.end(track)
+                trace.begin(track, "boot-working-set")
             # Boot working set: page tables, slab, initramfs unpack...
             ws_bytes = max(
                 layout.page_size,
@@ -61,11 +68,16 @@ class GuestKernel:
             yield from self._kvm.guest_touch_range(
                 vm, ws_base, ws_bytes, write=True, tag=f"{microvm.name}:boot"
             )
+            if trace is not None:
+                trace.end(track)
+                trace.begin(track, "root-mount")
             # Mount the root image: read the superblock/top of the image.
             yield from self._kvm.guest_touch_range(
                 vm, layout.image_gpa, layout.image_bytes // 8,
                 expect="hypervisor:image", verify=True,
             )
+            if trace is not None:
+                trace.end(track)
         self.booted = True
 
     # ------------------------------------------------------------------

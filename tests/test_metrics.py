@@ -167,3 +167,67 @@ def test_format_series_and_comparison():
     assert "10.000" in text
     comparison = format_comparison("c", [("m", "1", "2", "")])
     assert "paper" in comparison and "measured" in comparison
+
+
+def test_steps_outside_paper_set_aggregate_as_others():
+    """Any step not in the six-step paper set lands in "others".
+
+    Fig. 11 stacks VF-related vs "others": the others bucket is defined
+    as startup time minus the four VF-related steps, so named non-paper
+    steps (vm-create, rom-load, guest-boot...) and untracked gaps both
+    aggregate there.
+    """
+    sim = Simulator()
+    record = StartupRecord("c0")
+    timer = StepTimer(sim, record)
+
+    def flow():
+        timer.mark_start()
+        with timer.step("vm-create"):      # not a paper step
+            yield Timeout(0.25)
+        with timer.step("1-dma-ram"):      # VF-related
+            yield Timeout(2.0)
+        with timer.step("guest-boot"):     # not a paper step
+            yield Timeout(0.5)
+        yield Timeout(0.125)               # untracked gap
+        timer.mark_ready()
+
+    sim.spawn(flow())
+    sim.run()
+    assert record.startup_time == pytest.approx(2.875)
+    assert record.vf_related_time() == pytest.approx(2.0)
+    # others = vm-create + guest-boot + the untracked gap
+    assert record.others_time() == pytest.approx(0.875)
+    for name in ("vm-create", "guest-boot"):
+        assert name not in PAPER_STEPS
+        assert name in record.step_names()
+
+
+def test_six_paper_steps_round_trip_through_reporting():
+    """All six Fig. 5 steps recorded once each survive the reporting
+    split exactly: VF-related = steps 1+3+4+5, others = steps 0+2."""
+    sim = Simulator()
+    record = StartupRecord("c0")
+    timer = StepTimer(sim, record)
+    durations = {name: 0.1 * (i + 1) for i, name in enumerate(PAPER_STEPS)}
+
+    def flow():
+        timer.mark_start()
+        for name in PAPER_STEPS:
+            with timer.step(name):
+                yield Timeout(durations[name])
+        timer.mark_ready()
+
+    sim.spawn(flow())
+    sim.run()
+    assert record.step_names() == sorted(PAPER_STEPS)
+    for name in PAPER_STEPS:
+        assert record.step_time(name) == pytest.approx(durations[name])
+    vf_expected = sum(durations[name] for name in VF_RELATED_STEPS)
+    assert record.vf_related_time() == pytest.approx(vf_expected)
+    assert record.others_time() == pytest.approx(
+        sum(durations.values()) - vf_expected
+    )
+    timeline = record.timeline()
+    assert [name for name, _, _ in timeline] == list(PAPER_STEPS)
+    assert all(end > start for _, start, end in timeline)

@@ -566,3 +566,55 @@ def test_negative_timeout_rejected_by_primitives():
     mutex = Mutex(sim)
     with pytest.raises(ValueError):
         mutex.acquire(timeout=-1.0)
+
+
+def test_lock_stats_wait_accounting_two_waiters():
+    """Hand-computed total/max wait for a two-waiter pile-up.
+
+    holder takes the mutex at t=0 and holds it 1.0 s; A requests at
+    t=0 and is granted at 1.0 (waited 1.0), holds 1.0 s; B requests at
+    t=0.5 and is granted at 2.0 (waited 1.5).  So: 3 acquisitions, 2
+    contended, total_wait 2.5, max_wait 1.5 — and as_dict() mirrors
+    every field (it feeds the flight recorder's lock counters).
+    """
+    sim = Simulator()
+    mutex = Mutex(sim, name="m")
+
+    def holder():
+        yield mutex.acquire()
+        yield Timeout(1.0)
+        mutex.release()
+
+    def waiter_a():
+        yield mutex.acquire()
+        assert sim.now == pytest.approx(1.0)
+        yield Timeout(1.0)
+        mutex.release()
+
+    def waiter_b():
+        yield Timeout(0.5)
+        yield mutex.acquire()
+        assert sim.now == pytest.approx(2.0)
+        mutex.release()
+
+    sim.spawn(holder())
+    sim.spawn(waiter_a())
+    sim.spawn(waiter_b())
+    sim.run()
+
+    stats = mutex.stats
+    assert stats.acquisitions == 3
+    assert stats.contended == 2
+    assert stats.enqueued == 2
+    assert stats.total_wait == pytest.approx(2.5)
+    assert stats.max_wait == pytest.approx(1.5)
+    assert stats.mean_wait == pytest.approx(2.5 / 3)
+    assert stats.as_dict() == {
+        "acquisitions": 3,
+        "contended": 2,
+        "enqueued": 2,
+        "total_wait": pytest.approx(2.5),
+        "max_wait": pytest.approx(1.5),
+        "max_queue": 2,  # B joined while A still queued
+        "timeouts": 0,
+    }
