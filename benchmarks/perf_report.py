@@ -2,9 +2,10 @@
 
 Times a fixed set of experiments end-to-end (quick scale, cache off) —
 including the quick scale experiment re-run over 4 cluster shards —
-measures raw event-engine throughput with two synthetic storms (a
-dispatch-heavy mix and a timer-dense churn shape, the latter also run
-against the retained heap scheduler for comparison), and writes
+measures raw event-engine throughput with three synthetic storms (a
+dispatch-heavy mix, a timer-dense churn shape also run against the
+retained heap scheduler, and an idle-daemon tick storm run with and
+without the aggregated DaemonTicker), and writes
 ``BENCH_wallclock.json`` next to this file plus a runstamped
 ``BENCH_<runstamp>.json`` (a flat metric -> value map for downstream
 tooling; CI uploads it as an artifact) at the repo root::
@@ -137,6 +138,64 @@ def engine_timer_events_per_sec(procs=4000, rounds=25, repeats=3,
     return max(one_run() for _ in range(repeats))
 
 
+def engine_daemon_tick_events_per_sec(daemons=200, ticks=1000,
+                                      interval=0.004, busy_every=50,
+                                      aggregated=True, repeats=3):
+    """Throughput on a cluster cell's dominant event population:
+    periodic daemon scan ticks that are almost always idle.
+
+    ``daemons`` scanner loops tick every ``interval`` of virtual time;
+    a driver hands a small rotating subset of them work between ticks
+    (1 in ``busy_every`` per tick), so the overwhelming majority of
+    ticks are no-ops — the fastiovd shape on a mostly idle cell.  With
+    ``aggregated=True`` the scanners park on a shared
+    :class:`~repro.sim.ticker.DaemonTicker` (one event per cell per
+    tick, idle members swept with a predicate call); with False each
+    scanner arms its own ``Timeout`` — the pre-ticker engine's
+    behavior.  ``events_dispatched`` is identical in both modes (the
+    ticker compensates for the events it elides), so the reported
+    *logical* events/sec are directly comparable.
+    """
+    from repro.sim import DaemonTicker, Simulator, Timeout
+
+    def one_run():
+        sim = Simulator()
+        work = [False] * daemons
+        ticker = DaemonTicker(sim, interval) if aggregated else None
+
+        def scanner(index):
+            if ticker is not None:
+                park = ticker.park(lambda: work[index])
+                while True:
+                    yield park
+                    work[index] = False
+            else:
+                while True:
+                    yield Timeout(interval)
+                    if work[index]:
+                        work[index] = False
+
+        def driver():
+            # Off-phase by half an interval so flag writes never share
+            # a timestamp with scanner ticks — both modes then see the
+            # exact same flag values at every tick.
+            yield Timeout(interval / 2)
+            for step in range(ticks):
+                for j in range((step * 7) % busy_every, daemons, busy_every):
+                    work[j] = True
+                yield Timeout(interval)
+
+        for index in range(daemons):
+            sim.spawn(scanner(index), daemon=True)
+        sim.spawn(driver())
+        started = time.perf_counter()
+        sim.run()
+        elapsed = time.perf_counter() - started
+        return sim.events_dispatched / elapsed
+
+    return max(one_run() for _ in range(repeats))
+
+
 def _timed_run(factory, jobs, repeats):
     best = None
     for _ in range(repeats):
@@ -208,16 +267,43 @@ def measure_sharded_speedup(shards=8, hosts=48, concurrency=2000):
     return round(t_single, 4), round(t_sharded, 4), round(speedup, 2)
 
 
+#: Keys the regression gate requires in the baseline file.  A baseline
+#: missing any of them predates the current report schema, and silently
+#: gating against it would skip exactly the newest metrics.
+REQUIRED_BASELINE_KEYS = (
+    "timings",
+    "engine_events_per_sec",
+    "engine_timer_events_per_sec",
+    "engine_daemon_tick_events_per_sec",
+)
+
+
 def check(timings, engine_rates, threshold):
     """Compare against the committed baseline; returns failures.
 
     ``engine_rates`` maps baseline key -> measured events/sec; each is
     gated the same way: a drop of more than ``threshold`` fails.
+
+    A missing or schema-stale baseline is itself a failure — a gate
+    that silently skips is indistinguishable from a gate that passed.
+    Regenerate with ``--update-baseline`` after intentional changes.
     """
     if not BASELINE_PATH.is_file():
-        print(f"no baseline at {BASELINE_PATH}; skipping regression check")
-        return []
+        print(
+            f"ERROR: no baseline at {BASELINE_PATH} — the regression "
+            f"gate cannot run; regenerate with --update-baseline",
+            file=sys.stderr,
+        )
+        return [("baseline", "missing", str(BASELINE_PATH), 0.0)]
     baseline = json.loads(BASELINE_PATH.read_text())
+    missing = [key for key in REQUIRED_BASELINE_KEYS if key not in baseline]
+    if missing:
+        print(
+            f"ERROR: baseline {BASELINE_PATH} is schema-stale (missing "
+            f"{', '.join(missing)}) — regenerate with --update-baseline",
+            file=sys.stderr,
+        )
+        return [("baseline", "schema-stale", ", ".join(missing), 0.0)]
     failures = []
     for experiment_id, elapsed in timings.items():
         base = baseline["timings"].get(experiment_id)
@@ -276,6 +362,17 @@ def main(argv=None):
     wheel_speedup = round(timer_eps / timer_eps_heap, 2)
     print(f"{'  (heap ref)':14s} {timer_eps_heap:9,} events/s  "
           f"wheel speedup {wheel_speedup:.2f}x")
+    daemon_eps = round(engine_daemon_tick_events_per_sec())
+    print(f"{'engine-daemon':14s} {daemon_eps:9,} events/s")
+    # The same tick storm with one private timer per daemon — the
+    # pre-ticker engine's behavior; reported (not gated) so the
+    # aggregation multiple stays visible.
+    daemon_eps_per_timer = round(
+        engine_daemon_tick_events_per_sec(aggregated=False)
+    )
+    ticker_speedup = round(daemon_eps / daemon_eps_per_timer, 2)
+    print(f"{'  (per-timer)':14s} {daemon_eps_per_timer:9,} events/s  "
+          f"ticker speedup {ticker_speedup:.2f}x")
     timings = measure(EXPERIMENTS, jobs=args.jobs)
     report = {
         "timings": timings,
@@ -283,6 +380,9 @@ def main(argv=None):
         "engine_timer_events_per_sec": timer_eps,
         "engine_timer_events_per_sec_heap_ref": timer_eps_heap,
         "timer_wheel_speedup_x": wheel_speedup,
+        "engine_daemon_tick_events_per_sec": daemon_eps,
+        "engine_daemon_tick_events_per_sec_per_timer": daemon_eps_per_timer,
+        "daemon_ticker_speedup_x": ticker_speedup,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "jobs": args.jobs or 1,
@@ -307,6 +407,11 @@ def main(argv=None):
     metrics["engine_timer_events_per_sec"] = timer_eps
     metrics["engine_timer_events_per_sec_heap_ref"] = timer_eps_heap
     metrics["timer_wheel_speedup_x"] = wheel_speedup
+    metrics["engine_daemon_tick_events_per_sec"] = daemon_eps
+    metrics["engine_daemon_tick_events_per_sec_per_timer"] = (
+        daemon_eps_per_timer
+    )
+    metrics["daemon_ticker_speedup_x"] = ticker_speedup
     speedup = report.get("sharded_speedup")
     if speedup:
         metrics["sharded_cell_single_s"] = speedup["single_s"]
@@ -336,6 +441,7 @@ def main(argv=None):
             {
                 "engine_events_per_sec": events_per_sec,
                 "engine_timer_events_per_sec": timer_eps,
+                "engine_daemon_tick_events_per_sec": daemon_eps,
             },
             args.threshold,
         )

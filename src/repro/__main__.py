@@ -26,6 +26,23 @@ from repro.core import PRESETS, build_host
 from repro.experiments import get_experiment, list_experiments
 
 
+def shard_count(value):
+    """argparse type for ``--shards``: a positive int or ``auto``.
+
+    ``auto`` defers to :func:`repro.cluster.sharded.resolve_shards`,
+    which splits only when each shard keeps enough hosts to beat the
+    worker spawn/barrier overhead (small cells run single-process).
+    """
+    if value == "auto":
+        return "auto"
+    count = int(value)
+    if count < 1:
+        raise argparse.ArgumentTypeError(
+            f"shards must be >= 1 or 'auto', got {value}"
+        )
+    return count
+
+
 def cmd_list(_args):
     print("Experiments (paper artifacts):")
     for exp_id, title in list_experiments():
@@ -209,10 +226,12 @@ def main(argv=None):
         help="cluster placement policy (default least-loaded)",
     )
     run_p.add_argument(
-        "--shards", type=int, default=None,
+        "--shards", type=shard_count, default=None,
         help="split the cluster over this many shard simulators, one "
              "worker process each (default 1 = single-process; results "
-             "are byte-identical across shard counts)",
+             "are byte-identical across shard counts); 'auto' splits "
+             "only when each shard keeps enough hosts to pay for its "
+             "worker",
     )
     run_p.add_argument(
         "--json", default=None, metavar="PATH",
@@ -234,9 +253,11 @@ def main(argv=None):
         help="cluster placement policy (default least-loaded)",
     )
     trace_p.add_argument(
-        "--shards", type=int, default=None,
-        help="shard simulators for cluster cells; traces of burst and "
-             "round-robin cells are byte-identical across shard counts",
+        "--shards", type=shard_count, default=None,
+        help="shard simulators for cluster cells ('auto' splits only "
+             "when hosts-per-shard clears the overhead threshold); "
+             "traces of burst and round-robin cells are byte-identical "
+             "across shard counts",
     )
     trace_p.add_argument(
         "--out", default="trace.json", metavar="PATH",

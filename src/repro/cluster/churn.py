@@ -180,7 +180,10 @@ def run_cluster_cell(preset, concurrency, hosts, seed=0, app_name=None,
     part of the returned summary, so the summary stays byte-identical
     with tracing on or off.
     """
-    if shards and shards > 1:
+    from repro.cluster.sharded import resolve_shards
+
+    shards = resolve_shards(shards, hosts)
+    if shards > 1:
         from repro.cluster.sharded import run_sharded_cluster
 
         return run_sharded_cluster(
@@ -207,6 +210,7 @@ def run_cluster_cell(preset, concurrency, hosts, seed=0, app_name=None,
         for host in cluster.hosts:
             host.finalize_trace()
         recorder.registry.ingest_wheel_stats(cluster.sim.wheel_stats())
+        recorder.registry.ingest_ticker_stats(cluster.ticker.stats())
         trace.update(recorder.dump())
     summary = driver.startup_times().summary()
     return {

@@ -17,6 +17,7 @@ cluster run is a pure function of (config, spec, hosts, seed).
 from repro.core.presets import get_preset
 from repro.sim.core import Simulator
 from repro.sim.rng import Jitter
+from repro.sim.ticker import DaemonTicker
 from repro.spec import PAPER_TESTBED
 
 from repro.cluster.placement import make_placement
@@ -59,6 +60,12 @@ class Cluster:
         if trace is not None:
             trace.bind(self.sim)
         self.placement = make_placement(placement)
+        #: Cell-wide aggregated scan tick: every host's fastiovd scanner
+        #: parks on this one ticker, so an idle interval costs one event
+        #: for the whole cell instead of one per host.
+        self.ticker = DaemonTicker(
+            self.sim, wheel_spec.fastiovd_scan_interval_s
+        )
         base = Jitter(seed)
         self.hosts = [
             Host(
@@ -69,6 +76,7 @@ class Cluster:
                 sim=self.sim,
                 name=f"host{index}",
                 trace=trace,
+                ticker=self.ticker,
             )
             for index in range(hosts)
         ]

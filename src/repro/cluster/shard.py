@@ -27,6 +27,7 @@ from repro.core.presets import get_preset
 from repro.metrics.timeline import StartupRecord
 from repro.sim.core import Simulator, Timeout
 from repro.sim.rng import Jitter
+from repro.sim.ticker import DaemonTicker
 from repro.spec import PAPER_TESTBED
 from repro.workloads.serverless import make_app
 
@@ -78,6 +79,11 @@ class ClusterShard:
 
             self.trace = TraceRecorder()
             self.trace.bind(self.sim)
+        #: Shard-wide aggregated scan tick (mirrors Cluster.ticker): the
+        #: shard's hosts share one scan-tick event per interval.
+        self.ticker = DaemonTicker(
+            self.sim, wheel_spec.fastiovd_scan_interval_s
+        )
         base = Jitter(seed)
         #: Hosts keyed by *global* index.
         self.hosts = {
@@ -89,6 +95,7 @@ class ClusterShard:
                 sim=self.sim,
                 name=f"host{index}",
                 trace=self.trace,
+                ticker=self.ticker,
             )
             for index in range(host_start, host_stop)
         }
@@ -212,6 +219,7 @@ class ClusterShard:
             for host in self.hosts.values():
                 host.finalize_trace()
             self.trace.registry.ingest_wheel_stats(self.sim.wheel_stats())
+            self.trace.registry.ingest_ticker_stats(self.ticker.stats())
             result["trace"] = self.trace.dump()
         return result
 

@@ -39,7 +39,7 @@ class Host:
     """One fully assembled simulated server."""
 
     def __init__(self, config, spec=None, seed=0, vf_count=None,
-                 sim=None, name="host", trace=None):
+                 sim=None, name="host", trace=None, ticker=None):
         """Args:
         config: A :class:`SolutionConfig` (or preset name via
             :func:`build_host`).
@@ -57,6 +57,11 @@ class Host:
             track, and registers the host's pull probes (CPU runnable
             jobs, EPT faults, bytes zeroed, fastiovd backlog).  Tracing
             never changes simulation results.
+        ticker: Optional :class:`repro.sim.ticker.DaemonTicker` shared
+            across a cluster cell; the host's fastiovd scanner parks on
+            it instead of arming a private timer per scan interval.
+            Standalone hosts leave it None (one host gains nothing from
+            aggregation).
         """
         self.config = config
         self.spec = spec if spec is not None else PAPER_TESTBED
@@ -114,7 +119,7 @@ class Host:
         # -- kernel substrate --------------------------------------------
         self.fastiovd = (
             Fastiovd(self.sim, self.cpu, spec, dram=self.dram,
-                     name=f"{name}-fastiovd")
+                     name=f"{name}-fastiovd", ticker=ticker)
             if config.needs_fastiovd
             else None
         )

@@ -120,7 +120,9 @@ class Churn(Experiment):
         total, rate = self._load(quick)
         hosts = self._hosts()
         if hosts > 1:
-            shards = min(self.option("shards", 1), hosts)
+            from repro.cluster.sharded import resolve_shards
+
+            shards = resolve_shards(self.option("shards", 1), hosts)
             placement = self.option("placement", "least-loaded")
             return [
                 Cell(preset, total, None, seed, kind="cluster", hosts=hosts,
@@ -210,7 +212,9 @@ class Churn(Experiment):
         """
         total, rate = self._load(quick)
         hosts = self._hosts()
-        shards = min(self.option("shards", 1), hosts)
+        from repro.cluster.sharded import resolve_shards
+
+        shards = resolve_shards(self.option("shards", 1), hosts)
         placement = self.option("placement", "least-loaded")
         results = {
             preset: self._cell_summary(

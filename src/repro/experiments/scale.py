@@ -61,8 +61,13 @@ class Scale(Experiment):
     def _placement(self):
         return self.option("placement", "least-loaded")
 
-    def _shards(self):
-        return self.option("shards", 1)
+    def _shards(self, hosts):
+        # Resolved here (not just in run_cluster_cell) so the resolved
+        # count lands in the Cell — and therefore in cache keys and the
+        # report header — instead of the literal "auto".
+        from repro.cluster.sharded import resolve_shards
+
+        return resolve_shards(self.option("shards", 1), hosts)
 
     @staticmethod
     def _sweep(quick):
@@ -73,7 +78,7 @@ class Scale(Experiment):
     def _cells(self, quick, seed):
         hosts = self._hosts(quick)
         placement = self._placement()
-        shards = min(self._shards(), hosts)
+        shards = self._shards(hosts)
         return [
             Cell(preset, concurrency, None, seed, kind="cluster",
                  hosts=hosts, placement=placement, shards=shards)
@@ -84,7 +89,7 @@ class Scale(Experiment):
     def _execute(self, quick, seed):
         hosts = self._hosts(quick)
         placement = self._placement()
-        shards = min(self._shards(), hosts)
+        shards = self._shards(hosts)
         sweep = self._sweep(quick)
         series = {preset: [] for preset in PRESETS}
         for preset in PRESETS:

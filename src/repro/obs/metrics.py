@@ -82,6 +82,21 @@ class MetricsRegistry:
             else:
                 self.set_gauge(name, value)
 
+    #: DaemonTicker statistics that are monotone event counts (the rest
+    #: — interval, peaks, current levels — merge as gauges).
+    _TICKER_COUNTERS = frozenset({
+        "ticks_fired", "member_wakes", "member_skips",
+    })
+
+    def ingest_ticker_stats(self, stats, scope="ticker"):
+        """Fold a :class:`repro.sim.ticker.DaemonTicker`'s counters in."""
+        for key, value in stats.items():
+            name = f"{scope}/{key}"
+            if key in self._TICKER_COUNTERS:
+                self.inc(name, value)
+            else:
+                self.set_gauge(name, value)
+
     # ------------------------------------------------------------------
     # snapshot / merge
     # ------------------------------------------------------------------

@@ -163,11 +163,16 @@ class Fastiovd:
     """The fastiovd kernel module."""
 
     def __init__(self, sim, cpu, spec, start_scanner=True, dram=None,
-                 name="fastiovd"):
+                 name="fastiovd", ticker=None):
         self._sim = sim
         self._cpu = cpu
         self._dram = dram if dram is not None else cpu
         self._spec = spec
+        #: Optional cluster-level :class:`repro.sim.ticker.DaemonTicker`
+        #: the scanner parks on instead of arming a private timer every
+        #: scan interval (one shared event per cell per tick; idle hosts
+        #: are swept with a predicate call instead of a dispatch).
+        self._ticker = ticker
         #: Diagnostic name; the host prefixes it ("host3-fastiovd") so
         #: scanner/worker trace tracks stay unique across a cluster.
         self.name = name
@@ -335,10 +340,27 @@ class Fastiovd:
     # ------------------------------------------------------------------
     # background scanner (§5 "background clearing")
     # ------------------------------------------------------------------
+    def _has_pending(self):
+        """Scanner wake predicate for the aggregated ticker."""
+        return bool(self._pending)
+
     def _scan_loop(self):
         spec = self._spec
+        ticker = self._ticker
+        park = None
+        if ticker is not None and ticker.interval == spec.fastiovd_scan_interval_s:
+            # Park on the shared cell-wide tick (the command is
+            # immutable, so one instance is re-yielded every cycle).
+            # A ticker with a foreign interval falls back to the
+            # private timer so scan cadence always follows the spec.
+            park = ticker.park(self._has_pending)
         while True:
-            yield Timeout(spec.fastiovd_scan_interval_s)
+            if park is not None:
+                # Resumes only at a tick where the lazy table is
+                # non-empty; idle ticks never step this generator.
+                yield park
+            else:
+                yield Timeout(spec.fastiovd_scan_interval_s)
             claimed = self._claim_chunk(spec.fastiovd_scan_chunk_bytes)
             if not claimed:
                 continue

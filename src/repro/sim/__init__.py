@@ -27,8 +27,10 @@ from repro.sim.cpu import FairShareCPU
 from repro.sim.errors import SimError, SimulationDeadlock
 from repro.sim.rng import Jitter
 from repro.sim.sync import TIMED_OUT, Mutex, Resource, RWLock, SimEvent
+from repro.sim.ticker import DaemonTicker
 
 __all__ = [
+    "DaemonTicker",
     "FairShareCPU",
     "Jitter",
     "Mutex",

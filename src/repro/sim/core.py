@@ -37,54 +37,84 @@ The event store is split in three:
   the wheel horizon.  As the wheel turns, spill events whose slot
   enters the window are re-bucketed, each exactly once.
 
-Events are keyed by ``(when, seq)``; ``seq`` is a monotonically
-increasing int that breaks timestamp ties in scheduling order.  A
-bucket is left unsorted until the wheel cursor reaches it; the cursor
-then *detaches* it from the wheel array and heapifies it (the *front
-heap*), and cohorts are drained by ``heappop`` — which yields exact
-(when, seq) order — so the documented tie order is preserved
-bit-for-bit:
+Struct-of-arrays event storage
+------------------------------
+
+Pending future events are not Python objects.  Each event is an integer
+*handle* indexing four parallel columns::
+
+    _ewhen : array('d')  — fire time (a flat C double buffer)
+    _eseq  : array('q')  — globally unique sequence number (int64)
+    _ecb   : list        — callback (None = tombstoned / free)
+    _eargs : list        — callback arguments
+
+Handles are recycled through ``_free`` (a plain LIFO free list), so a
+steady-state workload performs **zero** per-event allocation: arming a
+timer writes four columns; cancelling writes one (``_ecb[h] = None``);
+compaction filters flat lists of ints.  The columns grow to the peak
+number of concurrent pending events and are then stable.
+
+Wheel buckets are flat lists of handles: an insert within the window
+appends one int, and a cancelled timer is filtered out of its bucket
+without ever being decoded.  When the cursor reaches a slot it
+*batch-decodes* the bucket against the columns into ``(when, seq,
+handle)`` tuples — reaping tombstones in the same pass — and sorts
+them with one C tuple sort (exact ``(when, seq)`` order, no key
+function).  The sorted list is the *front* and is drained with a bare
+index (``_front_pos``): popping a cohort is a pointer walk, no heap
+sifting, no compares beyond the cohort boundary.  An insert landing in
+the currently draining slot goes into a small *overlay heap*
+(``_fheap``) beside the sorted front — a C ``heappush``, no list
+shifting.  Every overlay seq exceeds every front seq (the front was
+detached before any overlay insert happened), so comparing the two head
+tuples is exactly the ``(when, seq)`` merge order, and an equal-time
+cohort always drains front entries before overlay entries.
+
+Events beyond the wheel horizon live in ``_spill`` as the same
+``(when, seq, handle)`` tuples (a binary heap); re-bucketing pops them
+back into handle buckets, each exactly once.
+
+The tie-order contract, mechanically:
 
 * Events already stored at timestamp *t* were scheduled before the
   clock reached *t*, so their seq is smaller than that of any event
   scheduled once the clock is at *t*.  When the clock advances to *t*,
   :meth:`Simulator.run` drains the *entire* equal-time cohort from the
-  front heap into the ring in one pass (heappop yields seq order),
-  before executing anything.
+  front into the ring in one pass (sorted order = seq order), before
+  executing anything.
 * Events scheduled *at* the current time while the batch executes are
   appended behind it in the ring.  Their seq is necessarily larger than
   everything already there, so FIFO order equals scheduling order.
-* An event scheduled into the *currently draining* slot (the cursor's)
-  is heappushed into the front heap — O(log bucket) against one small
-  bucket's worth of entries, not O(bucket) as a sorted-list insert
-  would be and not O(log total) as a global heap pays.
 
 The invariant between runs is: every pending event with ``when == now``
-lives in the ring (in scheduling order); the front heap holds only the
-cursor slot's entries; the wheel holds only ``when > now`` within the
-window ``[_cur_slot, _cur_slot + _WHEEL_SLOTS)`` of slots; the spill
-heap holds only slots at or beyond the window end.
-Slot mapping is order-preserving (``slot_a < slot_b`` implies
-``when_a < when_b``), so draining slots in order never reorders events.
+lives in the ring (in scheduling order); the front holds only the
+cursor slot's entries (drained prefix dead, suffix sorted); the wheel
+holds only ``when > now`` within the window ``[_cur_slot, _cur_slot +
+_WHEEL_SLOTS)`` of slots; the spill heap holds only slots at or beyond
+the window end.  Slot mapping is order-preserving (``slot_a < slot_b``
+implies ``when_a < when_b``), so draining slots in order never reorders
+events.
 
-Cancellable timers and pooling
-------------------------------
+Handle lifecycle (the safety rule): a handle has exactly one physical
+container reference (a bucket, the front, or a spill tuple) and is
+pushed onto ``_free`` only by the code that removes that reference —
+cohort drain, tombstone reap, or compaction.  ``Timer.cancel`` only
+tombstones.  ``seq`` values are never reused, so a stale
+:class:`Timer` holding a recycled handle compares ``_eseq[h]`` against
+its own seq and degrades to a no-op.
+
+Cancellable timers
+------------------
 
 :meth:`Simulator.call_at` / :meth:`Simulator.call_later` return a
 :class:`Timer` handle whose ``cancel()`` is O(1) *lazy deletion*: the
-stored entry is tombstoned in place and skipped (reaped) when the
-cursor reaches it.  When tombstones outnumber live events (past a small
-floor), a compaction sweep rebuilds the buckets and spill without them,
-so a workload that arms and cancels timers that never fire — retry
-watchdogs in a 10k-startup churn storm — pays O(1) per timer instead
-of carrying dead entries through every subsequent operation.
-
-Entries are mutable 4-lists ``[when, seq, callback, args]`` recycled on
-a per-simulator free list, which eliminates the per-event allocation of
-the old heap engine's tuples.  A recycled entry always has its callback
-slot cleared first and ``seq`` values are never reused, so a stale
-:class:`Timer` handle can never cancel an entry that was recycled out
-from under it.
+event is tombstoned in place (one column write) and skipped (reaped)
+when the cursor reaches it.  When tombstones outnumber live events
+(past a small floor), a compaction sweep rebuilds the buckets and spill
+without them, so a workload that arms and cancels timers that never
+fire — retry watchdogs in a 10k-startup churn storm — pays O(1) per
+timer instead of carrying dead entries through every subsequent
+operation.
 
 Bucket width is a constructor parameter derived deterministically from
 the model (see :func:`repro.spec.timer_wheel_width`: a quarter of the
@@ -92,12 +122,24 @@ fastiovd daemon tick, the finest recurring granularity) — never from
 wall-clock measurement, so two runs of the same spec always build the
 same wheel.  Width affects performance only, never event order.
 
+Aggregated daemon ticks
+-----------------------
+
+``pending_events`` includes ``_phantom_parked``: processes parked on a
+:class:`repro.sim.ticker.DaemonTicker` are represented by one shared
+scheduled event per tick phase instead of one timer each, and the
+phantom count keeps the externally visible accounting identical to the
+per-process-timer world.  See :mod:`repro.sim.ticker`.
+
 The retained reference implementation of the old heap scheduler lives
 in ``tests/reference_scheduler.py`` and is the oracle for the
 differential property tests (and the baseline for the timer-dense
-micro-benchmark in ``benchmarks/perf_report.py``).
+micro-benchmark in ``benchmarks/perf_report.py``).  It shares the
+column pool (via :meth:`Simulator._alloc_entry`) and overrides only the
+future-event-set hooks.
 """
 
+from array import array
 from collections import deque
 from heapq import heapify, heappop, heappush
 
@@ -116,9 +158,6 @@ DEFAULT_BUCKET_WIDTH = 0.001
 #: Number of wheel slots (power of two — slot index is ``slot & MASK``).
 _WHEEL_SLOTS = 256
 _WHEEL_MASK = _WHEEL_SLOTS - 1
-
-#: Free-list capacity: bounds memory kept for entry recycling.
-_POOL_MAX = 4096
 
 #: Compaction floor: never sweep for fewer tombstones than this.
 _COMPACT_MIN = 64
@@ -185,51 +224,50 @@ class Timer:
     """Handle to one strictly-future scheduled callback.
 
     Returned by :meth:`Simulator.call_at` / :meth:`Simulator.call_later`.
-    :meth:`cancel` is O(1) lazy deletion — the stored entry is
-    tombstoned and reaped (or compacted) later; the callback will not
-    run and the event never counts as dispatched.
+    :meth:`cancel` is O(1) lazy deletion — the stored event is
+    tombstoned (one column write) and reaped (or compacted) later; the
+    callback will not run and the event never counts as dispatched.
 
     A handle is safe to cancel at any point, including after the timer
-    fired or after the engine recycled its entry: ``seq`` values are
-    globally unique and never reused, so a stale handle degrades to a
-    no-op instead of touching an unrelated event.
+    fired or after the engine recycled its pool slot: ``seq`` values
+    are globally unique and never reused, so a stale handle degrades to
+    a no-op instead of touching an unrelated event.
     """
 
-    __slots__ = ("_sim", "_entry", "_seq")
+    __slots__ = ("_sim", "_handle", "_seq")
 
-    def __init__(self, sim, entry):
+    def __init__(self, sim, handle, seq):
         self._sim = sim
-        self._entry = entry
-        self._seq = entry[1]
+        self._handle = handle
+        self._seq = seq
 
     @property
     def active(self):
         """True while the callback is still pending (not fired/cancelled)."""
-        entry = self._entry
+        sim = self._sim
+        handle = self._handle
         return (
-            entry is not None
-            and entry[1] == self._seq
-            and entry[2] is not None
+            sim._ecb[handle] is not None and sim._eseq[handle] == self._seq
         )
 
     @property
     def when(self):
         """The scheduled fire time, or None once inactive."""
-        return self._entry[0] if self.active else None
+        return self._sim._ewhen[self._handle] if self.active else None
 
     def cancel(self):
         """Cancel the pending callback; returns True if it was active."""
-        entry = self._entry
-        if entry is None or entry[1] != self._seq or entry[2] is None:
+        sim = self._sim
+        handle = self._handle
+        if sim._ecb[handle] is None or sim._eseq[handle] != self._seq:
             return False
-        self._entry = None
-        self._sim._cancel_entry(entry)
-        if self._sim.trace is not None:
-            self._sim.trace.timer_cancelled()
+        sim._cancel_entry(handle)
+        if sim.trace is not None:
+            sim.trace.timer_cancelled()
         return True
 
     def __repr__(self):
-        state = f"at {self._entry[0]}" if self.active else "inactive"
+        state = f"at {self._sim._ewhen[self._handle]}" if self.active else "inactive"
         return f"<Timer {state}>"
 
 
@@ -299,12 +337,21 @@ class Process:
             sim._current = prev
         self._blocked_on = command
         if type(command) is Timeout:
-            # Inlined Timeout.subscribe: the overwhelmingly common yield.
+            # Inlined Timeout.subscribe + schedule: the overwhelmingly
+            # common yield.  A positive delay so small it underflows
+            # (now + delay == now) degrades to the ready ring, exactly
+            # as schedule() would route it.
             delay = command.delay
             if delay == 0.0:
                 sim._ready.append((self._on_resume, (None,)))
             else:
-                sim.schedule(sim.now + delay, self._on_resume, None)
+                now = sim.now
+                when = now + delay
+                if when > now:
+                    sim._seq = seq = sim._seq + 1
+                    sim._insert_future(when, seq, self._on_resume, (None,))
+                else:
+                    sim._ready.append((self._on_resume, (None,)))
             return
         if not isinstance(command, Command):
             self._blocked_on = None
@@ -363,6 +410,12 @@ class Simulator:
         "_current",
         "_failure",
         "events_dispatched",
+        # -- struct-of-arrays event pool ---------------------------------
+        "_ewhen",
+        "_eseq",
+        "_ecb",
+        "_eargs",
+        "_free",
         # -- timing wheel ------------------------------------------------
         "_width",
         "_inv_width",
@@ -371,10 +424,12 @@ class Simulator:
         "_cur_slot",
         "_front_slot",
         "_front",
+        "_front_pos",
+        "_fheap",
         "_spill",
-        "_pool",
         "_future_live",
         "_cancelled_unreaped",
+        "_phantom_parked",
         # -- statistics --------------------------------------------------
         "_timers_cancelled",
         "_compactions",
@@ -398,6 +453,14 @@ class Simulator:
         #: Total events executed, for engine throughput reporting.
         #: Cancelled timers never dispatch and never count.
         self.events_dispatched = 0
+        # Struct-of-arrays event pool: one handle = one index into four
+        # parallel columns.  ``_free`` recycles handles LIFO, so the
+        # columns grow to the peak concurrent pending events and stop.
+        self._ewhen = array("d")
+        self._eseq = array("q")
+        self._ecb = []
+        self._eargs = []
+        self._free = []
         self._width = bucket_width
         self._inv_width = 1.0 / bucket_width
         self._buckets = [[] for _ in range(_WHEEL_SLOTS)]
@@ -406,18 +469,27 @@ class Simulator:
         #: Lowest slot that may still hold entries; the wheel window is
         #: ``[_cur_slot, _cur_slot + _WHEEL_SLOTS)``.
         self._cur_slot = 0
-        #: The slot the cursor is draining (-1: none); its entries live
-        #: in ``_front``, a small (when, seq) heap detached from the
-        #: wheel array, so same-slot inserts during the drain are
-        #: O(log bucket) instead of an O(bucket) sorted insert.
+        #: The slot the cursor is draining (-1: none); its handles live
+        #: in ``_front``, the slot's bucket detached from the wheel
+        #: array and sorted by fire time, drained by advancing
+        #: ``_front_pos`` (entries before it are dead).
         self._front_slot = -1
         self._front = []
+        self._front_pos = 0
+        #: Overlay heap: events inserted into the front slot *while* it
+        #: drains.  Kept beside the sorted front so mid-drain arming is
+        #: a C heappush instead of a list insertion.
+        self._fheap = []
         self._spill = []
-        self._pool = []
         #: Live (non-cancelled) strictly-future events.
         self._future_live = 0
         #: Tombstoned entries not yet reaped or compacted.
         self._cancelled_unreaped = 0
+        #: Daemon processes parked on an aggregated ticker, minus the
+        #: shared tick events representing them (see repro.sim.ticker):
+        #: keeps ``pending_events`` identical to the one-timer-per-
+        #: daemon accounting.
+        self._phantom_parked = 0
         self._timers_cancelled = 0
         self._compactions = 0
         self._spill_rebuckets = 0
@@ -461,7 +533,7 @@ class Simulator:
         if self.trace is not None:
             callback = self.trace.timer_wrap(callback, when)
         self._seq = seq = self._seq + 1
-        return Timer(self, self._insert_future(when, seq, callback, args))
+        return Timer(self, self._insert_future(when, seq, callback, args), seq)
 
     def call_later(self, delay, callback, *args):
         """Schedule a cancellable callback after ``delay``; returns a Timer."""
@@ -478,7 +550,7 @@ class Simulator:
         if self.trace is not None:
             callback = self.trace.timer_wrap(callback, when)
         self._seq = seq = self._seq + 1
-        return Timer(self, self._insert_future(when, seq, callback, args))
+        return Timer(self, self._insert_future(when, seq, callback, args), seq)
 
     def spawn(self, generator, name=None, daemon=False):
         """Start a new process from ``generator`` and return it.
@@ -507,32 +579,62 @@ class Simulator:
         """Number of events waiting to execute (ring + live future set).
 
         Exact under lazy deletion: a cancelled-but-unreaped timer is a
-        tombstone, not a pending event, and is never counted.
+        tombstone, not a pending event, and is never counted.  Daemons
+        parked on an aggregated ticker count as one pending event each
+        (the phantom adjustment), exactly as their individual timers
+        would.
         """
-        return len(self._ready) + self._future_live
+        return len(self._ready) + self._future_live + self._phantom_parked
 
     def __len__(self):
         return self.pending_events
 
     # ------------------------------------------------------------------
-    # future-event set (timing wheel + sorted spill)
+    # future-event set (timing wheel + sorted spill over the SoA pool)
     # ------------------------------------------------------------------
-    def _insert_future(self, when, seq, callback, args):
-        """Store a strictly-future event; returns its entry."""
-        pool = self._pool
-        if pool:
-            entry = pool.pop()
-            entry[0] = when
-            entry[1] = seq
-            entry[2] = callback
-            entry[3] = args
+    def _alloc_entry(self, when, seq, callback, args):
+        """Claim a pool handle and fill its columns (shared with the
+        reference-heap oracle, which places handles its own way)."""
+        free = self._free
+        if free:
+            handle = free.pop()
+            self._ewhen[handle] = when
+            self._eseq[handle] = seq
+            self._ecb[handle] = callback
+            self._eargs[handle] = args
         else:
-            entry = [when, seq, callback, args]
+            handle = len(self._eseq)
+            self._ewhen.append(when)
+            self._eseq.append(seq)
+            self._ecb.append(callback)
+            self._eargs.append(args)
+        return handle
+
+    def _insert_future(self, when, seq, callback, args):
+        """Store a strictly-future event; returns its pool handle."""
+        # Inlined _alloc_entry: this is the hottest write path.
+        free = self._free
+        if free:
+            handle = free.pop()
+            self._ewhen[handle] = when
+            self._eseq[handle] = seq
+            self._ecb[handle] = callback
+            self._eargs[handle] = args
+        else:
+            handle = len(self._eseq)
+            self._ewhen.append(when)
+            self._eseq.append(seq)
+            self._ecb.append(callback)
+            self._eargs.append(args)
         slot = int(when * self._inv_width)
         if slot == self._front_slot:
-            # The cursor is mid-drain in this slot: its entries live in
-            # the detached front heap.
-            heappush(self._front, entry)
+            # The cursor is mid-drain in this slot: the event joins the
+            # *overlay heap* next to the sorted front — O(log overlay)
+            # C tuple sifts, no list shifting.  Every overlay seq
+            # exceeds every front seq (the front was detached before
+            # any overlay insert), so a plain tuple compare between the
+            # two heads is the exact (when, seq) merge order.
+            heappush(self._fheap, (when, seq, handle))
         else:
             cur = self._cur_slot
             if slot < cur:
@@ -547,20 +649,24 @@ class Simulator:
                 cur = slot
             if slot - cur < _WHEEL_SLOTS:
                 idx = slot & _WHEEL_MASK
-                self._buckets[idx].append(entry)
+                self._buckets[idx].append(handle)
                 self._occupied |= 1 << idx
             else:
                 spill = self._spill
-                heappush(spill, entry)
+                heappush(spill, (when, seq, handle))
                 if len(spill) > self._spill_peak:
                     self._spill_peak = len(spill)
         self._future_live += 1
-        return entry
+        return handle
 
-    def _cancel_entry(self, entry):
-        """Tombstone a stored entry (Timer.cancel); O(1) lazy deletion."""
-        entry[2] = None
-        entry[3] = None
+    def _cancel_entry(self, handle):
+        """Tombstone a stored event (Timer.cancel); O(1) lazy deletion.
+
+        One column write makes the event dead everywhere; the handle
+        itself is freed later by whichever container still references
+        it (reap or compaction)."""
+        self._ecb[handle] = None
+        self._eargs[handle] = None
         self._future_live -= 1
         cancelled = self._cancelled_unreaped + 1
         self._cancelled_unreaped = cancelled
@@ -568,35 +674,38 @@ class Simulator:
         if cancelled >= _COMPACT_MIN and cancelled > self._future_live:
             self._compact()
 
-    def _recycle(self, entry):
-        entry[2] = None
-        entry[3] = None
-        pool = self._pool
-        if len(pool) < _POOL_MAX:
-            pool.append(entry)
-
     def _rewind_window(self, slot):
         """Move the wheel window back so it starts at ``slot``.
 
-        Every bucketed entry — including the front heap's, whose
-        consumed events were already popped and recycled — is pushed
-        back to the spill level (keeping its tombstone accounting
-        intact) and the window is rebuilt from there.  Rare — at most
-        once per idle jump — so simplicity beats speed.
+        Every bucketed handle — including the front's undrained suffix
+        — is pushed back to the spill level as a ``(when, seq, handle)``
+        tuple (keeping its tombstone accounting intact) and the window
+        is rebuilt from there.  Rare — at most once per idle jump — so
+        simplicity beats speed.
         """
         buckets = self._buckets
         spill = self._spill
         front = self._front
-        if front:
-            spill += front
-            del front[:]
+        ewhen = self._ewhen
+        eseq = self._eseq
+        pos = self._front_pos
+        if pos < len(front):
+            # The front already holds (when, seq, handle) tuples.
+            spill += front[pos:] if pos else front
+        del front[:]
+        fheap = self._fheap
+        if fheap:
+            spill += fheap
+            del fheap[:]
+        self._front_pos = 0
         self._front_slot = -1
         occupied = self._occupied
         while occupied:
             idx = (occupied & -occupied).bit_length() - 1
             bucket = buckets[idx]
-            spill += bucket
-            bucket.clear()
+            for handle in bucket:
+                spill.append((ewhen[handle], eseq[handle], handle))
+            del bucket[:]
             occupied &= occupied - 1
         self._occupied = 0
         heapify(spill)
@@ -604,23 +713,30 @@ class Simulator:
         self._refill_from_spill()
 
     def _refill_from_spill(self):
-        """Re-bucket spill events whose slot entered the wheel window."""
+        """Re-bucket spill events whose slot entered the wheel window.
+
+        Pops in (when, seq) order, so each bucket receives its handles
+        in seq order per timestamp — which the front's stable sort
+        relies on."""
         spill = self._spill
         if not spill:
             return
         limit = self._cur_slot + _WHEEL_SLOTS
         inv = self._inv_width
         buckets = self._buckets
+        ecb = self._ecb
+        free = self._free
         while spill and int(spill[0][0] * inv) < limit:
-            entry = heappop(spill)
-            if entry[2] is None:
+            when, _seq, handle = heappop(spill)
+            if ecb[handle] is None:
+                # The spill tuple was the handle's one reference.
                 self._cancelled_unreaped -= 1
-                self._recycle(entry)
+                free.append(handle)
                 continue
-            slot = int(entry[0] * inv)
-            bucket = buckets[slot & _WHEEL_MASK]
-            bucket.append(entry)
-            self._occupied |= 1 << (slot & _WHEEL_MASK)
+            idx = int(when * inv) & _WHEEL_MASK
+            bucket = buckets[idx]
+            bucket.append(handle)
+            self._occupied |= 1 << idx
             self._spill_rebuckets += 1
             if len(bucket) > self._max_bucket:
                 self._max_bucket = len(bucket)
@@ -630,23 +746,61 @@ class Simulator:
 
         Positions the wheel cursor on the head event so that
         :meth:`_pop_cohort` can drain its equal-time cohort; reaps any
-        tombstoned entries it walks over.
+        tombstoned handles it walks over.
         """
         if self._future_live == 0:
             return None
         front = self._front
-        pool = self._pool
+        fheap = self._fheap
+        pos = self._front_pos
+        ecb = self._ecb
+        # Fast path: live head in the overlay and/or the front, no
+        # reaping needed.  Sub-bucket-delay workloads (every event lands
+        # in the cursor's slot) resolve here in a handful of loads.
+        if fheap:
+            top = fheap[0]
+            if ecb[top[2]] is not None:
+                if pos < len(front):
+                    entry = front[pos]
+                    if ecb[entry[2]] is not None:
+                        return entry[0] if entry < top else top[0]
+                else:
+                    return top[0]
+        elif pos < len(front):
+            entry = front[pos]
+            if ecb[entry[2]] is not None:
+                return entry[0]
+        ewhen = self._ewhen
+        eseq = self._eseq
+        free = self._free
         while True:
-            while front:
-                entry = front[0]
-                if entry[2] is not None:
-                    return entry[0]
-                # Lazy-reap a cancelled timer at the front.
-                heappop(front)
+            n = len(front)
+            while pos < n:
+                entry = front[pos]
+                if ecb[entry[2]] is not None:
+                    break
+                # Lazy-reap a cancelled timer at the front; the front
+                # held its one reference, so the handle is free now.
+                pos += 1
                 self._cancelled_unreaped -= 1
-                entry[3] = None
-                if len(pool) < _POOL_MAX:
-                    pool.append(entry)
+                free.append(entry[2])
+            self._front_pos = pos
+            while fheap:
+                top = fheap[0]
+                if ecb[top[2]] is not None:
+                    break
+                heappop(fheap)
+                self._cancelled_unreaped -= 1
+                free.append(top[2])
+            if pos < n:
+                entry = front[pos]
+                # Overlay seqs all exceed front seqs, so the bare tuple
+                # compare is the exact (when, seq) merge order.
+                if fheap and fheap[0] < entry:
+                    return fheap[0][0]
+                return entry[0]
+            if fheap:
+                return fheap[0][0]
             if self._front_slot >= 0:
                 # Front slot exhausted: advance the wheel past it.
                 self._cur_slot = self._front_slot + 1
@@ -672,26 +826,39 @@ class Simulator:
                     )
                 self._cur_slot = slot
                 self._refill_from_spill()
-                # Detach the slot's bucket as the new front heap; the
-                # (empty) old front list takes its place in the wheel
-                # array, so no allocation happens here.
+                # Detach the slot's bucket into the front: batch-decode
+                # the handle list against the columns into (when, seq,
+                # handle) tuples — tombstones are reaped (freed) here,
+                # never even entering the front — then one C tuple sort
+                # yields exact (when, seq) order.  The front list object
+                # is reused, so no allocation beyond the tuples.
                 idx = slot & _WHEEL_MASK
-                buckets = self._buckets
-                bucket = buckets[idx]
-                buckets[idx] = front
+                bucket = self._buckets[idx]
                 self._occupied &= ~(1 << idx)
-                heapify(bucket)
-                self._front = front = bucket
+                del front[:]
+                dead = 0
+                for handle in bucket:
+                    if ecb[handle] is not None:
+                        front.append((ewhen[handle], eseq[handle], handle))
+                    else:
+                        dead += 1
+                        free.append(handle)
+                del bucket[:]
+                if dead:
+                    self._cancelled_unreaped -= dead
+                front.sort()
                 self._front_slot = slot
-                if len(bucket) > self._max_bucket:
-                    self._max_bucket = len(bucket)
+                self._front_pos = pos = 0
+                n = len(front)
+                if n > self._max_bucket:
+                    self._max_bucket = n
                 continue
             # Near wheel empty: reap cancelled spill heads, then jump the
             # window to the spill's first live slot and re-bucket.
             spill = self._spill
-            while spill and spill[0][2] is None:
+            while spill and ecb[spill[0][2]] is None:
                 self._cancelled_unreaped -= 1
-                self._recycle(heappop(spill))
+                free.append(heappop(spill)[2])
             if not spill:
                 return None
             self._cur_slot = max(
@@ -701,30 +868,61 @@ class Simulator:
 
     def _pop_cohort(self, when):
         """Move every future event with time exactly ``when`` (the batch
-        :meth:`_next_when` is positioned on) into the ready ring."""
+        :meth:`_next_when` is positioned on) into the ready ring.
+
+        A pointer walk over the sorted front: batch-decodes the whole
+        same-time cohort from the columns with no pops and no compares
+        beyond the cohort boundary.  Front entries drain before overlay
+        entries at the same timestamp — front seqs are all smaller."""
         front = self._front
+        pos = self._front_pos
+        n = len(front)
         ready = self._ready
-        pool = self._pool
+        ecb = self._ecb
+        eargs = self._eargs
+        free = self._free
         live = 0
-        while front and front[0][0] == when:
-            entry = heappop(front)
-            callback = entry[2]
+        while pos < n:
+            entry = front[pos]
+            if entry[0] != when:
+                break
+            pos += 1
+            handle = entry[2]
+            callback = ecb[handle]
             if callback is not None:
-                ready.append((callback, entry[3]))
+                ready.append((callback, eargs[handle]))
                 live += 1
+                ecb[handle] = None
             else:
                 self._cancelled_unreaped -= 1
-            # Physically removed: recycle the body right away.  A stale
-            # Timer handle still can't touch it — the callback slot is
+            # Physically drained: the handle is free for reuse.  A stale
+            # Timer still can't touch it — the callback column is
             # cleared and seq values are never reused.
-            entry[2] = None
-            entry[3] = None
-            if len(pool) < _POOL_MAX:
-                pool.append(entry)
+            eargs[handle] = None
+            free.append(handle)
+        self._front_pos = pos
+        fheap = self._fheap
+        while fheap and fheap[0][0] == when:
+            handle = heappop(fheap)[2]
+            callback = ecb[handle]
+            if callback is not None:
+                ready.append((callback, eargs[handle]))
+                live += 1
+                ecb[handle] = None
+            else:
+                self._cancelled_unreaped -= 1
+            eargs[handle] = None
+            free.append(handle)
         self._future_live -= live
 
     def _compact(self):
-        """Sweep tombstoned entries out of the wheel, front, and spill."""
+        """Sweep tombstoned handles out of the wheel, front, and spill.
+
+        Pure flat-buffer work: filter int lists against the callback
+        column, freeing every dead handle (each container holds its
+        handles' only references)."""
+        ecb = self._ecb
+        free = self._free
         buckets = self._buckets
         occupied = self._occupied
         new_occupied = 0
@@ -732,35 +930,42 @@ class Simulator:
             if not occupied >> idx & 1:
                 continue
             bucket = buckets[idx]
-            keep = [e for e in bucket if e[2] is not None]
+            keep = [h for h in bucket if ecb[h] is not None]
             if len(keep) != len(bucket):
-                pool = self._pool
-                for entry in bucket:
-                    if entry[2] is None:
-                        entry[3] = None
-                        if len(pool) < _POOL_MAX:
-                            pool.append(entry)
+                for h in bucket:
+                    if ecb[h] is None:
+                        free.append(h)
                 bucket[:] = keep
             if bucket:
                 new_occupied |= 1 << idx
         self._occupied = new_occupied
         front = self._front
-        if front:
-            keep = [e for e in front if e[2] is not None]
-            if len(keep) != len(front):
-                for entry in front:
-                    if entry[2] is None:
-                        self._recycle(entry)
-                front[:] = keep
-                # Filtering can break the heap invariant; rebuild.
-                heapify(front)
+        pos = self._front_pos
+        if pos < len(front):
+            suffix = front[pos:]
+            keep = [t for t in suffix if ecb[t[2]] is not None]
+            if len(keep) != len(suffix):
+                for t in suffix:
+                    if ecb[t[2]] is None:
+                        free.append(t[2])
+                # A filtered subsequence of a sorted list stays sorted.
+                front[pos:] = keep
+        fheap = self._fheap
+        if fheap:
+            keep = [t for t in fheap if ecb[t[2]] is not None]
+            if len(keep) != len(fheap):
+                for t in fheap:
+                    if ecb[t[2]] is None:
+                        free.append(t[2])
+                fheap[:] = keep
+                heapify(fheap)
         spill = self._spill
         if spill:
-            keep = [e for e in spill if e[2] is not None]
+            keep = [t for t in spill if ecb[t[2]] is not None]
             if len(keep) != len(spill):
-                for entry in spill:
-                    if entry[2] is None:
-                        self._recycle(entry)
+                for t in spill:
+                    if ecb[t[2]] is None:
+                        free.append(t[2])
                 spill[:] = keep
                 # Filtering can break the heap invariant; rebuild.
                 heapify(spill)
@@ -769,6 +974,8 @@ class Simulator:
 
     def wheel_stats(self):
         """Timing-wheel engine statistics (``repro profile --hot``)."""
+        pool_slots = len(self._eseq)
+        pool_free = len(self._free)
         return {
             "engine": "timing-wheel",
             "bucket_width_s": self._width,
@@ -779,6 +986,9 @@ class Simulator:
             "timers_cancelled": self._timers_cancelled,
             "cancelled_unreaped": self._cancelled_unreaped,
             "compactions": self._compactions,
+            "pool_slots": pool_slots,
+            "pool_free": pool_free,
+            "pool_occupancy": pool_slots - pool_free,
             "pending_events": self.pending_events,
             "events_dispatched": self.events_dispatched,
         }
@@ -801,6 +1011,7 @@ class Simulator:
                 processes were still blocked.
         """
         ready = self._ready
+        popleft = ready.popleft
         dispatched = 0
         no_horizon = until is None
         while True:
@@ -809,7 +1020,7 @@ class Simulator:
             if self._live_processes == 0 and no_horizon:
                 break
             if ready:
-                callback, args = ready.popleft()
+                callback, args = popleft()
                 dispatched += 1
                 callback(*args)
                 continue
@@ -821,7 +1032,7 @@ class Simulator:
                 break
             self.now = when
             # Batch-drain the whole equal-time cohort into the ring.
-            # The sorted bucket yields seq (scheduling) order, and
+            # The sorted front yields seq (scheduling) order, and
             # anything scheduled at ``when`` while the cohort runs has a
             # larger seq and is appended behind it.
             self._pop_cohort(when)

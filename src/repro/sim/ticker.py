@@ -1,0 +1,168 @@
+"""Aggregated periodic ticks for homogeneous daemon processes.
+
+On a cluster cell the single largest event population is the per-host
+``fastiovd`` scanner tick: every host arms one ``Timeout(scan_interval)``
+per 4 ms of virtual time, and on an idle host the fired event does
+nothing but step a generator that immediately re-arms it.  N hosts pay
+N timer inserts, N dispatches, and N generator resumes per interval for
+zero model progress.
+
+:class:`DaemonTicker` collapses that population.  Daemons *park* on the
+ticker (``yield ticker.park(predicate)``) instead of sleeping on their
+own timer.  Parked daemons sharing the same fire time form a *phase
+group* backed by **one** scheduled event; when it fires, the ticker
+sweeps the group with a plain predicate call per member:
+
+* ``predicate()`` true (the daemon has work — e.g. a non-empty lazy
+  table): the member's resume callback is appended to the ready ring,
+  exactly where its own timer would have delivered it.
+* false: the member is re-parked into the group one interval later
+  without ever resuming its generator — one list append instead of a
+  timer insert + event dispatch + generator step.
+
+The virtual-time arithmetic is bit-identical to the per-daemon world:
+a park at time *t* targets ``t + interval`` (the same float sum
+``Timeout`` would produce) and an idle re-park chains ``when +
+interval`` from the group's exact fire time, so busy daemons drift off
+phase and rejoin groups precisely as their private timers would.
+
+External accounting is also preserved.  Each group fire bumps
+``events_dispatched`` by the members the per-daemon world would have
+dispatched individually (the ``idle - 1`` compensation: one dispatch
+for the group event itself, one per woken member when its resume runs
+from the ring).  ``Simulator.pending_events`` counts parked members
+through ``_phantom_parked`` — a group of *k* members is one real
+pending event plus ``k - 1`` phantoms — so schedulers and epoch
+protocols observe the same queue depths either way.
+
+The sweep is still O(members) per interval, but its constant is a
+predicate call and (for idle members) a list append — roughly an order
+of magnitude cheaper than the full timer insert / dispatch / trampoline
+cycle, which is where the timer-dense throughput multiple comes from
+(see ``benchmarks/perf_report.py::engine_daemon_tick_events_per_sec``).
+"""
+
+from repro.sim.core import Command
+
+
+class _Park(Command):
+    """Yieldable that parks the current process on a ticker.
+
+    Immutable: a daemon loop creates one and re-yields the same object
+    every iteration.  The process resumes with ``None`` (like a
+    ``Timeout``) at a tick where ``predicate()`` returned true.
+    """
+
+    __slots__ = ("_ticker", "_predicate")
+
+    def __init__(self, ticker, predicate):
+        self._ticker = ticker
+        self._predicate = predicate
+
+    def subscribe(self, sim, process):
+        self._ticker._park(process._on_resume, self._predicate)
+
+    def __repr__(self):
+        return f"<Park on {self._ticker!r}>"
+
+
+class DaemonTicker:
+    """One shared periodic tick for many parked daemon processes."""
+
+    __slots__ = (
+        "_sim",
+        "interval",
+        "_groups",
+        "ticks_fired",
+        "wakes",
+        "skips",
+        "members_peak",
+    )
+
+    def __init__(self, sim, interval):
+        if interval <= 0:
+            raise ValueError(f"tick interval must be positive: {interval}")
+        self._sim = sim
+        self.interval = interval
+        #: Exact fire time -> list of (resume, predicate) members.  Keys
+        #: are the same floats per-daemon timers would compute, so
+        #: daemons sharing a phase share one event by construction.
+        self._groups = {}
+        self.ticks_fired = 0
+        self.wakes = 0
+        self.skips = 0
+        self.members_peak = 0
+
+    def park(self, predicate):
+        """A reusable command parking its yielder until a tick at which
+        ``predicate()`` is true (evaluated at each tick, daemon asleep)."""
+        return _Park(self, predicate)
+
+    def _park(self, resume, predicate):
+        sim = self._sim
+        when = sim.now + self.interval
+        groups = self._groups
+        group = groups.get(when)
+        if group is None:
+            groups[when] = [(resume, predicate)]
+            sim.schedule(when, self._fire, when)
+        else:
+            group.append((resume, predicate))
+            sim._phantom_parked += 1
+
+    def _fire(self, when):
+        sim = self._sim
+        groups = self._groups
+        group = groups.pop(when)
+        k = len(group)
+        sim._phantom_parked -= k - 1
+        ready = sim._ready
+        nxt = when + self.interval
+        ngroup = groups.get(nxt)
+        idle = 0
+        for member in group:
+            if member[1]():
+                # Delivered exactly as the member's own timer would:
+                # through the ready ring, resumed with None.
+                ready.append((member[0], (None,)))
+            else:
+                idle += 1
+                if ngroup is None:
+                    ngroup = [member]
+                    groups[nxt] = ngroup
+                    sim.schedule(nxt, self._fire, nxt)
+                else:
+                    ngroup.append(member)
+                    sim._phantom_parked += 1
+        # Dispatch-count parity with one-timer-per-daemon: k individual
+        # timers would have dispatched; this tick dispatches 1 (the
+        # group event) plus one per woken member when the ring drains.
+        sim.events_dispatched += idle - 1
+        self.ticks_fired += 1
+        self.wakes += k - idle
+        self.skips += idle
+        if k > self.members_peak:
+            self.members_peak = k
+
+    @property
+    def parked(self):
+        """Number of currently parked members across all phase groups."""
+        return sum(len(g) for g in self._groups.values())
+
+    def stats(self):
+        """Counters for observability ingestion (metrics registry)."""
+        return {
+            "interval_s": self.interval,
+            "ticks_fired": self.ticks_fired,
+            "member_wakes": self.wakes,
+            "member_skips": self.skips,
+            "members_peak": self.members_peak,
+            "parked": self.parked,
+            "phase_groups": len(self._groups),
+        }
+
+    def __repr__(self):
+        return (
+            f"<DaemonTicker interval={self.interval} "
+            f"parked={self.parked} groups={len(self._groups)}>"
+        )

@@ -9,13 +9,19 @@ against.
 It subclasses :class:`repro.sim.core.Simulator` and overrides only the
 future-event-set hooks (``_insert_future`` / ``_cancel_entry`` /
 ``_next_when`` / ``_pop_cohort``), so the dispatch loop, the ready
-ring, process semantics, and the public API are shared with the real
-engine — any ordering difference between the two is therefore a
-difference between the binary heap and the timing wheel, which is
-exactly what the differential tests probe.
+ring, process semantics, the struct-of-arrays event pool, and the
+public API are shared with the real engine — any ordering difference
+between the two is therefore a difference between the binary heap and
+the timing wheel, which is exactly what the differential tests probe.
+
+Events are the same pool handles the wheel uses (allocated with the
+shared ``_alloc_entry``); only their *placement* differs — one global
+``(when, seq, handle)`` heap instead of buckets.  ``Timer`` handles are
+therefore engine-agnostic, and the pool-recycling / stale-handle
+semantics are exercised identically by both engines.
 
 Cancellation is the classic heapq recipe (lazy deletion: tombstone the
-entry in place, reap at pop), which also keeps the micro-benchmark
+event in place, reap at pop), which also keeps the micro-benchmark
 comparison honest — the heap engine is given the same O(1) ``cancel``
 the wheel has, and still loses on the O(log n) inserts over a set
 bloated with dead timers.
@@ -39,22 +45,25 @@ class ReferenceHeapSimulator(Simulator):
         self._heap = []
 
     def _insert_future(self, when, seq, callback, args):
-        entry = [when, seq, callback, args]
-        heappush(self._heap, entry)
+        handle = self._alloc_entry(when, seq, callback, args)
+        heappush(self._heap, (when, seq, handle))
         self._future_live += 1
-        return entry
+        return handle
 
-    def _cancel_entry(self, entry):
-        entry[2] = None
-        entry[3] = None
+    def _cancel_entry(self, handle):
+        self._ecb[handle] = None
+        self._eargs[handle] = None
         self._future_live -= 1
         self._cancelled_unreaped += 1
         self._timers_cancelled += 1
 
     def _next_when(self):
         heap = self._heap
-        while heap and heap[0][2] is None:
-            heappop(heap)
+        ecb = self._ecb
+        free = self._free
+        while heap and ecb[heap[0][2]] is None:
+            # The heap tuple held the handle's one reference.
+            free.append(heappop(heap)[2])
             self._cancelled_unreaped -= 1
         if not heap:
             return None
@@ -63,19 +72,23 @@ class ReferenceHeapSimulator(Simulator):
     def _pop_cohort(self, when):
         heap = self._heap
         ready = self._ready
+        ecb = self._ecb
+        eargs = self._eargs
+        free = self._free
         live = 0
         while heap and heap[0][0] == when:
-            entry = heappop(heap)
-            callback = entry[2]
+            handle = heappop(heap)[2]
+            callback = ecb[handle]
             if callback is None:
                 self._cancelled_unreaped -= 1
-                continue
-            ready.append((callback, entry[3]))
-            live += 1
-            # Tombstone the consumed entry so a stale Timer handle on a
-            # fired event is a no-op (matches the wheel engine).
-            entry[2] = None
-            entry[3] = None
+            else:
+                ready.append((callback, eargs[handle]))
+                live += 1
+                # Tombstone the consumed event so a stale Timer handle
+                # on a fired event is a no-op (matches the wheel).
+                ecb[handle] = None
+            eargs[handle] = None
+            free.append(handle)
         self._future_live -= live
 
     def wheel_stats(self):

@@ -139,6 +139,66 @@ def test_shards_clamp_to_host_count():
 
 
 # ----------------------------------------------------------------------
+# shards="auto": the hosts-per-shard threshold
+# ----------------------------------------------------------------------
+def test_resolve_shards_auto_picks_one_on_small_cells(capsys):
+    from repro.cluster.sharded import MIN_HOSTS_PER_SHARD, resolve_shards
+
+    # The quick scale cell (8 hosts): any split leaves fewer than the
+    # threshold per shard, so auto must stay in-process — the measured
+    # regression this guards against was 3.7 s sharded vs 2.3 s single.
+    assert resolve_shards("auto", 8) == 1
+    note = capsys.readouterr().err
+    assert "single-shard" in note
+    # Small-cell fallback at every size below one full shard pair.
+    for hosts in (1, 2, MIN_HOSTS_PER_SHARD, 2 * MIN_HOSTS_PER_SHARD - 1):
+        assert resolve_shards("auto", hosts) == 1
+
+
+def test_resolve_shards_auto_respects_threshold_on_big_cells():
+    import os
+
+    from repro.cluster.sharded import MIN_HOSTS_PER_SHARD, resolve_shards
+
+    resolved = resolve_shards("auto", 48)
+    assert 1 <= resolved <= 48 // MIN_HOSTS_PER_SHARD
+    assert resolved <= (os.cpu_count() or 1)
+
+
+def test_resolve_shards_honors_explicit_counts():
+    from repro.cluster.sharded import resolve_shards
+
+    # An explicit count is a user decision: never second-guessed, only
+    # clamped to the host count (and None means single-process).
+    assert resolve_shards(4, 8) == 4
+    assert resolve_shards(16, 8) == 8
+    assert resolve_shards(1, 48) == 1
+    assert resolve_shards(None, 48) == 1
+
+
+def test_scale_experiment_resolves_auto_to_single_shard_on_quick_cells():
+    from repro.experiments import get_experiment
+
+    experiment = get_experiment("scale").configure(shards="auto")
+    cells = experiment._cells(quick=True, seed=0)
+    assert cells
+    assert all(cell.shards == 1 for cell in cells)
+
+
+def test_cli_shards_arg_accepts_auto_and_rejects_junk():
+    import pytest as _pytest
+
+    from repro.__main__ import shard_count
+
+    assert shard_count("auto") == "auto"
+    assert shard_count("4") == 4
+    with _pytest.raises(Exception):
+        shard_count("0")
+    with _pytest.raises(Exception):
+        shard_count("many")
+
+
+# ----------------------------------------------------------------------
 # Epoch-barrier protocol: spread arrivals
 # ----------------------------------------------------------------------
 def test_poisson_least_loaded_is_invariant_to_shards_and_workers():

@@ -1,0 +1,186 @@
+"""Tests for the aggregated daemon ticker (repro.sim.ticker).
+
+The contract: a population of daemons parked on one
+:class:`DaemonTicker` behaves *observably identically* to the same
+daemons sleeping on private ``Timeout`` timers — same virtual
+timestamps, same ``pending_events``, same ``events_dispatched`` — while
+the engine schedules one event per phase group instead of one per
+daemon.
+"""
+
+import pytest
+
+from repro.sim import DaemonTicker, Simulator, Timeout
+
+INTERVAL = 0.004
+
+
+def _run_daemons(aggregated, daemons, ticks, busy_every):
+    """Run the scanner-shaped workload both ways; return its trace.
+
+    Every daemon ticks at INTERVAL; a driver flags a rotating subset
+    busy (off-phase so flag writes never share a tick timestamp).
+    Returns (wake log, checkpoints, sim, ticker).
+    """
+    sim = Simulator()
+    work = [False] * daemons
+    log = []
+    ticker = DaemonTicker(sim, INTERVAL) if aggregated else None
+
+    def scanner(index):
+        if ticker is not None:
+            park = ticker.park(lambda: work[index])
+            while True:
+                yield park
+                log.append((index, sim.now))
+                work[index] = False
+        else:
+            while True:
+                yield Timeout(INTERVAL)
+                if work[index]:
+                    log.append((index, sim.now))
+                    work[index] = False
+
+    def driver():
+        yield Timeout(INTERVAL / 2)
+        for step in range(ticks):
+            for j in range((step * 3) % busy_every, daemons, busy_every):
+                work[j] = True
+            yield Timeout(INTERVAL)
+
+    for index in range(daemons):
+        sim.spawn(scanner(index), daemon=True)
+    sim.spawn(driver())
+
+    checkpoints = []
+    horizon = INTERVAL * (ticks + 2)
+    for fraction in (0.25, 0.5, 1.0):
+        sim.run_until(horizon * fraction)
+        checkpoints.append(
+            (sim.now, sim.pending_events, sim.events_dispatched)
+        )
+    return log, checkpoints, sim, ticker
+
+
+def test_aggregated_ticks_match_per_timer_daemons_exactly():
+    base_log, base_ckpt, _, _ = _run_daemons(
+        False, daemons=40, ticks=60, busy_every=8
+    )
+    aggr_log, aggr_ckpt, _, ticker = _run_daemons(
+        True, daemons=40, ticks=60, busy_every=8
+    )
+    # Same daemons woke at the same virtual times, in the same order.
+    assert aggr_log == base_log
+    assert base_log  # the workload actually produced wakes
+    # Accounting parity at every epoch boundary, not just the end.
+    assert aggr_ckpt == base_ckpt
+    # And the ticker really did aggregate: far fewer ticks than the
+    # per-daemon world's 40 * 60 individual timer fires.
+    assert ticker.ticks_fired < 40 * 60 / 4
+
+
+def test_idle_parks_are_skips_not_wakes():
+    sim = Simulator()
+    ticker = DaemonTicker(sim, INTERVAL)
+    wakes = []
+
+    def daemon():
+        park = ticker.park(lambda: False)  # never ready
+        while True:
+            yield park
+            wakes.append(sim.now)
+
+    for _ in range(10):
+        sim.spawn(daemon(), daemon=True)
+    # Half-interval pad: the chained float sums drift a few ULPs past
+    # the exact multiples, so an exact horizon can miss the last tick.
+    sim.run_until(INTERVAL * 20.5)
+    assert wakes == []
+    assert ticker.wakes == 0
+    assert ticker.ticks_fired == 20
+    assert ticker.skips == 10 * 20
+    assert ticker.members_peak == 10
+    assert ticker.parked == 10
+
+
+def test_phantom_accounting_keeps_pending_events_per_member():
+    sim = Simulator()
+    ticker = DaemonTicker(sim, INTERVAL)
+
+    def daemon():
+        park = ticker.park(lambda: False)
+        while True:
+            yield park
+
+    for _ in range(7):
+        sim.spawn(daemon(), daemon=True)
+    sim.run_until(INTERVAL / 2)
+    # One phase group (one real event) still reports 7 pending events,
+    # exactly as 7 private timers would.
+    assert ticker.parked == 7
+    assert len(ticker._groups) == 1
+    assert sim.pending_events == 7
+    sim.run_until(INTERVAL * 5.5)
+    assert sim.pending_events == 7
+
+
+def test_busy_daemons_drift_off_phase_and_regroup():
+    sim = Simulator()
+    ticker = DaemonTicker(sim, INTERVAL)
+    ready = [True]
+    wakes = []
+
+    def daemon(delay):
+        yield Timeout(delay)  # stagger the initial phase
+        park = ticker.park(lambda: ready[0])
+        while True:
+            yield park
+            wakes.append(sim.now)
+
+    sim.spawn(daemon(0.0), daemon=True)
+    sim.spawn(daemon(0.001), daemon=True)
+    sim.run_until(INTERVAL * 3)
+    # Different phases -> separate groups, both daemons still tick.
+    assert len({round(t % INTERVAL, 9) for t in wakes}) == 2
+    stats = ticker.stats()
+    assert stats["member_wakes"] == len(wakes)
+    assert stats["phase_groups"] == 2
+
+
+def test_stats_shape_and_interval_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        DaemonTicker(sim, 0.0)
+    ticker = DaemonTicker(sim, INTERVAL)
+    stats = ticker.stats()
+    assert stats == {
+        "interval_s": INTERVAL,
+        "ticks_fired": 0,
+        "member_wakes": 0,
+        "member_skips": 0,
+        "members_peak": 0,
+        "parked": 0,
+        "phase_groups": 0,
+    }
+
+
+def test_fastiovd_falls_back_to_timeout_on_interval_mismatch():
+    """A scanner wired to a ticker with a foreign interval must keep its
+    private timer (the ticker only serves daemons matching its phase
+    math) — and still produce identical results."""
+    from repro.core import build_host
+    from repro.spec import PAPER_TESTBED
+
+    host_plain = build_host("fastiov", spec=PAPER_TESTBED, seed=3)
+    result_plain = host_plain.launch(20)
+
+    ticker = DaemonTicker.__new__(DaemonTicker)  # interval set below
+    host_tick = build_host("fastiov", spec=PAPER_TESTBED, seed=3)
+    ticker.__init__(host_tick.sim, PAPER_TESTBED.fastiovd_scan_interval_s * 2)
+    host_tick.fastiovd._ticker = ticker
+    result_tick = host_tick.launch(20)
+
+    plain = result_plain.startup_times("fastiov").summary()
+    tick = result_tick.startup_times("fastiov").summary()
+    assert tick == plain
+    assert ticker.ticks_fired == 0  # never parked on the mismatched ticker

@@ -184,6 +184,138 @@ def test_equal_time_cohort_spanning_wheel_and_spill_levels():
     assert [tag for tag, _ in wheel] == ["early-seq", "mid-seq", "late-seq"]
 
 
+def build_cancel_heavy_plan(seed):
+    """A plan where most operations arm timers and most timers die.
+
+    Exercises the SoA pool's tombstone/compaction machinery: the lazy
+    tables fill with dead handles that the wheel reaps in bulk while
+    the heap oracle reaps them one pop at a time.
+    """
+    rng = random.Random(seed ^ 0x5CA1E)
+    procs = []
+    for _ in range(rng.randint(3, 6)):
+        ops = []
+        for _ in range(rng.randint(6, 14)):
+            roll = rng.random()
+            if roll < 0.70:
+                delay = QUANTUM * rng.randint(1, 20000)
+                action = rng.choice(
+                    ("cancel_imm", "cancel_imm", "cancel_later", "keep")
+                )
+                ops.append(("timer", delay, action))
+            elif roll < 0.85:
+                ops.append(("sleep", QUANTUM * rng.randint(0, 400)))
+            else:
+                ops.append(("sched", QUANTUM * rng.randint(0, 400)))
+        procs.append(ops)
+    return {"procs": procs, "horizons": [], "late": [], "span": QUANTUM * 50000}
+
+
+def build_zero_delay_plan(seed):
+    """A plan dominated by zero-delay resumes and same-timestamp bursts.
+
+    Zero-delay events bypass the wheel (ready ring), but they interleave
+    with wheel cohorts at the same timestamp — the tie-order contract's
+    sharpest edge.
+    """
+    rng = random.Random(seed ^ 0x0DE1A)
+    procs = []
+    for _ in range(rng.randint(3, 6)):
+        ops = []
+        for _ in range(rng.randint(5, 12)):
+            roll = rng.random()
+            if roll < 0.55:
+                ops.append(("sleep", 0.0))
+            elif roll < 0.75:
+                # Same-timestamp cohort: quantized tiny delays collide.
+                ops.append(("sleep", QUANTUM * rng.randint(1, 3)))
+            elif roll < 0.90:
+                ops.append(("sched", QUANTUM * rng.randint(0, 3)))
+            else:
+                ops.append(("timer", QUANTUM * rng.randint(1, 50), "keep"))
+        procs.append(ops)
+    return {"procs": procs, "horizons": [], "late": [], "span": QUANTUM * 50000}
+
+
+def build_pool_recycling_plan(seed):
+    """Waves of short-lived timers so pool handles recycle constantly.
+
+    Each wave arms a batch of timers that either fire or are cancelled
+    before the next wave arms over the freed handles; a mis-recycled
+    slot (stale column data, a live handle on the free list) surfaces
+    as an order or accounting divergence from the oracle.
+    """
+    rng = random.Random(seed ^ 0xF4EE)
+    procs = []
+    for _ in range(rng.randint(2, 4)):
+        ops = []
+        for _ in range(rng.randint(8, 16)):
+            roll = rng.random()
+            if roll < 0.45:
+                # Fires soon: the slot drains and the handle recycles.
+                ops.append(("timer", QUANTUM * rng.randint(1, 8), "keep"))
+            elif roll < 0.75:
+                ops.append(("timer", QUANTUM * rng.randint(1, 8),
+                            rng.choice(("cancel_imm", "cancel_later"))))
+            else:
+                # Step past the wave so its handles are freed.
+                ops.append(("sleep", QUANTUM * rng.randint(4, 16)))
+        procs.append(ops)
+    return {"procs": procs, "horizons": [], "late": [], "span": QUANTUM * 50000}
+
+
+@pytest.mark.parametrize("builder", [
+    build_cancel_heavy_plan,
+    build_zero_delay_plan,
+    build_pool_recycling_plan,
+])
+def test_biased_interleavings_match_reference_heap(builder):
+    mismatches = []
+    for seed in range(120):
+        plan = builder(seed)
+        wheel = run_plan(Simulator, plan)
+        heap = run_plan(ReferenceHeapSimulator, plan)
+        if wheel != heap:
+            mismatches.append(seed)
+    assert not mismatches, (
+        f"{builder.__name__}: diverged on seeds {mismatches[:10]} "
+        f"({len(mismatches)}/120 cases)"
+    )
+
+
+@pytest.mark.parametrize("factory", [Simulator, ReferenceHeapSimulator])
+def test_stale_timer_on_recycled_pool_slot_is_noop(factory):
+    """A Timer whose pool slot was freed and re-armed by an unrelated
+    event must be inert on both engines: cancel() returns False, the
+    new occupant still fires, and the accounting never moves."""
+    sim = factory()
+    fired = []
+
+    timer = sim.call_later(0.001, fired.append, "victim")
+    handle = timer._handle
+
+    # Fire the victim as the *last* event so its handle is the LIFO
+    # free-list head when the replacement allocates.
+    sim.run_until(0.002)
+    assert fired == ["victim"]
+    assert not timer.active
+
+    # Recycle the exact slot with an unrelated timer.
+    replacement = sim.call_later(0.5, fired.append, "replacement")
+    assert replacement._handle == handle, "pool should recycle LIFO"
+
+    pending_before = sim.pending_events
+    cancelled_before = sim._timers_cancelled
+    assert timer.cancel() is False
+    assert timer.when is None
+    assert sim.pending_events == pending_before
+    assert sim._timers_cancelled == cancelled_before
+    assert replacement.active
+
+    sim.run_until(1.0)
+    assert fired == ["victim", "replacement"]
+
+
 def test_event_exactly_on_run_until_horizon_fires_inside_epoch():
     for factory in (Simulator, ReferenceHeapSimulator):
         sim = factory()
