@@ -1,7 +1,10 @@
 """Wall-clock performance report for the simulator fast path.
 
 Times a fixed set of experiments end-to-end (quick scale, cache off) —
-including the quick scale experiment re-run over 4 cluster shards —
+including the quick scale experiment re-run over 4 cluster shards, and
+a spread-arrival sharded pair timed under both sync protocols
+(``scale_conservative4`` / ``scale_optimistic4``, gated against each
+other: optimistic must never bench slower than conservative) —
 measures raw event-engine throughput with three synthetic storms (a
 dispatch-heavy mix, a timer-dense churn shape also run against the
 retained heap scheduler, and an idle-daemon tick storm run with and
@@ -26,6 +29,11 @@ regenerate the baseline with ``--update-baseline``.
 heavy cluster cell (48 hosts, 2000 startups) timed single-process and at
 8 shards/8 worker processes, with the two summaries asserted identical.
 It needs the cores to show a speedup, so it is reported, not gated.
+
+``--optimistic-smoke`` runs a 100,000-host spread-arrival cell to
+completion under optimistic sync and records its wall-clock and
+rollback counters — the scale headline of the optimistic runner
+(reported, not gated; takes minutes).
 """
 
 import argparse
@@ -49,6 +57,11 @@ EXPERIMENTS = ("fig1", "fig11", "fig13c", "scale")
 
 #: Shard count for the gated sharded quick-scale timing.
 GATE_SHARDS = 4
+
+#: Arrival rate for the sync-protocol timings: spread arrivals drive
+#: the epoch protocol (a burst places everything in epoch 0 and never
+#: exercises the barriers the sync modes differ on).
+GATE_RATE = 150.0
 
 
 def engine_events_per_sec(procs=200, rounds=200, repeats=5):
@@ -236,7 +249,85 @@ def measure(experiment_ids, jobs=None, repeats=2):
         jobs, repeats,
     )
     print(f"{label:14s} {timings[label]:8.3f} s")
+    # The sync-protocol pair: the same spread-arrival sharded quick
+    # scale run under both barrier protocols.  Each rides the baseline
+    # ratio gate, and --check additionally asserts optimistic never
+    # benches slower than conservative (see check()).
+    for mode in ("conservative", "optimistic"):
+        label = f"scale_{mode}{GATE_SHARDS}"
+        timings[label] = _timed_run(
+            lambda mode=mode: get_experiment("scale").configure(
+                shards=GATE_SHARDS, rate=GATE_RATE, sync=mode,
+            ),
+            jobs, repeats,
+        )
+        print(f"{label:14s} {timings[label]:8.3f} s")
     return timings
+
+
+def measure_optimistic_stats(preset="fastiov", concurrency=40, hosts=4,
+                             rate=12.0, shards=2, seed=2):
+    """Rollback/speculation counters of one spread optimistic cell.
+
+    Runs in-process (workers=0), where speculation is eager and the
+    counters are deterministic — so the BENCH numbers trend cleanly
+    across runs instead of following worker-scheduling noise.
+    """
+    from repro.cluster.churn import cluster_arrivals
+    from repro.cluster.sharded import run_sharded_cluster
+
+    stats = {}
+    run_sharded_cluster(
+        preset, concurrency, hosts=hosts, seed=seed, shards=shards,
+        workers=0, arrivals=cluster_arrivals(seed, rate),
+        sync="optimistic", engine_stats=stats,
+    )
+    return {
+        key: stats[f"sync_{key}"]
+        for key in ("epochs", "rollbacks", "speculated_events",
+                    "replayed_events", "speculation_commits",
+                    "throttled_shards")
+    }
+
+
+def measure_optimistic_smoke(hosts=100000, concurrency=5000, rate=500.0,
+                             shards=4, seed=0):
+    """Completion smoke: a 100k-host cell under optimistic sync.
+
+    The cell is sized for feasibility, not realism: 2 VFs per host
+    instead of the NIC's 256 (the pool dominates per-host memory) and
+    a 0.5 s daemon scan interval (at 0.004 s, 100k mostly-idle hosts
+    would spend the whole run ticking).  What it proves: the optimistic
+    protocol drives a cluster three orders of magnitude past the paper
+    testbed to completion, with the rollback counters exported.
+    Returns ``(elapsed_s, counters)``.
+    """
+    import dataclasses
+
+    from repro.cluster.churn import cluster_arrivals
+    from repro.cluster.sharded import run_sharded_cluster
+    from repro.spec import PAPER_TESTBED
+
+    spec = dataclasses.replace(PAPER_TESTBED, fastiovd_scan_interval_s=0.5)
+    stats = {}
+    started = time.perf_counter()
+    summary = run_sharded_cluster(
+        "fastiov", concurrency, hosts=hosts, seed=seed, shards=shards,
+        vf_count=2, spec=spec, arrivals=cluster_arrivals(seed, rate),
+        sync="optimistic", engine_stats=stats,
+    )
+    elapsed = time.perf_counter() - started
+    assert summary["count"] == concurrency, "smoke cell lost containers"
+    counters = {
+        key: stats[f"sync_{key}"]
+        for key in ("epochs", "rollbacks", "speculated_events",
+                    "replayed_events", "speculation_commits",
+                    "throttled_shards")
+    }
+    print(f"{'smoke-100k':14s} {elapsed:8.3f} s  "
+          f"({hosts} hosts, {concurrency} containers, "
+          f"rollbacks={counters['rollbacks']})")
+    return round(elapsed, 4), counters
 
 
 def measure_sharded_speedup(shards=8, hosts=48, concurrency=2000):
@@ -275,6 +366,17 @@ REQUIRED_BASELINE_KEYS = (
     "engine_events_per_sec",
     "engine_timer_events_per_sec",
     "engine_daemon_tick_events_per_sec",
+    "optimistic_sync",
+)
+
+#: Timings the baseline's ``timings`` map must itself contain.  The
+#: sync-protocol pair joined the schema with the optimistic runner; a
+#: baseline predating it would silently skip exactly those gates.
+REQUIRED_BASELINE_TIMINGS = (
+    "scale",
+    f"scale_shards{GATE_SHARDS}",
+    f"scale_conservative{GATE_SHARDS}",
+    f"scale_optimistic{GATE_SHARDS}",
 )
 
 
@@ -283,6 +385,13 @@ def check(timings, engine_rates, threshold):
 
     ``engine_rates`` maps baseline key -> measured events/sec; each is
     gated the same way: a drop of more than ``threshold`` fails.
+    Beyond the baseline ratios, the sync-protocol pair is gated against
+    *each other*: optimistic slower than conservative by more than the
+    threshold fails, because the adaptive throttle exists precisely to
+    bound optimistic's downside at conservative-plus-noise.  (On
+    multi-core runners optimistic should win outright — speculation
+    overlaps the barrier wait; a single-core runner has no idle cycles
+    to hide speculation in, so parity is the honest expectation.)
 
     A missing or schema-stale baseline is itself a failure — a gate
     that silently skips is indistinguishable from a gate that passed.
@@ -297,6 +406,10 @@ def check(timings, engine_rates, threshold):
         return [("baseline", "missing", str(BASELINE_PATH), 0.0)]
     baseline = json.loads(BASELINE_PATH.read_text())
     missing = [key for key in REQUIRED_BASELINE_KEYS if key not in baseline]
+    missing += [
+        f"timings.{key}" for key in REQUIRED_BASELINE_TIMINGS
+        if key not in baseline.get("timings", {})
+    ]
     if missing:
         print(
             f"ERROR: baseline {BASELINE_PATH} is schema-stale (missing "
@@ -331,6 +444,21 @@ def check(timings, engine_rates, threshold):
             f"{key:8s} baseline {base_eps:9,.0f} ev/s  "
             f"now {events_per_sec:9,.0f} ev/s ({ratio * 100:5.1f}%)  {status}"
         )
+    conservative = timings.get(f"scale_conservative{GATE_SHARDS}")
+    optimistic = timings.get(f"scale_optimistic{GATE_SHARDS}")
+    if conservative and optimistic:
+        ratio = optimistic / conservative
+        status = "ok"
+        if ratio > 1.0 + threshold:
+            status = "REGRESSION"
+            failures.append(
+                ("optimistic-vs-conservative", conservative, optimistic,
+                 ratio)
+            )
+        print(
+            f"{'sync-gate':8s} conservative {conservative:7.3f} s  "
+            f"optimistic {optimistic:7.3f} s ({ratio * 100:5.1f}%)  {status}"
+        )
     return failures
 
 
@@ -346,6 +474,10 @@ def main(argv=None):
     parser.add_argument("--sharded-speedup", action="store_true",
                         help="also time a heavy 48-host cell at 1 vs 8 "
                              "shards (needs cores; reported, not gated)")
+    parser.add_argument("--optimistic-smoke", action="store_true",
+                        help="also run the 100,000-host completion smoke "
+                             "under optimistic sync (minutes; reported, "
+                             "not gated)")
     args = parser.parse_args(argv)
 
     events_per_sec = round(engine_events_per_sec())
@@ -374,8 +506,14 @@ def main(argv=None):
     print(f"{'  (per-timer)':14s} {daemon_eps_per_timer:9,} events/s  "
           f"ticker speedup {ticker_speedup:.2f}x")
     timings = measure(EXPERIMENTS, jobs=args.jobs)
+    optimistic_sync = measure_optimistic_stats()
+    print(f"{'sync-counters':14s} epochs={optimistic_sync['epochs']} "
+          f"rollbacks={optimistic_sync['rollbacks']} "
+          f"speculated={optimistic_sync['speculated_events']} "
+          f"replayed={optimistic_sync['replayed_events']}")
     report = {
         "timings": timings,
+        "optimistic_sync": optimistic_sync,
         "engine_events_per_sec": events_per_sec,
         "engine_timer_events_per_sec": timer_eps,
         "engine_timer_events_per_sec_heap_ref": timer_eps_heap,
@@ -395,6 +533,13 @@ def main(argv=None):
             "speedup_x": speedup,
             "cpus": os.cpu_count(),
         }
+    if args.optimistic_smoke:
+        smoke_s, smoke_counters = measure_optimistic_smoke()
+        report["optimistic_smoke"] = {
+            "elapsed_s": smoke_s,
+            "cpus": os.cpu_count(),
+            **smoke_counters,
+        }
     REPORT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"wrote {REPORT_PATH}")
 
@@ -412,11 +557,17 @@ def main(argv=None):
         daemon_eps_per_timer
     )
     metrics["daemon_ticker_speedup_x"] = ticker_speedup
+    for key, value in optimistic_sync.items():
+        metrics[f"optimistic_{key}"] = value
     speedup = report.get("sharded_speedup")
     if speedup:
         metrics["sharded_cell_single_s"] = speedup["single_s"]
         metrics["sharded_cell_sharded_s"] = speedup["sharded_s"]
         metrics["sharded_cell_speedup_x"] = speedup["speedup_x"]
+    smoke = report.get("optimistic_smoke")
+    if smoke:
+        metrics["optimistic_smoke_100k_s"] = smoke["elapsed_s"]
+        metrics["optimistic_smoke_100k_rollbacks"] = smoke["rollbacks"]
     stamped_path = ROOT / f"BENCH_{runstamp}.json"
     stamped_path.write_text(
         json.dumps(metrics, indent=2, sort_keys=True) + "\n"

@@ -59,6 +59,8 @@ def cmd_run(args):
         hosts=args.hosts,
         placement=args.placement,
         shards=args.shards,
+        sync=args.sync,
+        rate=args.rate,
     )
     result = experiment.run(
         quick=args.quick,
@@ -94,6 +96,13 @@ def cmd_profile(args):
     import pstats
 
     experiment = get_experiment(args.experiment)
+    experiment.configure(
+        hosts=args.hosts,
+        placement=args.placement,
+        shards=args.shards,
+        sync=args.sync,
+        rate=args.rate,
+    )
     target_label = f"experiment {args.experiment!r}"
     if args.hot:
         from repro.experiments.parallel import run_cell
@@ -159,6 +168,8 @@ def cmd_trace(args):
         hosts=args.hosts,
         placement=args.placement,
         shards=args.shards,
+        sync=args.sync,
+        rate=args.rate,
     )
     cells = experiment._cells(quick=args.quick, seed=args.seed)
     if not cells:
@@ -168,6 +179,8 @@ def cmd_trace(args):
     replacements = {"trace": True}
     if args.shards is not None and cell.kind == "cluster":
         replacements["shards"] = args.shards
+    if args.sync is not None and cell.kind == "cluster":
+        replacements["sync"] = args.sync
     cell = dataclasses.replace(cell, **replacements)
     print(f"tracing cell {cell}")
     run_cell(cell)
@@ -234,6 +247,20 @@ def main(argv=None):
              "worker",
     )
     run_p.add_argument(
+        "--sync", choices=("conservative", "optimistic", "auto"),
+        default=None,
+        help="sharded barrier protocol: conservative lockstep epochs "
+             "(default), optimistic speculation with rollback-by-replay, "
+             "or auto; results are byte-identical across modes — this "
+             "only moves wall-clock",
+    )
+    run_p.add_argument(
+        "--rate", type=float, default=None, metavar="PER_S",
+        help="arrival rate for experiments that take one (scale: 0 = "
+             "simultaneous burst; positive rates spread arrivals and "
+             "drive the epoch protocol)",
+    )
+    run_p.add_argument(
         "--json", default=None, metavar="PATH",
         help="also dump the experiment's structured data (sorted keys) "
              "to this file — the sharded-determinism gate diffs these",
@@ -260,6 +287,19 @@ def main(argv=None):
              "across shard counts",
     )
     trace_p.add_argument(
+        "--sync", choices=("conservative", "optimistic", "auto"),
+        default=None,
+        help="sharded barrier protocol for cluster cells; traces are "
+             "byte-identical across modes (protocol counters ride the "
+             "metrics export, not the timeline)",
+    )
+    trace_p.add_argument(
+        "--rate", type=float, default=None, metavar="PER_S",
+        help="arrival rate for experiments that take one; positive "
+             "rates spread arrivals so the traced cell exercises the "
+             "epoch protocol and exports its sync counters",
+    )
+    trace_p.add_argument(
         "--out", default="trace.json", metavar="PATH",
         help="Chrome trace-event JSON output (default trace.json)",
     )
@@ -276,6 +316,30 @@ def main(argv=None):
     profile_p = sub.add_parser("profile", help="cProfile one experiment")
     profile_p.add_argument("experiment")
     profile_p.add_argument("--quick", action="store_true")
+    profile_p.add_argument(
+        "--hosts", type=int, default=None,
+        help="cluster size for experiments that take one",
+    )
+    profile_p.add_argument(
+        "--placement", choices=("least-loaded", "round-robin"), default=None,
+        help="cluster placement policy (default least-loaded)",
+    )
+    profile_p.add_argument(
+        "--shards", type=shard_count, default=None,
+        help="shard simulators for cluster cells ('auto' splits only "
+             "when hosts-per-shard clears the overhead threshold)",
+    )
+    profile_p.add_argument(
+        "--sync", choices=("conservative", "optimistic", "auto"),
+        default=None,
+        help="sharded barrier protocol for cluster cells; --hot prints "
+             "the protocol's sync counters with the engine statistics",
+    )
+    profile_p.add_argument(
+        "--rate", type=float, default=None, metavar="PER_S",
+        help="arrival rate for experiments that take one; positive "
+             "rates spread arrivals and drive the epoch protocol",
+    )
     profile_p.add_argument(
         "--hot", action="store_true",
         help="profile only the experiment's heaviest launch cell "

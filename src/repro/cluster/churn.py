@@ -157,7 +157,7 @@ def cluster_arrivals(seed, rate_per_s=0.0):
 def run_cluster_cell(preset, concurrency, hosts, seed=0, app_name=None,
                      placement="least-loaded", teardown=True, shards=1,
                      workers=None, rate_per_s=0.0, engine_stats=None,
-                     trace=None):
+                     trace=None, sync="conservative"):
     """One cluster-scale launch cell; returns a plain-JSON summary.
 
     The cluster analogue of ``launch_preset`` + ``summarize_launch``:
@@ -166,13 +166,17 @@ def run_cluster_cell(preset, concurrency, hosts, seed=0, app_name=None,
     routes to the sharded runner (:mod:`repro.cluster.sharded`):
     round-robin and burst-arrival cells come back byte-identical to the
     single-process run; spread-arrival least-loaded cells follow the
-    deterministic epoch-barrier protocol.  ``workers`` maps shards to
-    OS processes and never changes results.
+    deterministic epoch protocol, under lockstep barriers
+    (``sync="conservative"``) or Time-Warp-lite speculation
+    (``sync="optimistic"``).  ``workers`` and ``sync`` never change
+    results; single-process runs ignore ``sync`` (there is no barrier).
 
     ``engine_stats``, if given, is a dict filled with the simulator's
-    :meth:`~repro.sim.core.Simulator.wheel_stats` for diagnostics
-    (single-process runs only — sharded simulators live in worker
-    processes); it is never part of the returned summary.
+    :meth:`~repro.sim.core.Simulator.wheel_stats` for diagnostics —
+    single-process wheel stats, or the shards' aggregated stats plus
+    the sync-protocol counters (epochs, barrier wait, rollbacks,
+    speculated/replayed events); it is never part of the returned
+    summary.
 
     ``trace``, if given, is a dict filled with the flight-recorder
     bundle (``repro.obs``): single-process runs record on one shared
@@ -182,7 +186,8 @@ def run_cluster_cell(preset, concurrency, hosts, seed=0, app_name=None,
     """
     from repro.cluster.sharded import resolve_shards
 
-    shards = resolve_shards(shards, hosts)
+    shards = resolve_shards(shards, hosts, placement=placement,
+                            rate_per_s=rate_per_s, sync=sync)
     if shards > 1:
         from repro.cluster.sharded import run_sharded_cluster
 
@@ -190,7 +195,7 @@ def run_cluster_cell(preset, concurrency, hosts, seed=0, app_name=None,
             preset, concurrency, hosts, seed=seed, shards=shards,
             placement=placement, app_name=app_name, teardown=teardown,
             arrivals=cluster_arrivals(seed, rate_per_s), workers=workers,
-            trace=trace,
+            trace=trace, sync=sync, engine_stats=engine_stats,
         )
     from repro.cluster.cluster import Cluster
 

@@ -109,6 +109,19 @@ class ClusterShard:
         self._teardowns = []
         #: Startup-watchdog expiries (mirrors ClusterChurnDriver).
         self.deadline_misses = 0
+        #: Lifecycles submitted / still running.  ``live`` counts a
+        #: lifecycle from spawn (even before its arrival offset elapses)
+        #: until its teardown completes; the optimistic protocol only
+        #: speculates while live work exists, so a shard can never
+        #: free-run its daemons past the cluster's natural end.
+        self.started = 0
+        self.live = 0
+        #: Virtual time of the last lifecycle completion — the shard's
+        #: *natural* end, unlike ``sim.now`` which speculation may have
+        #: pushed further.
+        self.last_lifecycle_end = 0.0
+        #: Set by :meth:`discard` when a rollback abandons this shard.
+        self.abandoned = False
 
     # ------------------------------------------------------------------
     # driving
@@ -123,6 +136,8 @@ class ClusterShard:
         now = self.sim.now
         for global_index, arrival, host_index in assignments:
             name = f"{name_prefix}{global_index}"
+            self.started += 1
+            self.live += 1
             self.sim.spawn(
                 self._lifecycle(global_index, name, arrival - now, host_index),
                 name=f"churn-{name}",
@@ -160,14 +175,21 @@ class ClusterShard:
                 yield from host.engine.run_container(request, record)
             finally:
                 watchdog.cancel()
-                self.records[global_index] = (
-                    arrival_time, sim.now, record.startup_time
-                )
+                # A discarded shard's generators are closed mid-flight
+                # (GeneratorExit at garbage collection); a timeline that
+                # was rolled back never happened, so record nothing.
+                if not self.abandoned:
+                    self.records[global_index] = (
+                        arrival_time, sim.now, record.startup_time
+                    )
             if self.teardown:
                 yield from host.engine.remove_container(name)
         finally:
-            self.loads[host_index] -= 1
-            self._teardowns.append((sim.now, host_index))
+            if not self.abandoned:
+                self.loads[host_index] -= 1
+                self.live -= 1
+                self.last_lifecycle_end = sim.now
+                self._teardowns.append((sim.now, host_index))
 
     def _deadline_missed(self, name):
         self.deadline_misses += 1
@@ -176,6 +198,17 @@ class ClusterShard:
         """Advance to barrier ``when``; returns the new teardown deltas."""
         self.sim.run_until(when)
         return self.take_teardowns()
+
+    def discard(self):
+        """Mark this shard's timeline as rolled back and abandoned.
+
+        Called by the optimistic runner before the shard is dropped for
+        a replayed replacement: the half-run lifecycle generators get
+        closed whenever garbage collection reaps the simulator, and
+        their cleanup must not record startups or teardowns from a
+        timeline that officially never happened.
+        """
+        self.abandoned = True
 
     def drain(self):
         """Run until every lifecycle finished; returns the local end time.
@@ -190,11 +223,27 @@ class ClusterShard:
         self.sim.run()
         return self.sim.now
 
-    def take_teardowns(self):
-        """Teardown deltas recorded since the last call."""
+    def take_teardowns(self, upto=None):
+        """Teardown deltas recorded since the last call.
+
+        With ``upto`` given, only deltas with time <= ``upto`` are
+        taken; the rest stay buffered.  This is the optimistic
+        protocol's anti-message boundary: teardowns a speculating shard
+        produced *beyond* its committed frontier stay local (and are
+        simply discarded with the shard on rollback), so the
+        coordinator only ever sees deltas that can no longer be
+        invalidated.  The buffer is appended in dispatch order, so its
+        times are non-decreasing and the committed prefix is a slice.
+        """
         deltas = self._teardowns
-        self._teardowns = []
-        return deltas
+        if upto is None:
+            self._teardowns = []
+            return deltas
+        cut = 0
+        while cut < len(deltas) and deltas[cut][0] <= upto:
+            cut += 1
+        self._teardowns = deltas[cut:]
+        return deltas[:cut]
 
     # ------------------------------------------------------------------
     # results
@@ -214,6 +263,7 @@ class ClusterShard:
             "free_vfs": free_vfs,
             "events": self.sim.events_dispatched,
             "now": self.sim.now,
+            "wheel_stats": self.sim.wheel_stats(),
         }
         if self.trace is not None:
             for host in self.hosts.values():

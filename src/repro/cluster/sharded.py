@@ -55,6 +55,58 @@ lands in epoch 0 before any teardown exists, the pick sequence cycles
 exactly like round-robin, and the K > 1 result is byte-identical to the
 single-process run for this case too.
 
+Optimistic: speculate past the barrier, replay on conflict
+----------------------------------------------------------
+
+``sync="optimistic"`` keeps the *semantics* of the conservative grid —
+placement still happens centrally, epoch by epoch, under the same
+teardown-visibility rule — but decouples each shard's local clock from
+the lockstep barriers (Time-Warp style, restricted to the one conflict
+this model has).  Three changes:
+
+* **Combined step messages.**  One ``("step", kL, (k+1)L, safe,
+  batches)`` round-trip per epoch replaces the conservative submit +
+  run_until pair, halving per-epoch protocol latency.  ``safe`` is a
+  promise only this coordinator can make — the arrival schedule is
+  known up front, so the earliest barrier any future batch can carry
+  is the next unplaced arrival's epoch start.
+* **Speculation.**  Between messages a shard free-runs past its
+  committed frontier in lookahead-sized quanta: *risk-free* up to the
+  ``safe`` bound (no batch below it can ever arrive, so that work is
+  certain to commit), and beyond it bounded by an adaptive window of W
+  epochs — but only while it has live lifecycles, so daemons never
+  free-run past the cluster's natural end.  Teardowns
+  produced beyond the frontier stay buffered inside the shard (they
+  are this protocol's anti-messages, except they are never
+  transmitted): the coordinator only ever sees deltas at or before the
+  committed frontier, which no future input can invalidate, so there
+  is nothing external to undo on rollback.
+* **Rollback by replay.**  When a step carries a batch whose barrier
+  lies *behind* the shard's speculated clock, the speculation ran past
+  a real input.  The model's generator processes cannot be snapshotted
+  (an instruction pointer is not copyable — see
+  ``Simulator.snapshot``, which is engine-state-only for exactly this
+  reason), so the shard is not patched in place: it rebuilds itself
+  from its spec and replays its input journal — every (barrier, batch)
+  it ever committed — up to the conflicting barrier, then resumes.
+  Teardowns the coordinator already saw are dropped from the replayed
+  buffer; speculative ones were never sent.
+
+The committed timeline every shard ends on is therefore *exactly* the
+conservative one — same barriers, same batches, same grid — so results
+stay byte-identical across sync modes, shard counts, and worker
+counts; speculation and rollback only move wall-clock.  The adaptive
+window (halved on rollback, grown on confirmed speculation, zeroed for
+good when rollbacks dominate commits) degrades pathological cells to
+the conservative protocol instead of thrashing on O(history) replays.
+
+End-of-run under speculation: a speculated clock may overshoot the
+shard's natural end, so ``drain`` reports max(committed frontier, last
+lifecycle completion) — the end time the conservative run would have —
+and ``finish`` rolls a shard back by replay if its clock sits past the
+global horizon, so merged event counts still match the single-process
+run exactly.
+
 ``shards=1`` requests are routed by :func:`~repro.cluster.churn.run_cluster_cell`
 to the single-process :class:`Cluster` path — today's behavior, with
 continuous (not epoch-quantized) teardown visibility.
@@ -73,6 +125,7 @@ single-process run exactly.
 import multiprocessing
 import os
 import sys
+import time
 import traceback
 
 from repro.cluster.placement import make_placement
@@ -86,37 +139,91 @@ from repro.workloads.generator import ArrivalPattern
 #: barrier cost more wall-clock than the split saves: the quick scale
 #: cell (8 hosts) measured 3.7 s at ``--shards 4`` against 2.3 s
 #: single-process.  ``resolve_shards("auto", ...)`` never splits finer.
+#: This floor applies to the zero-synchronization plans (round-robin,
+#: and burst arrivals under any placement), whose only overhead is
+#: worker spawn plus one submit/drain/finish exchange.
 MIN_HOSTS_PER_SHARD = 8
+#: Spread-arrival least-loaded cells run the epoch protocol — a global
+#: barrier every lookahead (~52 ms of virtual time) — so a split has to
+#: amortize far more synchronization before it wins.  The conservative
+#: protocol pays two blocking round-trips per epoch; optimistic
+#: speculation overlaps simulation with the barrier wait and halves the
+#: round-trips, so its floor sits lower.
+MIN_HOSTS_PER_SHARD_EPOCH = 32
+MIN_HOSTS_PER_SHARD_OPTIMISTIC = 16
 
 
-def resolve_shards(shards, hosts):
+def resolve_shards(shards, hosts, placement="least-loaded", rate_per_s=0.0,
+                   sync="conservative"):
     """Resolve a shard request — ``None``, an int, or ``"auto"`` — to a
     concrete shard count for a ``hosts``-host cell.
 
-    ``"auto"`` picks the widest split that keeps at least
-    :data:`MIN_HOSTS_PER_SHARD` hosts per shard, bounded by the CPU
-    count; a cell too small to clear the threshold falls back to the
-    in-process single-shard path (with a note on stderr), where
-    sharding is pure spawn/barrier overhead.  Explicit integer counts
-    are honored (clamped to ``hosts``) — the caller asked for that
-    split, overhead and all.  Results are byte-identical across shard
-    counts, so this is purely a wall-clock decision.
+    ``"auto"`` picks the widest split that keeps a minimum number of
+    hosts per shard, bounded by the CPU count — and that minimum now
+    depends on how much synchronization the cell's *placement plan*
+    needs, not just on host count:
+
+    ============================  =========================  =========
+    plan                          synchronization            floor
+    ============================  =========================  =========
+    round-robin (any arrivals)    none (placed up front)     8
+    least-loaded, burst           none (single epoch 0)      8
+    least-loaded, spread, cons.   2 round-trips per epoch    32
+    least-loaded, spread, opt.    1 round-trip + overlap     16
+    ============================  =========================  =========
+
+    A cell below its floor falls back to the in-process single-shard
+    path (with a note on stderr), so auto never picks a sharded config
+    that benches slower than ``--shards 1`` — the epoch-protocol floors
+    exist precisely because a barrier-bound split can lose to the
+    single-process run even where the zero-sync plans win.  Explicit
+    integer counts are honored (clamped to ``hosts``) — the caller
+    asked for that split, overhead and all.  Results are byte-identical
+    across shard counts, so this is purely a wall-clock decision.
     """
     if shards is None:
         return 1
     if shards == "auto":
-        resolved = max(
-            1, min(os.cpu_count() or 1, hosts // MIN_HOSTS_PER_SHARD)
-        )
-        if resolved == 1 and hosts < 2 * MIN_HOSTS_PER_SHARD:
+        if placement == "round-robin" or not rate_per_s:
+            floor = MIN_HOSTS_PER_SHARD
+        elif sync in ("optimistic", "auto"):
+            floor = MIN_HOSTS_PER_SHARD_OPTIMISTIC
+        else:
+            floor = MIN_HOSTS_PER_SHARD_EPOCH
+        resolved = max(1, min(os.cpu_count() or 1, hosts // floor))
+        if resolved == 1 and hosts < 2 * floor:
             print(
                 f"shards=auto: {hosts}-host cell is below "
-                f"{MIN_HOSTS_PER_SHARD} hosts/shard at any split; "
+                f"{floor} hosts/shard at any split; "
                 f"using the in-process single-shard path",
                 file=sys.stderr,
             )
         return resolved
     return max(1, min(int(shards), hosts))
+
+
+def resolve_sync(sync, shards=1, placement="least-loaded"):
+    """Resolve a ``--sync`` request to the protocol actually run.
+
+    ``conservative`` and ``optimistic`` are honored for any cell that
+    runs the epoch protocol; both degrade to ``conservative`` when
+    there is no barrier to speculate past (a single shard, or
+    round-robin placement, which is placed entirely up front with zero
+    synchronization).  ``auto`` picks ``optimistic`` exactly when the
+    epoch protocol runs: the adaptive window bounds its downside to
+    conservative-plus-noise, and results are byte-identical either
+    way, so — like :func:`resolve_shards` — this is purely a
+    wall-clock decision.
+    """
+    if sync is None:
+        return "conservative"
+    if sync not in ("conservative", "optimistic", "auto"):
+        raise ValueError(f"unknown sync mode {sync!r}")
+    if shards <= 1 or placement == "round-robin":
+        return "conservative"
+    if sync == "auto":
+        return "optimistic"
+    return sync
 
 
 def partition_hosts(hosts, shards):
@@ -182,6 +289,221 @@ def peak_concurrency(spans):
 
 
 # ----------------------------------------------------------------------
+# optimistic shard state: journal, speculation window, rollback
+# ----------------------------------------------------------------------
+#: Speculation window start/cap, in epochs of lookahead beyond the
+#: risk-free ``safe`` bound.  Slow-start: risk-free speculation alone
+#: must prove itself (a streak of confirmed epochs) before any risky
+#: overshoot is attempted, so a rollback-prone cell never pays the
+#: first replay at full window depth.
+_SPEC_WINDOW_INIT = 0
+_SPEC_WINDOW_MAX = 16
+#: AIMD pacing: a rollback halves the window (toward zero — replay is
+#: O(committed history), so risky speculation must back off hard); the
+#: window grows by one only after this many consecutive confirmed
+#: speculations.
+_SPEC_GROW_STREAK = 4
+#: Sticky breaker: once a shard has rolled back this many times with
+#: fewer than half as many confirmed speculations, it stops risky
+#: speculation for the rest of the run (risk-free speculation up to
+#: ``safe`` continues — that part can never roll back).
+_SPEC_BREAKER_ROLLBACKS = 8
+
+
+class _SpeculativeShard:
+    """A :class:`ClusterShard` plus the bookkeeping of optimistic sync.
+
+    Holds the shard's input journal (every committed ``(barrier,
+    batch)``), its committed frontier, and the adaptive speculation
+    window.  Rollback is replay: generators cannot be snapshotted, so a
+    mis-speculated shard is rebuilt from its spec and its journal is
+    re-run up to the conflict point — O(committed history), which is
+    why the window shrinks aggressively when rollbacks happen.
+    """
+
+    def __init__(self, spec, lookahead):
+        self._spec = dict(spec)
+        self._lookahead = lookahead
+        self.shard = ClusterShard(**self._spec)
+        #: Committed inputs, in submission order: ``(barrier, batch)``.
+        self._journal = []
+        #: No input with a barrier below this can ever arrive; work at
+        #: or before it is committed, work beyond it is speculation.
+        self._frontier = 0.0
+        #: Coordinator's promise: the next batch (for any shard) comes
+        #: no earlier than this barrier, because the arrival schedule
+        #: is known up front.  Speculation below it is risk-free — only
+        #: the windowed overshoot beyond it can ever roll back.
+        self._safe = 0.0
+        #: Teardowns at or before this time were already sent to the
+        #: coordinator (and must not be re-sent by a replayed shard).
+        self._reported = 0.0
+        self.window = _SPEC_WINDOW_INIT
+        self.throttled = False
+        self._commit_streak = 0
+        self.stats = {
+            "epochs": 0,
+            "rollbacks": 0,
+            "speculated_events": 0,
+            "replayed_events": 0,
+            "speculation_commits": 0,
+        }
+
+    def step(self, barrier, epoch_end, safe, batch):
+        """One combined protocol step: commit through ``epoch_end``.
+
+        Submits ``batch`` at the epoch ``barrier`` (rolling back first
+        if the local clock speculated past it), advances to
+        ``epoch_end``, and returns the teardown deltas with time <=
+        ``epoch_end`` — exactly what the conservative submit +
+        run_until pair reports, so the coordinator's load vector sees
+        identical deltas at identical barriers in both modes.
+
+        ``safe`` is the earliest barrier any future batch can carry
+        (the next unplaced arrival's epoch start; infinity once every
+        arrival is placed) — it moves the shard's risk-free speculation
+        bound forward.
+        """
+        self.stats["epochs"] += 1
+        self._safe = safe
+        shard = self.shard
+        speculated = shard.sim.now > self._frontier
+        rolled_back = False
+        if batch:
+            if shard.sim.now > barrier:
+                self._rollback(barrier)
+                rolled_back = True
+                shard = self.shard
+            elif shard.sim.now < barrier:
+                shard.sim.run_until(barrier)
+            shard.submit(batch)
+            self._journal.append((barrier, batch))
+        if shard.sim.now < epoch_end:
+            shard.sim.run_until(epoch_end)
+        if speculated:
+            # Adaptive throttle, AIMD with a slow additive increase:
+            # a rollback halves the window toward zero (replay costs
+            # O(committed history), so risky overshoot must back off
+            # hard), and the window regrows by one only after a streak
+            # of confirmed speculations.  A sticky breaker stops risky
+            # speculation for good when rollbacks dominate — a
+            # pathological cell degrades to risk-free-only speculation
+            # instead of paying replays forever.
+            if rolled_back:
+                self.window //= 2
+                self._commit_streak = 0
+                if (self.stats["rollbacks"] >= _SPEC_BREAKER_ROLLBACKS
+                        and self.stats["speculation_commits"] * 2
+                        < self.stats["rollbacks"]):
+                    self.throttled = True
+                    self.window = 0
+            else:
+                self.stats["speculation_commits"] += 1
+                self._commit_streak += 1
+                if (not self.throttled
+                        and self._commit_streak >= _SPEC_GROW_STREAK):
+                    self._commit_streak = 0
+                    self.window = min(self.window + 1, _SPEC_WINDOW_MAX)
+        self._frontier = epoch_end
+        self._reported = epoch_end
+        return shard.take_teardowns(upto=epoch_end)
+
+    def speculate_quantum(self):
+        """Free-run up to one lookahead past the clock, inside the
+        window; returns whether any progress was made.
+
+        The target is ``max(safe, frontier) + window * lookahead``:
+        everything below the coordinator's ``safe`` promise can never
+        roll back (so even a fully throttled shard keeps speculating
+        up to it), while the window bounds only the risky overshoot
+        beyond it.
+        """
+        shard = self.shard
+        if not shard.live:
+            # Nothing in flight: only daemon ticks remain, and those
+            # must not run past the cluster's natural end.
+            return False
+        sim = shard.sim
+        target = (max(self._safe, self._frontier)
+                  + self.window * self._lookahead)
+        if sim.now >= target:
+            return False
+        before = sim.events_dispatched
+        sim.run_until(min(target, sim.now + self._lookahead))
+        self.stats["speculated_events"] += sim.events_dispatched - before
+        return True
+
+    def _rollback(self, when):
+        """Rebuild the shard and replay its journal up to ``when``."""
+        self.stats["rollbacks"] += 1
+        self.shard.discard()
+        self.shard = ClusterShard(**self._spec)
+        sim = self.shard.sim
+        for submit_time, batch in self._journal:
+            sim.run_until(submit_time)
+            self.shard.submit(batch)
+        sim.run_until(when)
+        # The replayed shard regenerated every committed teardown;
+        # drop the ones the coordinator already saw.
+        self.shard.take_teardowns(upto=self._reported)
+        self.stats["replayed_events"] += sim.events_dispatched
+
+    def drain(self):
+        """Run lifecycles to completion; returns the conservative end.
+
+        The speculated clock may sit past the last completion (a
+        quantum never stops mid-flight), so the reported end is
+        max(committed frontier, last lifecycle completion) — exactly
+        the ``sim.now`` a conservative shard lands on after its drain.
+        """
+        shard = self.shard
+        shard.sim.run()
+        return max(self._frontier, shard.last_lifecycle_end)
+
+    def finish(self, horizon):
+        """Align to the global ``horizon`` and return the shard result.
+
+        A clock that overshot the horizon is rolled back by replay —
+        the rebuilt simulator then counts exactly the events of the
+        committed timeline, so merged event totals match the
+        single-process run byte-for-byte.
+        """
+        shard = self.shard
+        if shard.sim.now > horizon:
+            self._rollback(horizon)
+            shard = self.shard
+        elif shard.sim.now < horizon:
+            shard.sim.run_until(horizon)
+        result = shard.result()
+        result["sync"] = dict(self.stats, throttled=int(self.throttled))
+        return result
+
+
+def _fold_sync_stats(results, barrier_wait_s):
+    """Pop per-shard ``sync`` stats off ``results`` and aggregate them."""
+    stats = {
+        "epochs": 0,
+        "barrier_wait_s": barrier_wait_s,
+        "rollbacks": 0,
+        "speculated_events": 0,
+        "replayed_events": 0,
+        "speculation_commits": 0,
+        "throttled_shards": 0,
+    }
+    for result in results:
+        shard_stats = result.pop("sync", None)
+        if not shard_stats:
+            continue
+        stats["epochs"] = max(stats["epochs"], shard_stats["epochs"])
+        stats["rollbacks"] += shard_stats["rollbacks"]
+        stats["speculated_events"] += shard_stats["speculated_events"]
+        stats["replayed_events"] += shard_stats["replayed_events"]
+        stats["speculation_commits"] += shard_stats["speculation_commits"]
+        stats["throttled_shards"] += shard_stats["throttled"]
+    return stats
+
+
+# ----------------------------------------------------------------------
 # shard groups: the same protocol, in-process or over worker processes
 # ----------------------------------------------------------------------
 class _InProcessGroup:
@@ -189,12 +511,14 @@ class _InProcessGroup:
 
     def __init__(self, shard_specs):
         self.shards = [ClusterShard(**spec) for _, spec in shard_specs]
+        self.epochs = 0
 
     def submit(self, batches):
         for shard_id, batch in batches.items():
             self.shards[shard_id].submit(batch)
 
     def run_until(self, when):
+        self.epochs += 1
         deltas = []
         for shard in self.shards:
             deltas.extend(shard.run_until(when))
@@ -209,52 +533,156 @@ class _InProcessGroup:
             if shard.sim.now < horizon:
                 shard.sim.run_until(horizon)
             results.append(shard.result())
-        return results
+        stats = _fold_sync_stats(results, 0.0)
+        stats["epochs"] = self.epochs
+        return results, stats
 
     def close(self):
         self.shards = []
 
 
-def _shard_worker_main(conn, shard_specs):
-    """Worker loop: build the assigned shards, serve barrier commands."""
+class _OptimisticInProcessGroup:
+    """All shards in this process, speculating eagerly after each step.
+
+    Wall-clock-wise, in-process speculation buys nothing — there is no
+    idle core to soak while the coordinator thinks — but it executes
+    the identical protocol the worker processes run, and it does so
+    *deterministically*: speculation depth depends only on the adaptive
+    window, never on OS timing.  That is what makes rollback counts
+    assertable in tests.
+    """
+
+    def __init__(self, shard_specs, lookahead):
+        self.states = [
+            _SpeculativeShard(spec, lookahead) for _, spec in shard_specs
+        ]
+
+    def step(self, barrier, epoch_end, safe, batches):
+        deltas = []
+        for shard_id, state in enumerate(self.states):
+            deltas.extend(
+                state.step(barrier, epoch_end, safe, batches.get(shard_id))
+            )
+        for state in self.states:
+            while state.speculate_quantum():
+                pass
+        return deltas
+
+    def drain(self):
+        return [state.drain() for state in self.states]
+
+    def finish(self, horizon):
+        results = [state.finish(horizon) for state in self.states]
+        return results, _fold_sync_stats(results, 0.0)
+
+    def close(self):
+        self.states = []
+
+
+def _shard_worker_main(conn, shard_specs, sync="conservative",
+                       lookahead=0.0):
+    """Worker entry: serve the protocol for the assigned shards."""
     try:
-        shards = {shard_id: ClusterShard(**spec)
-                  for shard_id, spec in shard_specs}
-        while True:
-            message = conn.recv()
-            op = message[0]
-            if op == "submit":
-                for shard_id, batch in message[1].items():
-                    shards[shard_id].submit(batch)
-                conn.send(("ok", None))
-            elif op == "run_until":
-                deltas = []
-                for shard in shards.values():
-                    deltas.extend(shard.run_until(message[1]))
-                conn.send(("ok", deltas))
-            elif op == "drain":
-                conn.send(
-                    ("ok", {sid: shard.drain()
-                            for sid, shard in shards.items()})
-                )
-            elif op == "finish":
-                results = {}
-                for shard_id, shard in shards.items():
-                    if shard.sim.now < message[1]:
-                        shard.sim.run_until(message[1])
-                    results[shard_id] = shard.result()
-                conn.send(("ok", results))
-            elif op == "stop":
-                conn.send(("ok", None))
-                return
-            else:  # pragma: no cover - protocol guard
-                conn.send(("error", f"unknown op {op!r}"))
-                return
+        if sync == "optimistic":
+            _optimistic_worker_loop(conn, shard_specs, lookahead)
+        else:
+            _conservative_worker_loop(conn, shard_specs)
     except BaseException as exc:  # noqa: BLE001 - ship it to the parent
         try:
             conn.send(("error", f"{exc!r}\n{traceback.format_exc()}"))
         except OSError:  # pragma: no cover - parent already gone
             pass
+
+
+def _conservative_worker_loop(conn, shard_specs):
+    """Lockstep worker: build the assigned shards, serve barrier ops."""
+    shards = {shard_id: ClusterShard(**spec)
+              for shard_id, spec in shard_specs}
+    wait_s = 0.0
+    epochs = 0
+    while True:
+        waited = time.perf_counter()
+        message = conn.recv()
+        wait_s += time.perf_counter() - waited
+        op = message[0]
+        if op == "submit":
+            for shard_id, batch in message[1].items():
+                shards[shard_id].submit(batch)
+            conn.send(("ok", None))
+        elif op == "run_until":
+            epochs += 1
+            deltas = []
+            for shard in shards.values():
+                deltas.extend(shard.run_until(message[1]))
+            conn.send(("ok", deltas))
+        elif op == "drain":
+            conn.send(
+                ("ok", {sid: shard.drain()
+                        for sid, shard in shards.items()})
+            )
+        elif op == "finish":
+            results = {}
+            for shard_id, shard in shards.items():
+                if shard.sim.now < message[1]:
+                    shard.sim.run_until(message[1])
+                results[shard_id] = shard.result()
+            conn.send(("ok", {"results": results, "wait_s": wait_s,
+                              "epochs": epochs}))
+        elif op == "stop":
+            conn.send(("ok", None))
+            return
+        else:  # pragma: no cover - protocol guard
+            conn.send(("error", f"unknown op {op!r}"))
+            return
+
+
+def _optimistic_worker_loop(conn, shard_specs, lookahead):
+    """Speculating worker: free-run whenever the pipe is quiet.
+
+    Every quantum re-polls the pipe, so a pending step message is
+    picked up within one lookahead of simulation; once every shard has
+    exhausted its window (or its live work), the loop blocks — and
+    only that blocked time counts as barrier wait.
+    """
+    states = {shard_id: _SpeculativeShard(spec, lookahead)
+              for shard_id, spec in shard_specs}
+    wait_s = 0.0
+    while True:
+        while not conn.poll(0):
+            moved = False
+            for state in states.values():
+                if state.speculate_quantum():
+                    moved = True
+            if not moved:
+                waited = time.perf_counter()
+                conn.poll(None)
+                wait_s += time.perf_counter() - waited
+                break
+        message = conn.recv()
+        op = message[0]
+        if op == "step":
+            _op, barrier, epoch_end, safe, batches = message
+            deltas = []
+            for shard_id, state in states.items():
+                deltas.extend(
+                    state.step(barrier, epoch_end, safe,
+                               batches.get(shard_id))
+                )
+            conn.send(("ok", deltas))
+        elif op == "drain":
+            conn.send(("ok", {sid: state.drain()
+                              for sid, state in states.items()}))
+        elif op == "finish":
+            results = {sid: state.finish(message[1])
+                       for sid, state in states.items()}
+            conn.send(("ok", {"results": results, "wait_s": wait_s,
+                              "epochs": 0}))
+        elif op == "stop":
+            conn.send(("ok", None))
+            return
+        else:  # pragma: no cover - protocol guard
+            conn.send(("error", f"unknown op {op!r}"))
+            return
 
 
 class _WorkerGroup:
@@ -265,7 +693,8 @@ class _WorkerGroup:
     serve them.
     """
 
-    def __init__(self, shard_specs, workers):
+    def __init__(self, shard_specs, workers, sync="conservative",
+                 lookahead=0.0):
         context = multiprocessing.get_context("fork")
         chunks = [shard_specs[index::workers] for index in range(workers)]
         chunks = [chunk for chunk in chunks if chunk]
@@ -276,7 +705,7 @@ class _WorkerGroup:
             parent_conn, child_conn = context.Pipe()
             proc = context.Process(
                 target=_shard_worker_main,
-                args=(child_conn, chunk),
+                args=(child_conn, chunk, sync, lookahead),
                 name=f"repro-shard-worker-{worker_index}",
             )
             proc.start()
@@ -316,6 +745,24 @@ class _WorkerGroup:
             deltas.extend(payload)
         return deltas
 
+    def step(self, barrier, epoch_end, safe, batches):
+        """Optimistic combined op: submit + advance + collect deltas in
+        one round-trip (workers speculate while this one is in flight
+        on their idle siblings' pipes)."""
+        routed = [{} for _ in self._conns]
+        for shard_id, batch in batches.items():
+            routed[self._owner[shard_id]][shard_id] = batch
+        for conn, payload in zip(self._conns, routed):
+            conn.send(("step", barrier, epoch_end, safe, payload))
+        deltas = []
+        for conn in self._conns:
+            status, payload = conn.recv()
+            if status != "ok":
+                self.close()
+                raise RuntimeError(f"shard worker failed:\n{payload}")
+            deltas.extend(payload)
+        return deltas
+
     def drain(self):
         ends = {}
         for payload in self._broadcast(("drain", None)):
@@ -324,9 +771,16 @@ class _WorkerGroup:
 
     def finish(self, horizon):
         results = {}
+        wait_s = 0.0
+        epochs = 0
         for payload in self._broadcast(("finish", horizon)):
-            results.update(payload)
-        return [results[shard_id] for shard_id in sorted(results)]
+            results.update(payload["results"])
+            wait_s += payload["wait_s"]
+            epochs = max(epochs, payload["epochs"])
+        ordered = [results[shard_id] for shard_id in sorted(results)]
+        stats = _fold_sync_stats(ordered, wait_s)
+        stats["epochs"] = max(stats["epochs"], epochs)
+        return ordered, stats
 
     def close(self):
         for conn in self._conns:
@@ -345,7 +799,7 @@ class _WorkerGroup:
         self._conns = []
 
 
-def _make_group(shard_specs, workers):
+def _make_group(shard_specs, workers, sync="conservative", lookahead=0.0):
     if workers is None:
         workers = len(shard_specs)
     # A multiprocessing.Pool worker is daemonic and may not fork
@@ -353,8 +807,12 @@ def _make_group(shard_specs, workers):
     if multiprocessing.current_process().daemon:
         workers = 0
     if workers < 1:
+        if sync == "optimistic":
+            return _OptimisticInProcessGroup(shard_specs, lookahead)
         return _InProcessGroup(shard_specs)
-    return _WorkerGroup(shard_specs, min(workers, len(shard_specs)))
+    return _WorkerGroup(
+        shard_specs, min(workers, len(shard_specs)), sync, lookahead
+    )
 
 
 # ----------------------------------------------------------------------
@@ -364,7 +822,8 @@ def run_sharded_cluster(preset, concurrency, hosts, seed=0, shards=2,
                         placement="least-loaded", app_name=None,
                         teardown=True, memory_bytes=None, spec=None,
                         vf_count=None, arrivals=None, workers=None,
-                        name_prefix="w", trace=None):
+                        name_prefix="w", trace=None, sync="conservative",
+                        engine_stats=None):
     """Run one cluster churn burst over K shards; returns the summary.
 
     The summary has exactly the shape (and, for round-robin and for
@@ -382,11 +841,20 @@ def run_sharded_cluster(preset, concurrency, hosts, seed=0, shards=2,
             bundle (``repro.obs``): each shard records its own hosts
             and the merge is a disjoint union of host-unique tracks.
             The returned summary never contains trace data.
+        sync: ``"conservative"`` (lockstep epoch barriers),
+            ``"optimistic"`` (speculate past the barrier, replay on
+            conflict), or ``"auto"``; resolved by :func:`resolve_sync`.
+            Results are byte-identical across modes — this knob moves
+            wall-clock only.
+        engine_stats: Optional dict, filled with aggregated per-shard
+            wheel stats plus the sync-protocol counters (epochs,
+            barrier wait, rollbacks, speculated/replayed events).
         Other arguments: as for ``run_cluster_cell``.
     """
     if concurrency <= 0:
         raise ValueError(f"concurrency must be positive, got {concurrency}")
     shards = min(shards, hosts)
+    sync = resolve_sync(sync, shards=shards, placement=placement)
     bounds = partition_hosts(hosts, shards)
     if arrivals is None:
         arrivals = ArrivalPattern("burst")
@@ -419,26 +887,78 @@ def run_sharded_cluster(preset, concurrency, hosts, seed=0, shards=2,
 
     host_shard = [shard_of(index) for index in range(hosts)]
 
-    group = _make_group(shard_specs, workers)
+    lookahead = min_startup_lookahead(spec)
+    group = _make_group(shard_specs, workers, sync, lookahead)
     try:
         if placement == "round-robin":
             _place_round_robin(group, order, offsets, hosts, host_shard)
+        elif sync == "optimistic":
+            _place_epoch_optimistic(
+                group, order, offsets, hosts, host_shard, placement,
+                lookahead,
+            )
         else:
             _place_epoch_barrier(
                 group, order, offsets, hosts, host_shard, placement,
-                min_startup_lookahead(spec),
+                lookahead,
             )
         ends = group.drain()
-        results = group.finish(max(ends))
+        results, sync_stats = group.finish(max(ends))
     finally:
         group.close()
+    sync_stats["mode"] = sync
+    wheels = [result.pop("wheel_stats", None) for result in results]
+    if engine_stats is not None:
+        engine_stats.update(_aggregate_wheel_stats(wheels))
+        engine_stats["shards"] = shards
+        engine_stats["sync_mode"] = sync
+        for key, value in sync_stats.items():
+            if key != "mode":
+                engine_stats[f"sync_{key}"] = value
     if trace is not None:
+        from repro.obs.metrics import MetricsRegistry, merge_metrics
         from repro.obs.recorder import merge_dumps
 
         trace.update(
             merge_dumps([result.pop("trace") for result in results])
         )
+        # Protocol counters ride the merged bundle's metrics (flat
+        # metrics JSON / --metrics export), never its tracks — the
+        # Perfetto trace stays byte-identical across shard counts and
+        # sync modes.
+        registry = MetricsRegistry()
+        registry.ingest_sync_stats(sync_stats)
+        trace["metrics"] = merge_metrics(
+            [trace["metrics"], registry.snapshot()]
+        )
     return _merge(results, hosts, concurrency)
+
+
+#: Wheel-stat aggregation across shards: throughput/cost counters sum,
+#: high-water marks take the max, descriptive keys (bucket_width,
+#: engine name) come from the first shard.
+_WHEEL_SUM_KEYS = frozenset({
+    "events_dispatched", "pending_events", "timers_cancelled",
+    "compactions", "spill_rebuckets", "pool_slots", "pool_free",
+})
+_WHEEL_MAX_KEYS = frozenset({
+    "spill_peak", "max_bucket_occupancy", "pool_occupancy",
+})
+
+
+def _aggregate_wheel_stats(wheels):
+    totals = {}
+    for wheel in wheels:
+        if not wheel:
+            continue
+        for key, value in wheel.items():
+            if key in _WHEEL_SUM_KEYS:
+                totals[key] = totals.get(key, 0) + value
+            elif key in _WHEEL_MAX_KEYS:
+                totals[key] = max(totals.get(key, 0), value)
+            else:
+                totals.setdefault(key, value)
+    return totals
 
 
 def _place_round_robin(group, order, offsets, hosts, host_shard):
@@ -486,6 +1006,58 @@ def _place_epoch_barrier(group, order, offsets, hosts, host_shard,
             )
         group.submit(batches)
         for _time, host_index in group.run_until(epoch_end):
+            loads[host_index] -= 1
+        barrier_epoch = epoch + 1
+
+
+def _place_epoch_optimistic(group, order, offsets, hosts, host_shard,
+                            placement, lookahead):
+    """The conservative epoch walk, driven by combined ``step`` ops.
+
+    Placement decisions, their order, and the teardown-visibility rule
+    are identical to :func:`_place_epoch_barrier` — each step returns
+    exactly the deltas with time <= its epoch end — so the placement
+    sequence (and with it the results) is byte-identical.  What changes
+    is wall-clock: one round-trip per epoch instead of two, and shards
+    speculate into future epochs while the coordinator computes.
+    """
+    policy = make_placement(placement)
+    loads = [0] * hosts
+    barrier_epoch = 0
+    position = 0
+    count = len(order)
+    while position < count:
+        epoch = int(offsets[order[position]] // lookahead)
+        if epoch > barrier_epoch:
+            # Jump over empty epochs in one batchless step — no batch
+            # means no rollback can trigger; speculating shards simply
+            # commit whatever they ran ahead.
+            barrier = epoch * lookahead
+            for _time, host_index in group.step(barrier, barrier, barrier,
+                                                {}):
+                loads[host_index] -= 1
+            barrier_epoch = epoch
+        barrier = epoch * lookahead
+        epoch_end = (epoch + 1) * lookahead
+        batches = {}
+        while position < count and offsets[order[position]] < epoch_end:
+            n = order[position]
+            position += 1
+            host_index = policy.pick(loads)
+            loads[host_index] += 1
+            batches.setdefault(host_shard[host_index], []).append(
+                (n, offsets[n], host_index)
+            )
+        # The arrival schedule is known up front, so the earliest
+        # barrier any *future* batch can carry is the next unplaced
+        # arrival's epoch start — shipped with the step as the shards'
+        # risk-free speculation bound (infinity once placement is done).
+        if position < count:
+            safe = int(offsets[order[position]] // lookahead) * lookahead
+        else:
+            safe = float("inf")
+        for _time, host_index in group.step(barrier, epoch_end, safe,
+                                            batches):
             loads[host_index] -= 1
         barrier_epoch = epoch + 1
 

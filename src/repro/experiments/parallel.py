@@ -53,6 +53,10 @@ class Cell:
     placement: str = "least-loaded"
     shards: int = 1
     rate_per_s: float = 0.0
+    #: Sharded sync protocol ("conservative" / "optimistic" / "auto").
+    #: Results are byte-identical across modes — it keys the cache only
+    #: because every field does, keeping the key derivation uniform.
+    sync: str = "conservative"
     #: Record a flight-recorder trace (``repro.obs``) while running.
     #: Tracing never changes a cell's summary, but it keys the cache
     #: anyway (as_dict) so traced runs never serve or pollute the cache
@@ -109,6 +113,7 @@ def run_cell(cell):
             rate_per_s=cell.rate_per_s,
             engine_stats=stats,
             trace=trace,
+            sync=cell.sync,
         )
     elif cell.kind == "churn":
         from repro.experiments.churn import run_churn_cell

@@ -20,10 +20,14 @@ Two claims are exercised:
   result data byte-identical to the single-process run, so sharding is
   a pure wall-clock knob here.
 
-Knobs (``repro run scale --hosts N --placement P --shards K`` or
-:meth:`Experiment.configure`): ``hosts`` (default 8 quick / 48 full),
-``placement`` ("least-loaded" default, or "round-robin"), ``shards``
-(default 1 = single-process).
+Knobs (``repro run scale --hosts N --placement P --shards K --sync M``
+or :meth:`Experiment.configure`): ``hosts`` (default 8 quick / 48
+full), ``placement`` ("least-loaded" default, or "round-robin"),
+``shards`` (default 1 = single-process), ``sync`` (sharded barrier
+protocol: "conservative" default, "optimistic", or "auto"), ``rate``
+(arrival rate per second; 0 = the paper's simultaneous burst —
+positive rates spread arrivals and exercise the epoch protocol the
+sync knob selects).
 """
 
 from repro.experiments.base import Comparison, Experiment, pct, reduction
@@ -61,13 +65,22 @@ class Scale(Experiment):
     def _placement(self):
         return self.option("placement", "least-loaded")
 
+    def _rate(self):
+        return float(self.option("rate", 0.0) or 0.0)
+
+    def _sync(self):
+        return self.option("sync", "conservative")
+
     def _shards(self, hosts):
         # Resolved here (not just in run_cluster_cell) so the resolved
         # count lands in the Cell — and therefore in cache keys and the
         # report header — instead of the literal "auto".
         from repro.cluster.sharded import resolve_shards
 
-        return resolve_shards(self.option("shards", 1), hosts)
+        return resolve_shards(
+            self.option("shards", 1), hosts, placement=self._placement(),
+            rate_per_s=self._rate(), sync=self._sync(),
+        )
 
     @staticmethod
     def _sweep(quick):
@@ -81,7 +94,8 @@ class Scale(Experiment):
         shards = self._shards(hosts)
         return [
             Cell(preset, concurrency, None, seed, kind="cluster",
-                 hosts=hosts, placement=placement, shards=shards)
+                 hosts=hosts, placement=placement, shards=shards,
+                 rate_per_s=self._rate(), sync=self._sync())
             for preset in PRESETS
             for concurrency in self._sweep(quick)
         ]
@@ -97,7 +111,8 @@ class Scale(Experiment):
                 summary = self._cell_summary(
                     Cell(preset, concurrency, None, seed,
                          kind="cluster", hosts=hosts,
-                         placement=placement, shards=shards)
+                         placement=placement, shards=shards,
+                         rate_per_s=self._rate(), sync=self._sync())
                 )
                 series[preset].append(
                     {"concurrency": concurrency, **summary}

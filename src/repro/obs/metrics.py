@@ -97,6 +97,25 @@ class MetricsRegistry:
             else:
                 self.set_gauge(name, value)
 
+    #: Sharded-sync protocol statistics that are monotone counts; the
+    #: rest (mode string, barrier-wait seconds — a wall-clock reading,
+    #: so nondeterministic by nature) merge as gauges.
+    _SYNC_COUNTERS = frozenset({
+        "epochs", "rollbacks", "speculated_events", "replayed_events",
+        "speculation_commits", "throttled_shards",
+    })
+
+    def ingest_sync_stats(self, stats, scope="sync"):
+        """Fold the sharded runner's protocol counters in (epochs,
+        barrier wait, and the optimistic rollback/speculation tallies
+        from :mod:`repro.cluster.sharded`)."""
+        for key, value in stats.items():
+            name = f"{scope}/{key}"
+            if key in self._SYNC_COUNTERS:
+                self.inc(name, value)
+            else:
+                self.set_gauge(name, value)
+
     # ------------------------------------------------------------------
     # snapshot / merge
     # ------------------------------------------------------------------

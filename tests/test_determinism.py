@@ -134,6 +134,7 @@ def test_cache_key_covers_every_cell_field():
         "placement": "round-robin",
         "shards": 2,
         "rate_per_s": 15.0,
+        "sync": "optimistic",
         "trace": True,
     }
     # Every declared field must appear here — adding a Cell field

@@ -347,3 +347,54 @@ def test_sharded_trace_is_byte_identical_in_process():
     summary_4, trace_4 = dump(4)
     assert summary_1 == summary_4
     assert trace_1 == trace_4
+
+
+def test_ingest_sync_stats_routes_counters_mode_and_wait():
+    registry = MetricsRegistry()
+    registry.ingest_sync_stats({
+        "mode": "optimistic",              # string -> gauge
+        "epochs": 12,                      # monotone -> counter
+        "rollbacks": 3,
+        "speculated_events": 4000,
+        "replayed_events": 900,
+        "speculation_commits": 9,
+        "throttled_shards": 1,
+        "barrier_wait_s": 0.125,           # wall-clock -> gauge
+    })
+    snap = registry.snapshot()
+    assert snap["counters"] == {
+        "sync/epochs": 12,
+        "sync/rollbacks": 3,
+        "sync/speculated_events": 4000,
+        "sync/replayed_events": 900,
+        "sync/speculation_commits": 9,
+        "sync/throttled_shards": 1,
+    }
+    assert snap["gauges"]["sync/mode"] == "optimistic"
+    assert snap["gauges"]["sync/barrier_wait_s"] == pytest.approx(0.125)
+
+
+def test_sharded_trace_carries_sync_counters_outside_the_timeline():
+    """Optimistic protocol counters ride the trace bundle's metrics
+    (diagnostics), never its tracks — the exported timeline must stay
+    byte-identical to the conservative run's."""
+    from repro.cluster import cluster_arrivals
+    from repro.cluster.sharded import run_sharded_cluster
+
+    def dump(sync):
+        trace = {}
+        run_sharded_cluster(
+            "fastiov", 24, hosts=4, seed=3, shards=2, workers=0,
+            arrivals=cluster_arrivals(3, 12.0), sync=sync, trace=trace,
+        )
+        rendered = json.dumps(to_chrome_trace(trace), sort_keys=True,
+                              separators=(",", ":"))
+        return trace, rendered
+
+    conservative, trace_cons = dump("conservative")
+    optimistic, trace_opt = dump("optimistic")
+    assert trace_opt == trace_cons
+    counters = optimistic["metrics"]["counters"]
+    assert counters["sync/epochs"] > 0
+    assert "sync/rollbacks" in counters
+    assert optimistic["metrics"]["gauges"]["sync/mode"] == "optimistic"

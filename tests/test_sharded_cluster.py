@@ -295,3 +295,176 @@ def test_vf_recycling_when_teardown_races_last_placement():
 def test_shard_worker_failure_surfaces_as_runtime_error():
     with pytest.raises((ValueError, RuntimeError)):
         run_sharded_cluster("no-such-preset", 10, hosts=2, shards=2)
+
+
+# ----------------------------------------------------------------------
+# Optimistic sync: speculate past the barrier, roll back on conflict
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("shards", [2, 4, 8])
+def test_optimistic_burst_is_byte_identical_across_shards(shards):
+    """Burst cells place everything in epoch 0, so optimistic must hit
+    the single-process bytes exactly — speculation only moves clocks."""
+    base = _bytes(_single("fastiov", 80, hosts=8, seed=7))
+    sharded = run_cluster_cell(
+        "fastiov", 80, hosts=8, seed=7, shards=shards, sync="optimistic"
+    )
+    assert _bytes(sharded) == base
+
+
+def test_optimistic_spread_matches_conservative_exactly():
+    """The committed timeline is the conservative one: same barriers,
+    same batches, same grid — for every shard count and transport."""
+    reference = _bytes(run_sharded_cluster(
+        "fastiov", 60, hosts=6, seed=9, shards=2, workers=0,
+        arrivals=cluster_arrivals(9, 15.0), sync="conservative",
+    ))
+    for shards in (2, 3, 6):
+        for workers in (0, None):
+            summary = run_sharded_cluster(
+                "fastiov", 60, hosts=6, seed=9, shards=shards,
+                workers=workers, arrivals=cluster_arrivals(9, 15.0),
+                sync="optimistic",
+            )
+            assert _bytes(summary) == reference, (
+                f"optimistic diverged at K={shards} workers={workers}"
+            )
+
+
+def test_forced_rollback_replays_to_identical_results():
+    """In-process optimistic speculates eagerly, so a spread cell is
+    guaranteed to mis-speculate past incoming batches; every rollback
+    must replay to the conservative bytes and be counted."""
+    stats = {}
+    optimistic = run_sharded_cluster(
+        "fastiov", 60, hosts=6, seed=9, shards=3, workers=0,
+        arrivals=cluster_arrivals(9, 15.0), sync="optimistic",
+        engine_stats=stats,
+    )
+    conservative = run_sharded_cluster(
+        "fastiov", 60, hosts=6, seed=9, shards=3, workers=0,
+        arrivals=cluster_arrivals(9, 15.0), sync="conservative",
+    )
+    assert _bytes(optimistic) == _bytes(conservative)
+    assert stats["sync_mode"] == "optimistic"
+    assert stats["sync_rollbacks"] >= 1
+    assert stats["sync_speculated_events"] > 0
+    assert stats["sync_replayed_events"] > 0
+
+
+def test_optimistic_survives_teardown_racing_last_placement():
+    """Adversarial teardown timing: arrivals outlast lifecycles, so
+    teardowns land mid-epoch while later batches are still being
+    placed.  Speculated teardowns must stay shard-local until their
+    epoch commits, and rollbacks must regenerate them exactly."""
+    stats = {}
+    optimistic = run_sharded_cluster(
+        "fastiov", 40, hosts=2, seed=13, shards=2, workers=0,
+        arrivals=cluster_arrivals(13, 10.0), sync="optimistic",
+        engine_stats=stats,
+    )
+    conservative = run_sharded_cluster(
+        "fastiov", 40, hosts=2, seed=13, shards=2, workers=0,
+        arrivals=cluster_arrivals(13, 10.0), sync="conservative",
+    )
+    assert _bytes(optimistic) == _bytes(conservative)
+    # The race happened and the pool still recycled completely.
+    assert optimistic["peak_in_flight"] < 40
+    assert optimistic["free_vfs_total"] == 2 * PAPER_TESTBED.nic_max_vfs
+    assert stats["sync_rollbacks"] >= 1
+
+
+def test_engine_stats_exports_sync_counters():
+    stats = {}
+    run_cluster_cell(
+        "fastiov", 30, hosts=4, seed=2, shards=2, sync="optimistic",
+        rate_per_s=12.0, workers=0, engine_stats=stats,
+    )
+    assert stats["shards"] == 2
+    assert stats["sync_mode"] == "optimistic"
+    for key in ("sync_epochs", "sync_rollbacks", "sync_speculated_events",
+                "sync_replayed_events", "sync_speculation_commits",
+                "sync_throttled_shards", "sync_barrier_wait_s"):
+        assert key in stats, f"missing {key}"
+    assert stats["sync_epochs"] > 0
+
+
+# ----------------------------------------------------------------------
+# resolve_shards / resolve_sync decision tables
+# ----------------------------------------------------------------------
+def test_resolve_shards_auto_decision_table(monkeypatch):
+    """Pin the placement-plan-aware floors: auto must never pick a
+    sharded config that benches slower than --shards 1 for the cell's
+    synchronization needs (the epoch protocol pays 1-2 round-trips per
+    epoch; zero-sync plans pay none)."""
+    import os as _os
+
+    from repro.cluster import sharded as mod
+
+    monkeypatch.setattr(_os, "cpu_count", lambda: 8)
+    table = [
+        # (placement, rate, sync, hosts) -> expected
+        ("round-robin", 150.0, "conservative", 64, 8),   # floor 8
+        ("least-loaded", 0.0, "conservative", 64, 8),    # burst: floor 8
+        ("least-loaded", 150.0, "conservative", 64, 2),  # epoch: floor 32
+        ("least-loaded", 150.0, "optimistic", 64, 4),    # overlap: floor 16
+        ("least-loaded", 150.0, "auto", 64, 4),          # auto -> optimistic
+        # Below the floor every plan degrades to single-shard.
+        ("least-loaded", 150.0, "conservative", 48, 1),
+        ("least-loaded", 150.0, "optimistic", 8, 1),
+        ("round-robin", 150.0, "conservative", 8, 1),
+    ]
+    for placement, rate, sync, hosts, expected in table:
+        resolved = mod.resolve_shards(
+            "auto", hosts, placement=placement, rate_per_s=rate, sync=sync
+        )
+        assert resolved == expected, (
+            f"auto({placement}, rate={rate}, sync={sync}, hosts={hosts}) "
+            f"= {resolved}, expected {expected}"
+        )
+
+
+def test_resolve_shards_auto_spread_never_beats_its_floor(monkeypatch):
+    import os as _os
+
+    from repro.cluster import sharded as mod
+
+    monkeypatch.setattr(_os, "cpu_count", lambda: 64)
+    for hosts in range(1, 129):
+        for sync, floor in (("conservative", mod.MIN_HOSTS_PER_SHARD_EPOCH),
+                            ("optimistic",
+                             mod.MIN_HOSTS_PER_SHARD_OPTIMISTIC)):
+            resolved = mod.resolve_shards(
+                "auto", hosts, placement="least-loaded",
+                rate_per_s=100.0, sync=sync,
+            )
+            assert resolved == 1 or hosts // resolved >= floor
+
+
+def test_resolve_sync_decision_table():
+    from repro.cluster.sharded import resolve_sync
+
+    assert resolve_sync(None) == "conservative"
+    assert resolve_sync(None, shards=8) == "conservative"
+    # No barrier to speculate past -> conservative, whatever was asked.
+    assert resolve_sync("optimistic", shards=1) == "conservative"
+    assert resolve_sync("optimistic", shards=4,
+                        placement="round-robin") == "conservative"
+    assert resolve_sync("auto", shards=1) == "conservative"
+    # The epoch protocol runs: requests are honored, auto goes fast.
+    assert resolve_sync("optimistic", shards=4) == "optimistic"
+    assert resolve_sync("conservative", shards=4) == "conservative"
+    assert resolve_sync("auto", shards=4) == "optimistic"
+    with pytest.raises(ValueError):
+        resolve_sync("yolo", shards=4)
+
+
+def test_scale_experiment_threads_sync_into_cells():
+    from repro.experiments import get_experiment
+
+    experiment = get_experiment("scale").configure(
+        shards=4, sync="optimistic", rate=150.0
+    )
+    cells = experiment._cells(quick=True, seed=0)
+    assert cells
+    assert all(cell.sync == "optimistic" for cell in cells)
+    assert all(cell.rate_per_s == 150.0 for cell in cells)
