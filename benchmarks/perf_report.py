@@ -31,9 +31,17 @@ heavy cluster cell (48 hosts, 2000 startups) timed single-process and at
 It needs the cores to show a speedup, so it is reported, not gated.
 
 ``--optimistic-smoke`` runs a 100,000-host spread-arrival cell to
-completion under optimistic sync and records its wall-clock and
-rollback counters — the scale headline of the optimistic runner
-(reported, not gated; takes minutes).
+completion under optimistic sync and records its wall-clock, rollback
+counters, speculation commit rate, and replayed-events-per-rollback —
+the scale headline of the optimistic runner (reported, not gated;
+takes minutes at the default size, rescalable with ``--smoke-hosts`` /
+``--smoke-concurrent``).
+
+The default report also times one adversarial rollback storm twice —
+with fork checkpoints and with ``checkpoint_every=0`` — and records
+the replayed-events-per-rollback of each (``checkpoint_rollback`` in
+the report): the O(Δ) vs O(history) rollback-cost figure of the
+checkpoint subsystem.
 """
 
 import argparse
@@ -300,6 +308,8 @@ def measure_optimistic_smoke(hosts=100000, concurrency=5000, rate=500.0,
     would spend the whole run ticking).  What it proves: the optimistic
     protocol drives a cluster three orders of magnitude past the paper
     testbed to completion, with the rollback counters exported.
+    ``--smoke-hosts`` / ``--smoke-concurrent`` rescale the cell (the
+    default takes minutes; a 10k/500 smoke fits a coffee break).
     Returns ``(elapsed_s, counters)``.
     """
     import dataclasses
@@ -322,12 +332,90 @@ def measure_optimistic_smoke(hosts=100000, concurrency=5000, rate=500.0,
         key: stats[f"sync_{key}"]
         for key in ("epochs", "rollbacks", "speculated_events",
                     "replayed_events", "speculation_commits",
-                    "throttled_shards")
+                    "throttled_shards", "checkpoints",
+                    "checkpoint_resumes", "full_replays")
     }
-    print(f"{'smoke-100k':14s} {elapsed:8.3f} s  "
+    print(f"{'smoke':14s} {elapsed:8.3f} s  "
           f"({hosts} hosts, {concurrency} containers, "
-          f"rollbacks={counters['rollbacks']})")
+          f"rollbacks={counters['rollbacks']}, "
+          f"checkpoints={counters['checkpoints']})")
+    commits = counters["speculation_commits"]
+    attempts = commits + counters["rollbacks"]
+    commit_rate = commits / attempts if attempts else 1.0
+    replayed_per_rollback = (
+        counters["replayed_events"] / counters["rollbacks"]
+        if counters["rollbacks"] else 0.0
+    )
+    print(f"{'  speculation':14s} commit-rate {commit_rate * 100:5.1f}%  "
+          f"replayed/rollback {replayed_per_rollback:,.0f} events")
+    counters["commit_rate"] = round(commit_rate, 4)
+    counters["replayed_per_rollback"] = round(replayed_per_rollback, 1)
     return round(elapsed, 4), counters
+
+
+def measure_checkpoint_rollback(concurrency=200, hosts=4, rate=20.0,
+                                shards=2, seed=11, checkpoint_every=2):
+    """Rollback cost with fork checkpoints vs full replay from t=0.
+
+    One deep-history spread cell (many epochs of committed journal) is
+    driven through an adversarial rollback storm twice — the
+    coordinator under-promises the ``safe`` bound and the workers
+    speculate eagerly, so conflicts land on nearly every batched epoch
+    — once with CoW fork checkpoints at a short cadence and once with
+    ``checkpoint_every=0`` (the pre-checkpoint rebuild-and-replay
+    path).  The figure of merit is *replayed events per rollback*: with
+    checkpoints it is O(events since the last checkpoint) and flat in
+    history depth; without, it grows with every committed epoch.  The
+    two summaries are asserted identical — checkpoints move wall-clock
+    only.  Returns a dict of both runs' counters and the improvement.
+    """
+    from repro.cluster.churn import cluster_arrivals
+    from repro.cluster.sharded import run_sharded_cluster
+
+    def storm(interval):
+        stats = {}
+        summary = run_sharded_cluster(
+            "fastiov", concurrency, hosts=hosts, seed=seed, shards=shards,
+            arrivals=cluster_arrivals(seed, rate), sync="optimistic",
+            eager_speculation=True, checkpoint_every=interval,
+            worker_context="fork", engine_stats=stats,
+        )
+        rollbacks = stats["sync_rollbacks"]
+        replayed = stats["sync_replayed_events"]
+        return summary, {
+            "rollbacks": rollbacks,
+            "replayed_events": replayed,
+            "replayed_per_rollback": round(
+                replayed / rollbacks if rollbacks else 0.0, 1
+            ),
+            "checkpoints": stats["sync_checkpoints"],
+            "checkpoint_resumes": stats["sync_checkpoint_resumes"],
+            "full_replays": stats["sync_full_replays"],
+        }
+
+    os.environ["REPRO_OPTIMISTIC_ADVERSARIAL_SAFE"] = "1"
+    try:
+        with_ckpt_summary, with_ckpt = storm(checkpoint_every)
+        without_summary, without = storm(0)
+    finally:
+        del os.environ["REPRO_OPTIMISTIC_ADVERSARIAL_SAFE"]
+    assert with_ckpt_summary == without_summary, (
+        "checkpointed storm diverged from the full-replay storm"
+    )
+    improvement = (
+        without["replayed_per_rollback"]
+        / with_ckpt["replayed_per_rollback"]
+        if with_ckpt["replayed_per_rollback"] else 0.0
+    )
+    print(f"{'ckpt-rollback':14s} "
+          f"replayed/rollback {with_ckpt['replayed_per_rollback']:,.0f} "
+          f"(checkpointed) vs {without['replayed_per_rollback']:,.0f} "
+          f"(full replay)  {improvement:,.1f}x less replay")
+    return {
+        "with_checkpoints": with_ckpt,
+        "full_replay": without,
+        "replay_improvement_x": round(improvement, 2),
+    }
 
 
 def measure_sharded_speedup(shards=8, hosts=48, concurrency=2000):
@@ -367,6 +455,7 @@ REQUIRED_BASELINE_KEYS = (
     "engine_timer_events_per_sec",
     "engine_daemon_tick_events_per_sec",
     "optimistic_sync",
+    "checkpoint_rollback",
 )
 
 #: Timings the baseline's ``timings`` map must itself contain.  The
@@ -478,6 +567,12 @@ def main(argv=None):
                         help="also run the 100,000-host completion smoke "
                              "under optimistic sync (minutes; reported, "
                              "not gated)")
+    parser.add_argument("--smoke-hosts", type=int, default=100000,
+                        help="host count for --optimistic-smoke "
+                             "(default 100000)")
+    parser.add_argument("--smoke-concurrent", type=int, default=5000,
+                        help="container count for --optimistic-smoke "
+                             "(default 5000)")
     args = parser.parse_args(argv)
 
     events_per_sec = round(engine_events_per_sec())
@@ -511,9 +606,11 @@ def main(argv=None):
           f"rollbacks={optimistic_sync['rollbacks']} "
           f"speculated={optimistic_sync['speculated_events']} "
           f"replayed={optimistic_sync['replayed_events']}")
+    checkpoint_rollback = measure_checkpoint_rollback()
     report = {
         "timings": timings,
         "optimistic_sync": optimistic_sync,
+        "checkpoint_rollback": checkpoint_rollback,
         "engine_events_per_sec": events_per_sec,
         "engine_timer_events_per_sec": timer_eps,
         "engine_timer_events_per_sec_heap_ref": timer_eps_heap,
@@ -534,7 +631,9 @@ def main(argv=None):
             "cpus": os.cpu_count(),
         }
     if args.optimistic_smoke:
-        smoke_s, smoke_counters = measure_optimistic_smoke()
+        smoke_s, smoke_counters = measure_optimistic_smoke(
+            hosts=args.smoke_hosts, concurrency=args.smoke_concurrent,
+        )
         report["optimistic_smoke"] = {
             "elapsed_s": smoke_s,
             "cpus": os.cpu_count(),
@@ -559,6 +658,15 @@ def main(argv=None):
     metrics["daemon_ticker_speedup_x"] = ticker_speedup
     for key, value in optimistic_sync.items():
         metrics[f"optimistic_{key}"] = value
+    metrics["checkpoint_replayed_per_rollback"] = (
+        checkpoint_rollback["with_checkpoints"]["replayed_per_rollback"]
+    )
+    metrics["full_replayed_per_rollback"] = (
+        checkpoint_rollback["full_replay"]["replayed_per_rollback"]
+    )
+    metrics["checkpoint_replay_improvement_x"] = (
+        checkpoint_rollback["replay_improvement_x"]
+    )
     speedup = report.get("sharded_speedup")
     if speedup:
         metrics["sharded_cell_single_s"] = speedup["single_s"]
@@ -568,6 +676,10 @@ def main(argv=None):
     if smoke:
         metrics["optimistic_smoke_100k_s"] = smoke["elapsed_s"]
         metrics["optimistic_smoke_100k_rollbacks"] = smoke["rollbacks"]
+        metrics["optimistic_smoke_commit_rate"] = smoke["commit_rate"]
+        metrics["optimistic_smoke_replayed_per_rollback"] = (
+            smoke["replayed_per_rollback"]
+        )
     stamped_path = ROOT / f"BENCH_{runstamp}.json"
     stamped_path.write_text(
         json.dumps(metrics, indent=2, sort_keys=True) + "\n"

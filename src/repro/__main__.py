@@ -43,6 +43,21 @@ def shard_count(value):
     return count
 
 
+def checkpoint_interval(value):
+    """argparse type for ``--checkpoint-every``: epochs >= 0.
+
+    0 disables fork checkpoints (optimistic rollback then falls back
+    to full replay from t=0); omitting the flag keeps the adaptive
+    cadence tied to the speculation window.
+    """
+    count = int(value)
+    if count < 0:
+        raise argparse.ArgumentTypeError(
+            f"checkpoint interval must be >= 0, got {value}"
+        )
+    return count
+
+
 def cmd_list(_args):
     print("Experiments (paper artifacts):")
     for exp_id, title in list_experiments():
@@ -61,6 +76,7 @@ def cmd_run(args):
         shards=args.shards,
         sync=args.sync,
         rate=args.rate,
+        checkpoint_every=args.checkpoint_every,
     )
     result = experiment.run(
         quick=args.quick,
@@ -102,6 +118,7 @@ def cmd_profile(args):
         shards=args.shards,
         sync=args.sync,
         rate=args.rate,
+        checkpoint_every=args.checkpoint_every,
     )
     target_label = f"experiment {args.experiment!r}"
     if args.hot:
@@ -170,6 +187,7 @@ def cmd_trace(args):
         shards=args.shards,
         sync=args.sync,
         rate=args.rate,
+        checkpoint_every=args.checkpoint_every,
     )
     cells = experiment._cells(quick=args.quick, seed=args.seed)
     if not cells:
@@ -181,6 +199,8 @@ def cmd_trace(args):
         replacements["shards"] = args.shards
     if args.sync is not None and cell.kind == "cluster":
         replacements["sync"] = args.sync
+    if args.checkpoint_every is not None and cell.kind == "cluster":
+        replacements["checkpoint_every"] = args.checkpoint_every
     cell = dataclasses.replace(cell, **replacements)
     print(f"tracing cell {cell}")
     run_cell(cell)
@@ -261,6 +281,14 @@ def main(argv=None):
              "drive the epoch protocol)",
     )
     run_p.add_argument(
+        "--checkpoint-every", type=checkpoint_interval, default=None,
+        metavar="EPOCHS",
+        help="fork-checkpoint cadence for optimistic shard workers "
+             "(default: adaptive, tied to the speculation window; 0 "
+             "disables and rollback replays from t=0); wall-clock "
+             "only — results are byte-identical",
+    )
+    run_p.add_argument(
         "--json", default=None, metavar="PATH",
         help="also dump the experiment's structured data (sorted keys) "
              "to this file — the sharded-determinism gate diffs these",
@@ -298,6 +326,13 @@ def main(argv=None):
         help="arrival rate for experiments that take one; positive "
              "rates spread arrivals so the traced cell exercises the "
              "epoch protocol and exports its sync counters",
+    )
+    trace_p.add_argument(
+        "--checkpoint-every", type=checkpoint_interval, default=None,
+        metavar="EPOCHS",
+        help="fork-checkpoint cadence for optimistic shard workers; "
+             "checkpoint/rollback counters ride the metrics export, "
+             "the timeline stays byte-identical",
     )
     trace_p.add_argument(
         "--out", default="trace.json", metavar="PATH",
@@ -339,6 +374,13 @@ def main(argv=None):
         "--rate", type=float, default=None, metavar="PER_S",
         help="arrival rate for experiments that take one; positive "
              "rates spread arrivals and drive the epoch protocol",
+    )
+    profile_p.add_argument(
+        "--checkpoint-every", type=checkpoint_interval, default=None,
+        metavar="EPOCHS",
+        help="fork-checkpoint cadence for optimistic shard workers; "
+             "--hot prints checkpoint/resume counters with the engine "
+             "statistics",
     )
     profile_p.add_argument(
         "--hot", action="store_true",

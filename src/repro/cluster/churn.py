@@ -157,7 +157,8 @@ def cluster_arrivals(seed, rate_per_s=0.0):
 def run_cluster_cell(preset, concurrency, hosts, seed=0, app_name=None,
                      placement="least-loaded", teardown=True, shards=1,
                      workers=None, rate_per_s=0.0, engine_stats=None,
-                     trace=None, sync="conservative"):
+                     trace=None, sync="conservative",
+                     checkpoint_every=None):
     """One cluster-scale launch cell; returns a plain-JSON summary.
 
     The cluster analogue of ``launch_preset`` + ``summarize_launch``:
@@ -168,8 +169,10 @@ def run_cluster_cell(preset, concurrency, hosts, seed=0, app_name=None,
     single-process run; spread-arrival least-loaded cells follow the
     deterministic epoch protocol, under lockstep barriers
     (``sync="conservative"``) or Time-Warp-lite speculation
-    (``sync="optimistic"``).  ``workers`` and ``sync`` never change
-    results; single-process runs ignore ``sync`` (there is no barrier).
+    (``sync="optimistic"``).  ``workers``, ``sync`` and
+    ``checkpoint_every`` (the optimistic workers' fork-checkpoint
+    cadence; 0 disables, None adapts) never change results;
+    single-process runs ignore ``sync`` (there is no barrier).
 
     ``engine_stats``, if given, is a dict filled with the simulator's
     :meth:`~repro.sim.core.Simulator.wheel_stats` for diagnostics —
@@ -196,6 +199,7 @@ def run_cluster_cell(preset, concurrency, hosts, seed=0, app_name=None,
             placement=placement, app_name=app_name, teardown=teardown,
             arrivals=cluster_arrivals(seed, rate_per_s), workers=workers,
             trace=trace, sync=sync, engine_stats=engine_stats,
+            checkpoint_every=checkpoint_every,
         )
     from repro.cluster.cluster import Cluster
 

@@ -234,6 +234,13 @@ class ClusterShard:
         coordinator only ever sees deltas that can no longer be
         invalidated.  The buffer is appended in dispatch order, so its
         times are non-decreasing and the committed prefix is a slice.
+
+        The same boundary makes fork-checkpoint resume safe: a shard
+        replayed from a CoW image regenerates every teardown between
+        the checkpoint and the committed frontier, and the resumed
+        worker re-drops them with ``upto`` at its reported watermark —
+        so the coordinator's load vector never sees a delta twice no
+        matter which process image produced it.
         """
         deltas = self._teardowns
         if upto is None:

@@ -1,4 +1,4 @@
-"""Sharded cluster simulation: one logical timeline over many cores.
+r"""Sharded cluster simulation: one logical timeline over many cores.
 
 The single-process :class:`~repro.cluster.cluster.Cluster` puts N hosts
 on one simulator, so a 10,000-startup storm is one serial event stream
@@ -86,11 +86,54 @@ this model has).  Three changes:
   a real input.  The model's generator processes cannot be snapshotted
   (an instruction pointer is not copyable — see
   ``Simulator.snapshot``, which is engine-state-only for exactly this
-  reason), so the shard is not patched in place: it rebuilds itself
-  from its spec and replays its input journal — every (barrier, batch)
-  it ever committed — up to the conflicting barrier, then resumes.
-  Teardowns the coordinator already saw are dropped from the replayed
-  buffer; speculative ones were never sent.
+  reason), so the shard is not patched in place.  The *fallback* path
+  rebuilds it from its spec and replays its input journal — every
+  (barrier, batch) it ever committed — up to the conflicting barrier:
+  O(committed history) per rollback.  Teardowns the coordinator
+  already saw are dropped from the replayed buffer; speculative ones
+  were never sent.
+
+Fork checkpoints: O(Δ) rollback
+-------------------------------
+
+Worker processes bound the replay with copy-on-write checkpoints
+(:mod:`repro.cluster.checkpoint`): every C confirmed epochs (by
+default a reactive, adaptive cadence — armed by the first rollback,
+tied to the AIMD window, backed off while nothing conflicts) a worker
+``fork()``\ s a paused child at a commit-safe instant — a CoW image of
+the whole interpreter, generators included — and truncates its journal
+to the entries after the fork.  A conflict then *kills the current worker image*: the
+per-shard AIMD bookkeeping is packed into a handover message together
+with the journal suffix and the raw pending request, shipped down the
+checkpoint's control pipe, and the worker ``_exit``\ s.  The child —
+which first re-forks a replacement clone of itself, so the logical
+checkpoint survives repeated rollbacks — replays only the suffix,
+O(events since checkpoint) instead of O(history), and serves the
+coordinator pipe it inherited.  The coordinator never notices the
+swap: framing is strictly one outstanding request per worker, so the
+pending request travels in the handover and its reply comes from the
+resumed image.  Workers without ``os.fork`` (or started under a
+``spawn`` context, or with ``checkpoint_every=0``) keep the full
+journal and fall back to rebuild-and-replay-from-t=0; the in-process
+group cannot sacrifice its own process and always uses full replay.
+Checkpoints move wall-clock only — the committed timeline, and with
+it every result byte, is unchanged.
+
+Packed wire format
+------------------
+
+The per-epoch protocol messages — step/submit batches down, teardown
+deltas up — dominate barrier latency once the simulation itself is
+sharded away, so the hot path speaks the struct-packed binary framing
+of :mod:`repro.cluster.wire` (fixed headers plus ``array`` payloads)
+instead of pickling tagged tuples; cold control ops fall back to
+pickle behind a one-byte tag.  Setting
+``REPRO_OPTIMISTIC_ADVERSARIAL_SAFE=1`` makes the coordinator
+under-promise the risk-free ``safe`` bound (the epoch barrier itself)
+and pins the speculation window open — every speculating shard then
+conflicts on nearly every batched epoch, which is the rollback-storm
+regime the determinism CI leg uses to hammer the checkpoint
+resume path.
 
 The committed timeline every shard ends on is therefore *exactly* the
 conservative one — same barriers, same batches, same grid — so results
@@ -128,6 +171,11 @@ import sys
 import time
 import traceback
 
+from repro.cluster import wire
+from repro.cluster.checkpoint import (
+    ForkCheckpointer,
+    fork_checkpoints_supported,
+)
 from repro.cluster.placement import make_placement
 from repro.cluster.shard import ClusterShard
 from repro.metrics.stats import Distribution
@@ -310,6 +358,24 @@ _SPEC_GROW_STREAK = 4
 _SPEC_BREAKER_ROLLBACKS = 8
 
 
+def _adversarial_safe():
+    """Rollback-storm test mode (see module docstring): the
+    coordinator under-promises ``safe`` and shards pin their window
+    open, so speculation conflicts on nearly every batched epoch."""
+    return os.environ.get(
+        "REPRO_OPTIMISTIC_ADVERSARIAL_SAFE", ""
+    ) not in ("", "0")
+
+
+def _hist_add(hist, value):
+    """Bump a power-of-two histogram bucket: smallest b with
+    ``value <= 2**b`` (bucket 0 spans everything at or below 1)."""
+    bucket = 0
+    while (1 << bucket) < value and bucket < 62:
+        bucket += 1
+    hist[bucket] = hist.get(bucket, 0) + 1
+
+
 class _SpeculativeShard:
     """A :class:`ClusterShard` plus the bookkeeping of optimistic sync.
 
@@ -326,6 +392,8 @@ class _SpeculativeShard:
         self._lookahead = lookahead
         self.shard = ClusterShard(**self._spec)
         #: Committed inputs, in submission order: ``(barrier, batch)``.
+        #: After a checkpoint this holds only the post-checkpoint
+        #: *suffix* — the prefix lives applied inside the CoW image.
         self._journal = []
         #: No input with a barrier below this can ever arrive; work at
         #: or before it is committed, work beyond it is speculation.
@@ -338,8 +406,17 @@ class _SpeculativeShard:
         #: Teardowns at or before this time were already sent to the
         #: coordinator (and must not be re-sent by a replayed shard).
         self._reported = 0.0
+        #: Local clock of the newest fork checkpoint, None before the
+        #: first capture.  Once set, the journal prefix is gone and
+        #: in-place full replay would silently lose inputs — so
+        #: :meth:`_rollback` refuses to run.
+        self._ckpt_time = None
+        self._ckpt_age = 0
         self.window = _SPEC_WINDOW_INIT
         self.throttled = False
+        self._pinned = _adversarial_safe()
+        if self._pinned:
+            self.window = _SPEC_WINDOW_MAX
         self._commit_streak = 0
         self.stats = {
             "epochs": 0,
@@ -347,6 +424,12 @@ class _SpeculativeShard:
             "speculated_events": 0,
             "replayed_events": 0,
             "speculation_commits": 0,
+            "checkpoints": 0,
+            "checkpoint_resumes": 0,
+            "full_replays": 0,
+            "checkpoint_age_epochs": 0,
+            "rollback_depth_hist": {},
+            "replay_distance_hist": {},
         }
 
     def step(self, barrier, epoch_end, safe, batch):
@@ -365,6 +448,10 @@ class _SpeculativeShard:
         bound forward.
         """
         self.stats["epochs"] += 1
+        if self._ckpt_time is not None:
+            self._ckpt_age += 1
+            if self._ckpt_age > self.stats["checkpoint_age_epochs"]:
+                self.stats["checkpoint_age_epochs"] = self._ckpt_age
         self._safe = safe
         shard = self.shard
         speculated = shard.sim.now > self._frontier
@@ -390,17 +477,19 @@ class _SpeculativeShard:
             # pathological cell degrades to risk-free-only speculation
             # instead of paying replays forever.
             if rolled_back:
-                self.window //= 2
-                self._commit_streak = 0
-                if (self.stats["rollbacks"] >= _SPEC_BREAKER_ROLLBACKS
-                        and self.stats["speculation_commits"] * 2
-                        < self.stats["rollbacks"]):
-                    self.throttled = True
-                    self.window = 0
+                if not self._pinned:
+                    self.window //= 2
+                    self._commit_streak = 0
+                    if (self.stats["rollbacks"]
+                            >= _SPEC_BREAKER_ROLLBACKS
+                            and self.stats["speculation_commits"] * 2
+                            < self.stats["rollbacks"]):
+                        self.throttled = True
+                        self.window = 0
             else:
                 self.stats["speculation_commits"] += 1
                 self._commit_streak += 1
-                if (not self.throttled
+                if (not self.throttled and not self._pinned
                         and self._commit_streak >= _SPEC_GROW_STREAK):
                     self._commit_streak = 0
                     self.window = min(self.window + 1, _SPEC_WINDOW_MAX)
@@ -433,9 +522,142 @@ class _SpeculativeShard:
         self.stats["speculated_events"] += sim.events_dispatched - before
         return True
 
-    def _rollback(self, when):
-        """Rebuild the shard and replay its journal up to ``when``."""
+    # ------------------------------------------------------------------
+    # fork-checkpoint hooks (worker processes only; see cluster.checkpoint)
+    # ------------------------------------------------------------------
+    def checkpointable(self):
+        """Whether this instant is commit-safe to fork a checkpoint at.
+
+        A checkpoint at local time T must sit at or below every input
+        it could ever be resumed against: future batch barriers are >=
+        max(committed frontier, ``safe``), and the finish horizon is >=
+        the final frontier, so T <= max(frontier, safe) is safe — with
+        the caveat that an *infinite* ``safe`` (placement done) is not
+        a barrier bound at all, and only T <= frontier guarantees T
+        stays below the global finish horizon.
+        """
+        now = self.shard.sim.now
+        if self._safe != float("inf"):
+            return now <= max(self._frontier, self._safe)
+        return now <= self._frontier
+
+    def mark_checkpoint(self):
+        """Parent-side bookkeeping right after a checkpoint fork.
+
+        The CoW image holds every journal entry already applied, so the
+        live journal shrinks to the (empty) suffix — committed-teardown
+        dedup is untouched because ``_reported`` still rides along and
+        :meth:`apply_resume` re-drops everything at or below it.
+        """
+        self._ckpt_time = self.shard.sim.now
+        self._ckpt_age = 0
+        self._journal = []
+        self.stats["checkpoints"] += 1
+
+    def pack_state(self):
+        """The per-shard handover payload a resumed checkpoint needs."""
+        return {
+            "journal": self._journal,
+            "frontier": self._frontier,
+            "safe": self._safe,
+            "reported": self._reported,
+            "ckpt_time": self._ckpt_time,
+            "ckpt_age": self._ckpt_age,
+            "window": self.window,
+            "throttled": self.throttled,
+            "streak": self._commit_streak,
+            "stats": self.stats,
+        }
+
+    def apply_resume(self, packed):
+        """Become the committed timeline again, inside a resumed child.
+
+        The fork image sits at the checkpoint instant with every
+        pre-checkpoint input applied; adopting the dead worker's
+        bookkeeping and replaying the journal *suffix* (then running to
+        the committed frontier) reproduces exactly the committed state
+        the conservative protocol would hold.  Teardowns regenerated on
+        the way were already reported by the dead image — ``upto
+        _reported`` drops them, so the coordinator's load vector never
+        sees a delta twice.
+        """
+        sim = self.shard.sim
+        before = sim.events_dispatched
+        self._journal = list(packed["journal"])
+        self._frontier = packed["frontier"]
+        self._safe = packed["safe"]
+        self._reported = packed["reported"]
+        self._ckpt_time = packed["ckpt_time"]
+        self._ckpt_age = packed["ckpt_age"]
+        self.window = packed["window"]
+        self.throttled = packed["throttled"]
+        self._commit_streak = packed["streak"]
+        self.stats = packed["stats"]
+        for submit_time, batch in self._journal:
+            if sim.now < submit_time:
+                sim.run_until(submit_time)
+            self.shard.submit(batch)
+        if sim.now < self._frontier:
+            sim.run_until(self._frontier)
+        self.shard.take_teardowns(upto=self._reported)
+        replayed = sim.events_dispatched - before
+        self.stats["replayed_events"] += replayed
+        self.stats["checkpoint_resumes"] += 1
+        _hist_add(self.stats["replay_distance_hist"], replayed)
+
+    def note_checkpoint_rollback(self, barrier):
+        """Dying-image accounting for a checkpoint-resolved conflict.
+
+        The conflicted step never runs here (the resumed child replays
+        it at the committed frontier, where it no longer conflicts), so
+        the rollback count, depth histogram, and AIMD back-off are
+        applied before the state packs itself into the handover.
+        """
         self.stats["rollbacks"] += 1
+        _hist_add(
+            self.stats["rollback_depth_hist"],
+            self.shard.sim.now - barrier,
+        )
+        if not self._pinned:
+            self.window //= 2
+            self._commit_streak = 0
+            if (self.stats["rollbacks"] >= _SPEC_BREAKER_ROLLBACKS
+                    and self.stats["speculation_commits"] * 2
+                    < self.stats["rollbacks"]):
+                self.throttled = True
+                self.window = 0
+
+    def resume_to(self, barrier):
+        """Coordinator-driven rollback for the no-checkpoint fallback:
+        discard speculation past max(barrier, frontier) by full replay.
+        Returns the shard's clock afterwards."""
+        target = max(barrier, self._frontier)
+        if self.shard.sim.now > target:
+            self._rollback(target)
+        return self.shard.sim.now
+
+    def _rollback(self, when):
+        """Rebuild the shard and replay its journal up to ``when``.
+
+        This is the O(committed history) fallback: it exists for
+        in-process groups and fork-less workers, whose journal is the
+        complete input history.  After a checkpoint truncated the
+        journal this replay would silently lose the prefix, so it
+        refuses — conflicts must resume through the checkpoint image
+        instead.
+        """
+        if self._ckpt_time is not None:
+            raise RuntimeError(
+                "full replay after checkpoint truncation would lose "
+                "the journal prefix; conflicts must resume from the "
+                "checkpoint image"
+            )
+        self.stats["rollbacks"] += 1
+        self.stats["full_replays"] += 1
+        _hist_add(
+            self.stats["rollback_depth_hist"],
+            self.shard.sim.now - when,
+        )
         self.shard.discard()
         self.shard = ClusterShard(**self._spec)
         sim = self.shard.sim
@@ -447,6 +669,9 @@ class _SpeculativeShard:
         # drop the ones the coordinator already saw.
         self.shard.take_teardowns(upto=self._reported)
         self.stats["replayed_events"] += sim.events_dispatched
+        _hist_add(
+            self.stats["replay_distance_hist"], sim.events_dispatched
+        )
 
     def drain(self):
         """Run lifecycles to completion; returns the conservative end.
@@ -479,26 +704,46 @@ class _SpeculativeShard:
         return result
 
 
+#: Per-shard sync counters that sum across shards; ``epochs`` and
+#: ``checkpoint_age_epochs`` take the max instead (they are per-shard
+#: high-water marks of the same global grid), and the ``*_hist`` keys
+#: are power-of-two histograms whose buckets merge by addition.
+_SYNC_SUM_KEYS = (
+    "rollbacks",
+    "speculated_events",
+    "replayed_events",
+    "speculation_commits",
+    "checkpoints",
+    "checkpoint_resumes",
+    "full_replays",
+)
+_SYNC_HIST_KEYS = ("rollback_depth_hist", "replay_distance_hist")
+
+
 def _fold_sync_stats(results, barrier_wait_s):
     """Pop per-shard ``sync`` stats off ``results`` and aggregate them."""
     stats = {
         "epochs": 0,
         "barrier_wait_s": barrier_wait_s,
-        "rollbacks": 0,
-        "speculated_events": 0,
-        "replayed_events": 0,
-        "speculation_commits": 0,
         "throttled_shards": 0,
+        "checkpoint_age_epochs": 0,
     }
+    stats.update({key: 0 for key in _SYNC_SUM_KEYS})
+    stats.update({key: {} for key in _SYNC_HIST_KEYS})
     for result in results:
         shard_stats = result.pop("sync", None)
         if not shard_stats:
             continue
         stats["epochs"] = max(stats["epochs"], shard_stats["epochs"])
-        stats["rollbacks"] += shard_stats["rollbacks"]
-        stats["speculated_events"] += shard_stats["speculated_events"]
-        stats["replayed_events"] += shard_stats["replayed_events"]
-        stats["speculation_commits"] += shard_stats["speculation_commits"]
+        stats["checkpoint_age_epochs"] = max(
+            stats["checkpoint_age_epochs"],
+            shard_stats.get("checkpoint_age_epochs", 0),
+        )
+        for key in _SYNC_SUM_KEYS:
+            stats[key] += shard_stats.get(key, 0)
+        for key in _SYNC_HIST_KEYS:
+            for bucket, count in shard_stats.get(key, {}).items():
+                stats[key][bucket] = stats[key].get(bucket, 0) + count
         stats["throttled_shards"] += shard_stats["throttled"]
     return stats
 
@@ -526,6 +771,18 @@ class _InProcessGroup:
 
     def drain(self):
         return [shard.drain() for shard in self.shards]
+
+    def checkpoint(self):
+        """Conservative shards never speculate: nothing to checkpoint."""
+        return [False for _ in self.shards]
+
+    def resume(self, barrier):
+        """No speculation means every clock already sits at or below
+        any committed barrier; report the clocks unchanged."""
+        return {
+            shard_id: shard.sim.now
+            for shard_id, shard in enumerate(self.shards)
+        }
 
     def finish(self, horizon):
         results = []
@@ -571,6 +828,19 @@ class _OptimisticInProcessGroup:
     def drain(self):
         return [state.drain() for state in self.states]
 
+    def checkpoint(self):
+        """In-process shards cannot sacrifice their own interpreter, so
+        there is no image to fork — rollback stays full replay."""
+        return [False for _ in self.states]
+
+    def resume(self, barrier):
+        """Fallback resume: full replay for every shard whose clock
+        speculated past ``barrier``; returns the clocks afterwards."""
+        return {
+            shard_id: state.resume_to(barrier)
+            for shard_id, state in enumerate(self.states)
+        }
+
     def finish(self, horizon):
         results = [state.finish(horizon) for state in self.states]
         return results, _fold_sync_stats(results, 0.0)
@@ -580,16 +850,23 @@ class _OptimisticInProcessGroup:
 
 
 def _shard_worker_main(conn, shard_specs, sync="conservative",
-                       lookahead=0.0):
+                       lookahead=0.0, checkpoint_every=None,
+                       eager=False, use_fork=True):
     """Worker entry: serve the protocol for the assigned shards."""
     try:
         if sync == "optimistic":
-            _optimistic_worker_loop(conn, shard_specs, lookahead)
+            _optimistic_worker_loop(
+                conn, shard_specs, lookahead,
+                checkpoint_every=checkpoint_every, eager=eager,
+                use_fork=use_fork,
+            )
         else:
             _conservative_worker_loop(conn, shard_specs)
     except BaseException as exc:  # noqa: BLE001 - ship it to the parent
         try:
-            conn.send(("error", f"{exc!r}\n{traceback.format_exc()}"))
+            wire.send(
+                conn, ("error", f"{exc!r}\n{traceback.format_exc()}")
+            )
         except OSError:  # pragma: no cover - parent already gone
             pass
 
@@ -602,23 +879,33 @@ def _conservative_worker_loop(conn, shard_specs):
     epochs = 0
     while True:
         waited = time.perf_counter()
-        message = conn.recv()
+        message = wire.recv(conn)
         wait_s += time.perf_counter() - waited
         op = message[0]
         if op == "submit":
             for shard_id, batch in message[1].items():
                 shards[shard_id].submit(batch)
-            conn.send(("ok", None))
+            wire.send(conn, ("ok", None))
         elif op == "run_until":
             epochs += 1
             deltas = []
             for shard in shards.values():
                 deltas.extend(shard.run_until(message[1]))
-            conn.send(("ok", deltas))
+            wire.send(conn, ("ok", deltas))
         elif op == "drain":
-            conn.send(
+            wire.send(
+                conn,
                 ("ok", {sid: shard.drain()
-                        for sid, shard in shards.items()})
+                        for sid, shard in shards.items()}),
+            )
+        elif op == "checkpoint":
+            # Lockstep shards never speculate: nothing to checkpoint.
+            wire.send(conn, ("ok", False))
+        elif op == "resume":
+            wire.send(
+                conn,
+                ("ok", {sid: shard.sim.now
+                        for sid, shard in shards.items()}),
             )
         elif op == "finish":
             results = {}
@@ -626,62 +913,172 @@ def _conservative_worker_loop(conn, shard_specs):
                 if shard.sim.now < message[1]:
                     shard.sim.run_until(message[1])
                 results[shard_id] = shard.result()
-            conn.send(("ok", {"results": results, "wait_s": wait_s,
-                              "epochs": epochs}))
+            wire.send(conn, ("ok", {"results": results, "wait_s": wait_s,
+                                    "epochs": epochs}))
         elif op == "stop":
-            conn.send(("ok", None))
+            wire.send(conn, ("ok", None))
             return
         else:  # pragma: no cover - protocol guard
-            conn.send(("error", f"unknown op {op!r}"))
+            wire.send(conn, ("error", f"unknown op {op!r}"))
             return
 
 
-def _optimistic_worker_loop(conn, shard_specs, lookahead):
+def _apply_handover(states, handover, ckpt):
+    """Turn a resumed checkpoint child into the committed worker.
+
+    Replays each shard's journal suffix and returns the decoded pending
+    request — the one whose conflict killed the previous image — for
+    the loop to process next (its reply has not been sent yet).
+
+    The replayed suffix is credited toward the capture cadence: under
+    a rollback storm conflicts land faster than any cadence, and a
+    resumed child restarting its count at zero would keep serving an
+    ever-staler checkpoint image — the replay suffix, and with it the
+    rollback cost, would quietly grow back to O(history).  With the
+    credit, the first commit-safe step after a deep resume re-captures
+    at the new frontier and the suffix stays short.
+    """
+    for shard_id, packed in handover["shards"].items():
+        states[shard_id].apply_resume(packed)
+    ckpt.confirmed = max(
+        (len(state._journal) for state in states.values()), default=0
+    )
+    return wire.decode(handover["pending"])
+
+
+def _optimistic_worker_loop(conn, shard_specs, lookahead,
+                            checkpoint_every=None, eager=False,
+                            use_fork=True):
     """Speculating worker: free-run whenever the pipe is quiet.
 
     Every quantum re-polls the pipe, so a pending step message is
     picked up within one lookahead of simulation; once every shard has
     exhausted its window (or its live work), the loop blocks — and
-    only that blocked time counts as barrier wait.
+    only that blocked time counts as barrier wait.  ``eager`` trades
+    that overlap away for determinism: speculation runs to exhaustion
+    *before* the next blocking receive, so speculation depth (and with
+    it every rollback count) depends only on the adaptive window,
+    never on OS timing — that is what makes checkpoint behavior
+    assertable in tests and benchmarks.
+
+    With fork support (and unless ``checkpoint_every=0``) a
+    :class:`~repro.cluster.checkpoint.ForkCheckpointer` bounds
+    rollback to the journal suffix; conflicts then *leave this
+    process*: the dying image packs its bookkeeping and the pending
+    request into a handover, and the loop continues inside the resumed
+    child with ``pending`` set (the fork happened after the previous
+    reply was sent, so no reply is ever duplicated or lost).
     """
     states = {shard_id: _SpeculativeShard(spec, lookahead)
               for shard_id, spec in shard_specs}
+    ckpt = None
+    if (use_fork and checkpoint_every != 0
+            and fork_checkpoints_supported()):
+        ckpt = ForkCheckpointer(states, checkpoint_every)
     wait_s = 0.0
+    pending = None
     while True:
-        while not conn.poll(0):
-            moved = False
+        if pending is not None:
+            message, pending = pending, None
+        elif eager:
             for state in states.values():
-                if state.speculate_quantum():
-                    moved = True
-            if not moved:
-                waited = time.perf_counter()
-                conn.poll(None)
-                wait_s += time.perf_counter() - waited
-                break
-        message = conn.recv()
+                while state.speculate_quantum():
+                    pass
+            waited = time.perf_counter()
+            message = wire.recv(conn)
+            wait_s += time.perf_counter() - waited
+        else:
+            while not conn.poll(0):
+                moved = False
+                for state in states.values():
+                    if state.speculate_quantum():
+                        moved = True
+                if not moved:
+                    waited = time.perf_counter()
+                    conn.poll(None)
+                    wait_s += time.perf_counter() - waited
+                    break
+            message = wire.recv(conn)
         op = message[0]
         if op == "step":
             _op, barrier, epoch_end, safe, batches = message
+            if ckpt is not None and ckpt.live is not None:
+                conflicted = [
+                    state for shard_id, state in states.items()
+                    if batches.get(shard_id)
+                    and state.shard.sim.now > barrier
+                ]
+                if conflicted:
+                    for state in conflicted:
+                        state.note_checkpoint_rollback(barrier)
+                    # Never returns: the resumed child re-enters this
+                    # loop with the same message pending, now at the
+                    # committed frontier where it no longer conflicts.
+                    ckpt.hand_over(wire.encode(message))
             deltas = []
             for shard_id, state in states.items():
                 deltas.extend(
                     state.step(barrier, epoch_end, safe,
                                batches.get(shard_id))
                 )
-            conn.send(("ok", deltas))
+            wire.send(conn, ("ok", deltas))
+            if ckpt is not None:
+                resumed = ckpt.after_step()
+                if resumed is not None:
+                    pending = _apply_handover(states, resumed, ckpt)
+        elif op == "checkpoint":
+            taken = False
+            if ckpt is not None and all(
+                state.checkpointable() for state in states.values()
+            ):
+                resumed = ckpt.capture()
+                if resumed is not None:
+                    # Resumed child of this very capture: the parent
+                    # already replied to the checkpoint op before it
+                    # died, so only the pending request needs serving.
+                    pending = _apply_handover(states, resumed, ckpt)
+                    continue
+                taken = True
+            wire.send(conn, ("ok", taken))
+        elif op == "resume":
+            barrier = message[1]
+            over = [
+                state for state in states.values()
+                if state.shard.sim.now > max(barrier, state._frontier)
+            ]
+            if over and ckpt is not None and ckpt.live is not None:
+                for state in over:
+                    state.note_checkpoint_rollback(barrier)
+                ckpt.hand_over(wire.encode(message))
+            clocks = {sid: state.resume_to(barrier)
+                      for sid, state in states.items()}
+            wire.send(conn, ("ok", clocks))
         elif op == "drain":
-            conn.send(("ok", {sid: state.drain()
-                              for sid, state in states.items()}))
+            wire.send(conn, ("ok", {sid: state.drain()
+                                    for sid, state in states.items()}))
         elif op == "finish":
-            results = {sid: state.finish(message[1])
+            horizon = message[1]
+            if ckpt is not None and ckpt.live is not None:
+                over = [state for state in states.values()
+                        if state.shard.sim.now > horizon]
+                if over:
+                    for state in over:
+                        state.note_checkpoint_rollback(horizon)
+                    ckpt.hand_over(wire.encode(message))
+            results = {sid: state.finish(horizon)
                        for sid, state in states.items()}
-            conn.send(("ok", {"results": results, "wait_s": wait_s,
-                              "epochs": 0}))
+            if ckpt is not None:
+                ckpt.close()
+                ckpt = None
+            wire.send(conn, ("ok", {"results": results, "wait_s": wait_s,
+                                    "epochs": 0}))
         elif op == "stop":
-            conn.send(("ok", None))
+            if ckpt is not None:
+                ckpt.close()
+            wire.send(conn, ("ok", None))
             return
         else:  # pragma: no cover - protocol guard
-            conn.send(("error", f"unknown op {op!r}"))
+            wire.send(conn, ("error", f"unknown op {op!r}"))
             return
 
 
@@ -690,12 +1087,22 @@ class _WorkerGroup:
 
     Shard-to-process mapping is a pure convenience: every shard is a
     deterministic object, so results are invariant to how many processes
-    serve them.
+    serve them.  Protocol messages travel struct-packed
+    (:mod:`repro.cluster.wire`); after a checkpoint handover the
+    process behind a pipe is a different PID, but the Connection — and
+    the one-outstanding-request framing on it — carries over
+    untouched, so the group never needs to know.
     """
 
     def __init__(self, shard_specs, workers, sync="conservative",
-                 lookahead=0.0):
-        context = multiprocessing.get_context("fork")
+                 lookahead=0.0, checkpoint_every=None, context=None,
+                 eager=False):
+        context_name = context or "fork"
+        context = multiprocessing.get_context(context_name)
+        # Fork checkpoints need the worker itself to be fork-started:
+        # a spawn context stands in for platforms without os.fork, so
+        # its workers keep the full journal and roll back by replay.
+        use_fork = context_name == "fork"
         chunks = [shard_specs[index::workers] for index in range(workers)]
         chunks = [chunk for chunk in chunks if chunk]
         self._owner = {}
@@ -705,7 +1112,8 @@ class _WorkerGroup:
             parent_conn, child_conn = context.Pipe()
             proc = context.Process(
                 target=_shard_worker_main,
-                args=(child_conn, chunk, sync, lookahead),
+                args=(child_conn, chunk, sync, lookahead,
+                      checkpoint_every, eager, use_fork),
                 name=f"repro-shard-worker-{worker_index}",
             )
             proc.start()
@@ -717,10 +1125,10 @@ class _WorkerGroup:
 
     def _broadcast(self, message):
         for conn in self._conns:
-            conn.send(message)
+            wire.send(conn, message)
         replies = []
         for conn in self._conns:
-            status, payload = conn.recv()
+            status, payload = wire.recv(conn)
             if status != "ok":
                 self.close()
                 raise RuntimeError(f"shard worker failed:\n{payload}")
@@ -732,9 +1140,9 @@ class _WorkerGroup:
         for shard_id, batch in batches.items():
             routed[self._owner[shard_id]][shard_id] = batch
         for conn, payload in zip(self._conns, routed):
-            conn.send(("submit", payload))
+            wire.send(conn, ("submit", payload))
         for conn in self._conns:
-            status, detail = conn.recv()
+            status, detail = wire.recv(conn)
             if status != "ok":
                 self.close()
                 raise RuntimeError(f"shard worker failed:\n{detail}")
@@ -753,15 +1161,35 @@ class _WorkerGroup:
         for shard_id, batch in batches.items():
             routed[self._owner[shard_id]][shard_id] = batch
         for conn, payload in zip(self._conns, routed):
-            conn.send(("step", barrier, epoch_end, safe, payload))
+            wire.send(conn, ("step", barrier, epoch_end, safe, payload))
         deltas = []
         for conn in self._conns:
-            status, payload = conn.recv()
+            status, payload = wire.recv(conn)
             if status != "ok":
                 self.close()
                 raise RuntimeError(f"shard worker failed:\n{payload}")
             deltas.extend(payload)
         return deltas
+
+    def checkpoint(self):
+        """Ask every worker to fork a checkpoint now (if commit-safe).
+
+        Returns one taken/skipped flag per worker — False where the
+        worker has no fork support, checkpoints are disabled, or some
+        shard's clock is not at a commit-safe instant.
+        """
+        return [bool(taken)
+                for taken in self._broadcast(("checkpoint", None))]
+
+    def resume(self, barrier):
+        """Roll every shard that speculated past ``barrier`` back to
+        its committed state — through the checkpoint image where one
+        is live (killing the current worker image), by full replay
+        otherwise.  Returns ``{shard_id: clock}`` afterwards."""
+        clocks = {}
+        for payload in self._broadcast(("resume", barrier)):
+            clocks.update(payload)
+        return clocks
 
     def drain(self):
         ends = {}
@@ -785,10 +1213,14 @@ class _WorkerGroup:
     def close(self):
         for conn in self._conns:
             try:
-                conn.send(("stop", None))
+                wire.send(conn, ("stop", None))
             except OSError:
                 pass
         for proc in self._procs:
+            # After a checkpoint handover the serving process is a
+            # descendant, not this Process object (which is already
+            # dead); the descendant exits on "stop" and is reaped by
+            # init, so the join below is still the right wait.
             proc.join(timeout=5)
             if proc.is_alive():  # pragma: no cover - stuck worker
                 proc.terminate()
@@ -799,7 +1231,8 @@ class _WorkerGroup:
         self._conns = []
 
 
-def _make_group(shard_specs, workers, sync="conservative", lookahead=0.0):
+def _make_group(shard_specs, workers, sync="conservative", lookahead=0.0,
+                checkpoint_every=None, context=None, eager=False):
     if workers is None:
         workers = len(shard_specs)
     # A multiprocessing.Pool worker is daemonic and may not fork
@@ -811,7 +1244,8 @@ def _make_group(shard_specs, workers, sync="conservative", lookahead=0.0):
             return _OptimisticInProcessGroup(shard_specs, lookahead)
         return _InProcessGroup(shard_specs)
     return _WorkerGroup(
-        shard_specs, min(workers, len(shard_specs)), sync, lookahead
+        shard_specs, min(workers, len(shard_specs)), sync, lookahead,
+        checkpoint_every=checkpoint_every, context=context, eager=eager,
     )
 
 
@@ -823,7 +1257,8 @@ def run_sharded_cluster(preset, concurrency, hosts, seed=0, shards=2,
                         teardown=True, memory_bytes=None, spec=None,
                         vf_count=None, arrivals=None, workers=None,
                         name_prefix="w", trace=None, sync="conservative",
-                        engine_stats=None):
+                        engine_stats=None, checkpoint_every=None,
+                        worker_context=None, eager_speculation=False):
     """Run one cluster churn burst over K shards; returns the summary.
 
     The summary has exactly the shape (and, for round-robin and for
@@ -848,7 +1283,20 @@ def run_sharded_cluster(preset, concurrency, hosts, seed=0, shards=2,
             wall-clock only.
         engine_stats: Optional dict, filled with aggregated per-shard
             wheel stats plus the sync-protocol counters (epochs,
-            barrier wait, rollbacks, speculated/replayed events).
+            barrier wait, rollbacks, speculated/replayed events,
+            checkpoints/resumes and their depth histograms).
+        checkpoint_every: Fork-checkpoint cadence for optimistic
+            workers, in confirmed epochs.  ``None`` adapts to the AIMD
+            window; ``0`` disables checkpoints (rollback falls back to
+            full replay from t=0).  Wall-clock only — results are
+            invariant to this knob.
+        worker_context: multiprocessing start-method name for the
+            worker processes (default ``"fork"``).  ``"spawn"``
+            exercises the no-fork-checkpoint fallback path.
+        eager_speculation: Speculate to window exhaustion *before*
+            blocking on the next protocol message instead of racing
+            the pipe.  Deterministic rollback counts (for tests and
+            benches) at the cost of the overlap the racing loop buys.
         Other arguments: as for ``run_cluster_cell``.
     """
     if concurrency <= 0:
@@ -888,7 +1336,11 @@ def run_sharded_cluster(preset, concurrency, hosts, seed=0, shards=2,
     host_shard = [shard_of(index) for index in range(hosts)]
 
     lookahead = min_startup_lookahead(spec)
-    group = _make_group(shard_specs, workers, sync, lookahead)
+    group = _make_group(
+        shard_specs, workers, sync, lookahead,
+        checkpoint_every=checkpoint_every, context=worker_context,
+        eager=eager_speculation,
+    )
     try:
         if placement == "round-robin":
             _place_round_robin(group, order, offsets, hosts, host_shard)
@@ -1052,7 +1504,13 @@ def _place_epoch_optimistic(group, order, offsets, hosts, host_shard,
         # barrier any *future* batch can carry is the next unplaced
         # arrival's epoch start — shipped with the step as the shards'
         # risk-free speculation bound (infinity once placement is done).
-        if position < count:
+        # The adversarial test mode under-promises (the current barrier
+        # — a valid bound, just maximally pessimistic), so pinned-open
+        # windows speculate riskily and conflict on nearly every
+        # batched epoch: the rollback-storm regime.
+        if _adversarial_safe():
+            safe = barrier
+        elif position < count:
             safe = int(offsets[order[position]] // lookahead) * lookahead
         else:
             safe = float("inf")

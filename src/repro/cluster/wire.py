@@ -1,0 +1,151 @@
+"""Packed binary wire format for the sharded runner's hot epoch path.
+
+The epoch protocol exchanges two message shapes thousands of times per
+run: coordinator -> worker *step/submit* messages carrying placement
+batches, and worker -> coordinator *delta* replies carrying teardown
+``(time, host_index)`` pairs.  Pickling those tagged tuples is the
+dominant per-epoch cost once the simulation itself is sharded away —
+every message pays pickle's opcode walk, per-object allocation, and
+memo bookkeeping for what is structurally three flat arrays and a
+header.
+
+This module packs exactly those shapes with :mod:`struct` headers and
+:mod:`array` payloads (native byte order — both ends of a pipe are the
+same machine), and falls back to pickle for everything else (drain,
+finish, stop, checkpoint control, error replies: a handful of messages
+per run).  The first byte of every frame discriminates:
+
+====  ==============================================================
+tag   frame
+====  ==============================================================
+``S`` step: ``barrier, epoch_end, safe`` doubles + batch sections
+``B`` submit: batch sections only (conservative protocol)
+``R`` run_until: one double
+``D`` delta reply: count + times ``array('d')`` + hosts ``array('q')``
+``K`` bare ``("ok", None)`` acknowledgement
+``P`` pickled payload (everything else)
+====  ==============================================================
+
+A batch section is ``shard_id, count`` followed by three parallel
+arrays: global container indices (``q``), arrival offsets (``d``), and
+global host indices (``q``).  Floats round-trip exactly through
+``struct``/``array`` doubles, so the encoding is byte-transparent to
+the placement protocol: decoded messages compare equal to the tuples
+the pickled protocol carried.
+"""
+
+import pickle
+import struct
+from array import array
+
+_HEAD_STEP = struct.Struct("=ddd")
+_HEAD_COUNT = struct.Struct("=I")
+_HEAD_BATCH = struct.Struct("=II")
+_HEAD_WHEN = struct.Struct("=d")
+
+
+def _pack_batches(out, batches):
+    out.append(_HEAD_COUNT.pack(len(batches)))
+    for shard_id, batch in batches.items():
+        out.append(_HEAD_BATCH.pack(shard_id, len(batch)))
+        indices = array("q")
+        offsets = array("d")
+        hosts = array("q")
+        for index, offset, host in batch:
+            indices.append(index)
+            offsets.append(offset)
+            hosts.append(host)
+        out.append(indices.tobytes())
+        out.append(offsets.tobytes())
+        out.append(hosts.tobytes())
+
+
+def _unpack_batches(payload, cursor):
+    (count,) = _HEAD_COUNT.unpack_from(payload, cursor)
+    cursor += _HEAD_COUNT.size
+    batches = {}
+    for _ in range(count):
+        shard_id, length = _HEAD_BATCH.unpack_from(payload, cursor)
+        cursor += _HEAD_BATCH.size
+        indices = array("q")
+        indices.frombytes(payload[cursor:cursor + 8 * length])
+        cursor += 8 * length
+        offsets = array("d")
+        offsets.frombytes(payload[cursor:cursor + 8 * length])
+        cursor += 8 * length
+        hosts = array("q")
+        hosts.frombytes(payload[cursor:cursor + 8 * length])
+        cursor += 8 * length
+        batches[shard_id] = list(zip(indices, offsets, hosts))
+    return batches, cursor
+
+
+def encode(message):
+    """One protocol message -> bytes (packed when hot, pickled else)."""
+    op = message[0]
+    if op == "step":
+        _op, barrier, epoch_end, safe, batches = message
+        out = [b"S", _HEAD_STEP.pack(barrier, epoch_end, safe)]
+        _pack_batches(out, batches)
+        return b"".join(out)
+    if op == "submit":
+        out = [b"B"]
+        _pack_batches(out, message[1])
+        return b"".join(out)
+    if op == "run_until":
+        return b"R" + _HEAD_WHEN.pack(message[1])
+    if op == "ok" and len(message) == 2:
+        payload = message[1]
+        if payload is None:
+            return b"K"
+        if isinstance(payload, list) and all(
+            isinstance(item, tuple) and len(item) == 2 for item in payload
+        ):
+            times = array("d")
+            hosts = array("q")
+            for when, host in payload:
+                times.append(when)
+                hosts.append(host)
+            return b"".join((
+                b"D", _HEAD_COUNT.pack(len(payload)),
+                times.tobytes(), hosts.tobytes(),
+            ))
+    return b"P" + pickle.dumps(message)
+
+
+def decode(payload):
+    """Bytes -> the exact tagged tuple the pickled protocol carried."""
+    tag = payload[:1]
+    if tag == b"S":
+        barrier, epoch_end, safe = _HEAD_STEP.unpack_from(payload, 1)
+        batches, _ = _unpack_batches(payload, 1 + _HEAD_STEP.size)
+        return ("step", barrier, epoch_end, safe, batches)
+    if tag == b"B":
+        batches, _ = _unpack_batches(payload, 1)
+        return ("submit", batches)
+    if tag == b"R":
+        return ("run_until", _HEAD_WHEN.unpack_from(payload, 1)[0])
+    if tag == b"K":
+        return ("ok", None)
+    if tag == b"D":
+        (count,) = _HEAD_COUNT.unpack_from(payload, 1)
+        cursor = 1 + _HEAD_COUNT.size
+        times = array("d")
+        times.frombytes(payload[cursor:cursor + 8 * count])
+        cursor += 8 * count
+        hosts = array("q")
+        hosts.frombytes(payload[cursor:cursor + 8 * count])
+        return ("ok", list(zip(times, hosts)))
+    if tag == b"P":
+        return pickle.loads(payload[1:])
+    raise ValueError(f"unknown wire tag {tag!r}")
+
+
+def send(conn, message):
+    """Encode and ship one message on a multiprocessing Connection."""
+    conn.send_bytes(encode(message))
+
+
+def recv(conn):
+    """Receive and decode one message from a Connection."""
+    return decode(conn.recv_bytes())

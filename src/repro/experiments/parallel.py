@@ -57,6 +57,11 @@ class Cell:
     #: Results are byte-identical across modes — it keys the cache only
     #: because every field does, keeping the key derivation uniform.
     sync: str = "conservative"
+    #: Fork-checkpoint cadence for optimistic sharded cells, in
+    #: confirmed epochs (None = adaptive, 0 = disabled — rollback then
+    #: replays from t=0).  Wall-clock only, byte-identical results; it
+    #: keys the cache because every field does.
+    checkpoint_every: int = None
     #: Record a flight-recorder trace (``repro.obs``) while running.
     #: Tracing never changes a cell's summary, but it keys the cache
     #: anyway (as_dict) so traced runs never serve or pollute the cache
@@ -114,6 +119,7 @@ def run_cell(cell):
             engine_stats=stats,
             trace=trace,
             sync=cell.sync,
+            checkpoint_every=cell.checkpoint_every,
         )
     elif cell.kind == "churn":
         from repro.experiments.churn import run_churn_cell

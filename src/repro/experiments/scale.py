@@ -27,7 +27,9 @@ full), ``placement`` ("least-loaded" default, or "round-robin"),
 protocol: "conservative" default, "optimistic", or "auto"), ``rate``
 (arrival rate per second; 0 = the paper's simultaneous burst —
 positive rates spread arrivals and exercise the epoch protocol the
-sync knob selects).
+sync knob selects), ``checkpoint_every`` (optimistic workers'
+fork-checkpoint cadence in confirmed epochs; empty = adaptive,
+0 = disabled — wall-clock only, results are byte-identical).
 """
 
 from repro.experiments.base import Comparison, Experiment, pct, reduction
@@ -71,6 +73,10 @@ class Scale(Experiment):
     def _sync(self):
         return self.option("sync", "conservative")
 
+    def _checkpoint_every(self):
+        value = self.option("checkpoint_every", None)
+        return None if value in (None, "") else int(value)
+
     def _shards(self, hosts):
         # Resolved here (not just in run_cluster_cell) so the resolved
         # count lands in the Cell — and therefore in cache keys and the
@@ -95,7 +101,8 @@ class Scale(Experiment):
         return [
             Cell(preset, concurrency, None, seed, kind="cluster",
                  hosts=hosts, placement=placement, shards=shards,
-                 rate_per_s=self._rate(), sync=self._sync())
+                 rate_per_s=self._rate(), sync=self._sync(),
+                 checkpoint_every=self._checkpoint_every())
             for preset in PRESETS
             for concurrency in self._sweep(quick)
         ]
@@ -112,7 +119,8 @@ class Scale(Experiment):
                     Cell(preset, concurrency, None, seed,
                          kind="cluster", hosts=hosts,
                          placement=placement, shards=shards,
-                         rate_per_s=self._rate(), sync=self._sync())
+                         rate_per_s=self._rate(), sync=self._sync(),
+                         checkpoint_every=self._checkpoint_every())
                 )
                 series[preset].append(
                     {"concurrency": concurrency, **summary}

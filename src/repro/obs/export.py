@@ -60,17 +60,30 @@ def write_chrome_trace(bundle, path):
         handle.write("\n")
 
 
-def flat_metrics(bundle):
-    """The metrics snapshot with labeled histogram buckets."""
+def _bucket_name(histogram, index):
+    """Histogram-aware bucket label.
+
+    Duration histograms recorded via ``observe`` use base-2
+    microsecond buckets; the sharded runner's ``*_hist`` series
+    (rollback depth in virtual seconds, replay distance in events) use
+    plain power-of-two value buckets, so their labels carry no unit.
+    """
     from repro.obs.metrics import bucket_label
 
+    if histogram.endswith("_hist"):
+        return "le_1" if index == 0 else f"le_{2 ** index}"
+    return bucket_label(index)
+
+
+def flat_metrics(bundle):
+    """The metrics snapshot with labeled histogram buckets."""
     metrics = bundle["metrics"]
     return {
         "counters": dict(metrics.get("counters", {})),
         "gauges": dict(metrics.get("gauges", {})),
         "histograms": {
             name: {
-                bucket_label(int(index)): count
+                _bucket_name(name, int(index)): count
                 for index, count in sorted(
                     buckets.items(), key=lambda item: int(item[0])
                 )

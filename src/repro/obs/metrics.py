@@ -99,19 +99,29 @@ class MetricsRegistry:
 
     #: Sharded-sync protocol statistics that are monotone counts; the
     #: rest (mode string, barrier-wait seconds — a wall-clock reading,
-    #: so nondeterministic by nature) merge as gauges.
+    #: so nondeterministic by nature — and the checkpoint-age
+    #: high-water mark) merge as gauges.  Keys ending in ``_hist`` are
+    #: already bucket dicts (the runner's power-of-two rollback-depth
+    #: and replay-distance histograms) and fold straight into the
+    #: histogram store.
     _SYNC_COUNTERS = frozenset({
         "epochs", "rollbacks", "speculated_events", "replayed_events",
-        "speculation_commits", "throttled_shards",
+        "speculation_commits", "throttled_shards", "checkpoints",
+        "checkpoint_resumes", "full_replays",
     })
 
     def ingest_sync_stats(self, stats, scope="sync"):
         """Fold the sharded runner's protocol counters in (epochs,
-        barrier wait, and the optimistic rollback/speculation tallies
-        from :mod:`repro.cluster.sharded`)."""
+        barrier wait, the optimistic rollback/speculation tallies, and
+        the checkpoint counters/histograms from
+        :mod:`repro.cluster.sharded`)."""
         for key, value in stats.items():
             name = f"{scope}/{key}"
-            if key in self._SYNC_COUNTERS:
+            if key.endswith("_hist"):
+                buckets = self.histograms.setdefault(name, {})
+                for index, count in value.items():
+                    buckets[index] = buckets.get(index, 0) + count
+            elif key in self._SYNC_COUNTERS:
                 self.inc(name, value)
             else:
                 self.set_gauge(name, value)

@@ -135,6 +135,7 @@ def test_cache_key_covers_every_cell_field():
         "shards": 2,
         "rate_per_s": 15.0,
         "sync": "optimistic",
+        "checkpoint_every": 2,
         "trace": True,
     }
     # Every declared field must appear here — adding a Cell field

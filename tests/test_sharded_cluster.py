@@ -383,9 +383,16 @@ def test_engine_stats_exports_sync_counters():
     assert stats["sync_mode"] == "optimistic"
     for key in ("sync_epochs", "sync_rollbacks", "sync_speculated_events",
                 "sync_replayed_events", "sync_speculation_commits",
-                "sync_throttled_shards", "sync_barrier_wait_s"):
+                "sync_throttled_shards", "sync_barrier_wait_s",
+                "sync_checkpoints", "sync_checkpoint_resumes",
+                "sync_full_replays", "sync_checkpoint_age_epochs",
+                "sync_rollback_depth_hist", "sync_replay_distance_hist"):
         assert key in stats, f"missing {key}"
     assert stats["sync_epochs"] > 0
+    # In-process groups cannot sacrifice their own process image, so
+    # they never fork checkpoints — every rollback is a full replay.
+    assert stats["sync_checkpoints"] == 0
+    assert stats["sync_full_replays"] == stats["sync_rollbacks"]
 
 
 # ----------------------------------------------------------------------
@@ -421,6 +428,36 @@ def test_resolve_shards_auto_decision_table(monkeypatch):
             f"auto({placement}, rate={rate}, sync={sync}, hosts={hosts}) "
             f"= {resolved}, expected {expected}"
         )
+
+
+def test_resolve_shards_auto_caps_at_cpu_count(monkeypatch):
+    """More shards than cores just multiplies barrier latency, so auto
+    is capped by ``os.cpu_count()`` whatever the placement plan."""
+    import os as _os
+
+    from repro.cluster import sharded as mod
+
+    monkeypatch.setattr(_os, "cpu_count", lambda: 2)
+    table = [
+        # (placement, rate, sync, hosts) -> expected under 2 cores
+        ("round-robin", 150.0, "conservative", 64, 2),   # 64//8=8 -> cap 2
+        ("least-loaded", 0.0, "conservative", 256, 2),   # 256//8=32 -> cap 2
+        ("least-loaded", 150.0, "optimistic", 64, 2),    # 64//16=4 -> cap 2
+        ("least-loaded", 150.0, "conservative", 64, 2),  # 64//32=2 at cap
+        ("least-loaded", 150.0, "optimistic", 16, 1),    # floor binds first
+    ]
+    for placement, rate, sync, hosts, expected in table:
+        resolved = mod.resolve_shards(
+            "auto", hosts, placement=placement, rate_per_s=rate, sync=sync
+        )
+        assert resolved == expected, (
+            f"auto({placement}, rate={rate}, sync={sync}, hosts={hosts}) "
+            f"= {resolved}, expected {expected} under cpu_count=2"
+        )
+    # cpu_count() may legitimately return None: treat it as one core.
+    monkeypatch.setattr(_os, "cpu_count", lambda: None)
+    assert mod.resolve_shards("auto", 256, placement="round-robin",
+                              rate_per_s=150.0) == 1
 
 
 def test_resolve_shards_auto_spread_never_beats_its_floor(monkeypatch):
