@@ -1,10 +1,13 @@
 """Wall-clock performance report for the simulator fast path.
 
 Times a fixed set of experiments end-to-end (quick scale, cache off) —
-including the quick scale experiment re-run over 4 cluster shards, and
-a spread-arrival sharded pair timed under both sync protocols
+including the quick scale experiment re-run over 4 cluster shards, a
+spread-arrival sharded pair timed under both sync protocols
 (``scale_conservative4`` / ``scale_optimistic4``, gated against each
-other: optimistic must never bench slower than conservative) —
+other: optimistic must never bench slower than conservative), and the
+same spread cell at 8 shards under hierarchical sync
+(``scale_hier8``: relay tree + digest replies + pipelined
+coordinator, riding the baseline ratio gate) —
 measures raw event-engine throughput with three synthetic storms (a
 dispatch-heavy mix, a timer-dense churn shape also run against the
 retained heap scheduler, and an idle-daemon tick storm run with and
@@ -31,11 +34,15 @@ heavy cluster cell (48 hosts, 2000 startups) timed single-process and at
 It needs the cores to show a speedup, so it is reported, not gated.
 
 ``--optimistic-smoke`` runs a 100,000-host spread-arrival cell to
-completion under optimistic sync and records its wall-clock, rollback
-counters, speculation commit rate, and replayed-events-per-rollback —
-the scale headline of the optimistic runner (reported, not gated;
-takes minutes at the default size, rescalable with ``--smoke-hosts`` /
-``--smoke-concurrent``).
+completion under hierarchical sync (optimistic workers behind the
+pipelined digest-reply coordinator) and records its wall-clock,
+rollback counters, speculation commit rate,
+replayed-events-per-rollback, and the coordinator occupancy figures
+(wait/place/reduce seconds, placement heap ops) — the scale headline
+of the speculative runner (reported; takes minutes at the default
+size, rescalable with ``--smoke-hosts`` / ``--smoke-concurrent`` up to
+the 1,000,000-host headline run, and gated by wall clock only when
+``--smoke-ceiling-s`` is set, as the weekly CI leg does).
 
 The default report also times one adversarial rollback storm twice —
 with fork checkpoints and with ``checkpoint_every=0`` — and records
@@ -65,6 +72,11 @@ EXPERIMENTS = ("fig1", "fig11", "fig13c", "scale")
 
 #: Shard count for the gated sharded quick-scale timing.
 GATE_SHARDS = 4
+
+#: Shard count for the gated hierarchical-sync timing: 8 shards under
+#: the default relay fan-in of 4 is the smallest cell that actually
+#: builds a two-level relay tree (2 relays x 4 workers).
+HIER_SHARDS = 8
 
 #: Arrival rate for the sync-protocol timings: spread arrivals drive
 #: the epoch protocol (a burst places everything in epoch 0 and never
@@ -270,6 +282,18 @@ def measure(experiment_ids, jobs=None, repeats=2):
             jobs, repeats,
         )
         print(f"{label:14s} {timings[label]:8.3f} s")
+    # The hierarchical coordinator at 8 shards: the same spread cell
+    # through the full relay-tree / digest-reply / pipelined path.  It
+    # rides the baseline ratio gate, so a regression in relay fan-out
+    # or pipelining overhead fails CI even on single-core runners.
+    label = f"scale_hier{HIER_SHARDS}"
+    timings[label] = _timed_run(
+        lambda: get_experiment("scale").configure(
+            shards=HIER_SHARDS, rate=GATE_RATE, sync="hierarchical",
+        ),
+        jobs, repeats,
+    )
+    print(f"{label:14s} {timings[label]:8.3f} s")
     return timings
 
 
@@ -279,7 +303,12 @@ def measure_optimistic_stats(preset="fastiov", concurrency=40, hosts=4,
 
     Runs in-process (workers=0), where speculation is eager and the
     counters are deterministic — so the BENCH numbers trend cleanly
-    across runs instead of following worker-scheduling noise.
+    across runs instead of following worker-scheduling noise.  Besides
+    the speculation counters this exports the coordinator-side figures
+    of the hierarchical work: ``placement_heap_ops`` (heap operations
+    of the incremental least-loaded tracker — deterministic) and
+    ``coordinator_wait_s`` (wall-clock the coordinator spent blocked on
+    shard replies — trend-only, like every timing here).
     """
     from repro.cluster.churn import cluster_arrivals
     from repro.cluster.sharded import run_sharded_cluster
@@ -290,27 +319,41 @@ def measure_optimistic_stats(preset="fastiov", concurrency=40, hosts=4,
         workers=0, arrivals=cluster_arrivals(seed, rate),
         sync="optimistic", engine_stats=stats,
     )
-    return {
+    counters = {
         key: stats[f"sync_{key}"]
         for key in ("epochs", "rollbacks", "speculated_events",
                     "replayed_events", "speculation_commits",
-                    "throttled_shards")
+                    "throttled_shards", "placement_heap_ops")
     }
+    counters["coordinator_wait_s"] = round(
+        stats["sync_coordinator_wait_s"], 4
+    )
+    return counters
 
 
 def measure_optimistic_smoke(hosts=100000, concurrency=5000, rate=500.0,
-                             shards=4, seed=0):
-    """Completion smoke: a 100k-host cell under optimistic sync.
+                             shards=4, seed=0, sync="hierarchical",
+                             ceiling_s=None):
+    """Completion smoke: a 100k-host-and-up cell under the speculative
+    protocol (hierarchical by default: optimistic workers behind the
+    pipelined digest-reply coordinator — the configuration that has to
+    carry the 1M-host target).
 
     The cell is sized for feasibility, not realism: 2 VFs per host
     instead of the NIC's 256 (the pool dominates per-host memory) and
-    a 0.5 s daemon scan interval (at 0.004 s, 100k mostly-idle hosts
-    would spend the whole run ticking).  What it proves: the optimistic
-    protocol drives a cluster three orders of magnitude past the paper
-    testbed to completion, with the rollback counters exported.
-    ``--smoke-hosts`` / ``--smoke-concurrent`` rescale the cell (the
-    default takes minutes; a 10k/500 smoke fits a coffee break).
-    Returns ``(elapsed_s, counters)``.
+    a daemon scan interval that stretches with the cell
+    (``0.5 s * max(1, hosts // 100000)`` — at 0.004 s, 100k mostly-idle
+    hosts would spend the whole run ticking).  What it proves: the
+    protocol drives a cluster three-plus orders of magnitude past the
+    paper testbed to completion, with the rollback counters and the
+    coordinator-occupancy figures (wait/place/reduce seconds, heap
+    ops) exported.  ``--smoke-hosts`` / ``--smoke-concurrent`` rescale
+    the cell (the default takes minutes; a 10k/500 smoke fits a coffee
+    break; 1M hosts is the headline run).  With ``ceiling_s`` set the
+    smoke *fails* (AssertionError) if the wall clock exceeds it — the
+    weekly CI leg pins a ceiling on a fixed cell size so a scaling
+    regression shows up as a red run, while ad-hoc headline runs stay
+    unceilinged.  Returns ``(elapsed_s, counters)``.
     """
     import dataclasses
 
@@ -318,13 +361,16 @@ def measure_optimistic_smoke(hosts=100000, concurrency=5000, rate=500.0,
     from repro.cluster.sharded import run_sharded_cluster
     from repro.spec import PAPER_TESTBED
 
-    spec = dataclasses.replace(PAPER_TESTBED, fastiovd_scan_interval_s=0.5)
+    scan_interval = 0.5 * max(1, hosts // 100000)
+    spec = dataclasses.replace(
+        PAPER_TESTBED, fastiovd_scan_interval_s=scan_interval
+    )
     stats = {}
     started = time.perf_counter()
     summary = run_sharded_cluster(
         "fastiov", concurrency, hosts=hosts, seed=seed, shards=shards,
         vf_count=2, spec=spec, arrivals=cluster_arrivals(seed, rate),
-        sync="optimistic", engine_stats=stats,
+        sync=sync, engine_stats=stats,
     )
     elapsed = time.perf_counter() - started
     assert summary["count"] == concurrency, "smoke cell lost containers"
@@ -333,12 +379,20 @@ def measure_optimistic_smoke(hosts=100000, concurrency=5000, rate=500.0,
         for key in ("epochs", "rollbacks", "speculated_events",
                     "replayed_events", "speculation_commits",
                     "throttled_shards", "checkpoints",
-                    "checkpoint_resumes", "full_replays")
+                    "checkpoint_resumes", "full_replays",
+                    "placement_heap_ops")
     }
+    for key in ("coordinator_wait_s", "coordinator_place_s",
+                "coordinator_reduce_s"):
+        counters[key] = round(stats[f"sync_{key}"], 4)
     print(f"{'smoke':14s} {elapsed:8.3f} s  "
-          f"({hosts} hosts, {concurrency} containers, "
+          f"({hosts} hosts, {concurrency} containers, {sync} sync, "
           f"rollbacks={counters['rollbacks']}, "
           f"checkpoints={counters['checkpoints']})")
+    print(f"{'  coordinator':14s} wait {counters['coordinator_wait_s']:.3f} s  "
+          f"place {counters['coordinator_place_s']:.3f} s  "
+          f"reduce {counters['coordinator_reduce_s']:.3f} s  "
+          f"heap-ops {counters['placement_heap_ops']:,}")
     commits = counters["speculation_commits"]
     attempts = commits + counters["rollbacks"]
     commit_rate = commits / attempts if attempts else 1.0
@@ -350,6 +404,11 @@ def measure_optimistic_smoke(hosts=100000, concurrency=5000, rate=500.0,
           f"replayed/rollback {replayed_per_rollback:,.0f} events")
     counters["commit_rate"] = round(commit_rate, 4)
     counters["replayed_per_rollback"] = round(replayed_per_rollback, 1)
+    if ceiling_s is not None:
+        assert elapsed <= ceiling_s, (
+            f"smoke took {elapsed:.1f} s, over the {ceiling_s:.0f} s "
+            f"wall-clock ceiling — the cell's scaling regressed"
+        )
     return round(elapsed, 4), counters
 
 
@@ -466,6 +525,7 @@ REQUIRED_BASELINE_TIMINGS = (
     f"scale_shards{GATE_SHARDS}",
     f"scale_conservative{GATE_SHARDS}",
     f"scale_optimistic{GATE_SHARDS}",
+    f"scale_hier{HIER_SHARDS}",
 )
 
 
@@ -565,14 +625,18 @@ def main(argv=None):
                              "shards (needs cores; reported, not gated)")
     parser.add_argument("--optimistic-smoke", action="store_true",
                         help="also run the 100,000-host completion smoke "
-                             "under optimistic sync (minutes; reported, "
-                             "not gated)")
+                             "under hierarchical sync (minutes; reported, "
+                             "not gated unless --smoke-ceiling-s is set)")
     parser.add_argument("--smoke-hosts", type=int, default=100000,
                         help="host count for --optimistic-smoke "
                              "(default 100000)")
     parser.add_argument("--smoke-concurrent", type=int, default=5000,
                         help="container count for --optimistic-smoke "
                              "(default 5000)")
+    parser.add_argument("--smoke-ceiling-s", type=float, default=None,
+                        help="fail the smoke if it exceeds this wall-clock "
+                             "budget in seconds (the weekly CI leg sets "
+                             "one; default: no ceiling)")
     args = parser.parse_args(argv)
 
     events_per_sec = round(engine_events_per_sec())
@@ -633,6 +697,7 @@ def main(argv=None):
     if args.optimistic_smoke:
         smoke_s, smoke_counters = measure_optimistic_smoke(
             hosts=args.smoke_hosts, concurrency=args.smoke_concurrent,
+            ceiling_s=args.smoke_ceiling_s,
         )
         report["optimistic_smoke"] = {
             "elapsed_s": smoke_s,
@@ -679,6 +744,12 @@ def main(argv=None):
         metrics["optimistic_smoke_commit_rate"] = smoke["commit_rate"]
         metrics["optimistic_smoke_replayed_per_rollback"] = (
             smoke["replayed_per_rollback"]
+        )
+        metrics["optimistic_smoke_coordinator_wait_s"] = (
+            smoke["coordinator_wait_s"]
+        )
+        metrics["optimistic_smoke_placement_heap_ops"] = (
+            smoke["placement_heap_ops"]
         )
     stamped_path = ROOT / f"BENCH_{runstamp}.json"
     stamped_path.write_text(

@@ -267,12 +267,14 @@ def main(argv=None):
              "worker",
     )
     run_p.add_argument(
-        "--sync", choices=("conservative", "optimistic", "auto"),
+        "--sync",
+        choices=("conservative", "optimistic", "hierarchical", "auto"),
         default=None,
         help="sharded barrier protocol: conservative lockstep epochs "
              "(default), optimistic speculation with rollback-by-replay, "
-             "or auto; results are byte-identical across modes — this "
-             "only moves wall-clock",
+             "hierarchical (optimistic workers under a relay tree with "
+             "a pipelined coordinator), or auto; results are "
+             "byte-identical across modes — this only moves wall-clock",
     )
     run_p.add_argument(
         "--rate", type=float, default=None, metavar="PER_S",
@@ -315,7 +317,8 @@ def main(argv=None):
              "across shard counts",
     )
     trace_p.add_argument(
-        "--sync", choices=("conservative", "optimistic", "auto"),
+        "--sync",
+        choices=("conservative", "optimistic", "hierarchical", "auto"),
         default=None,
         help="sharded barrier protocol for cluster cells; traces are "
              "byte-identical across modes (protocol counters ride the "
@@ -365,7 +368,8 @@ def main(argv=None):
              "when hosts-per-shard clears the overhead threshold)",
     )
     profile_p.add_argument(
-        "--sync", choices=("conservative", "optimistic", "auto"),
+        "--sync",
+        choices=("conservative", "optimistic", "hierarchical", "auto"),
         default=None,
         help="sharded barrier protocol for cluster cells; --hot prints "
              "the protocol's sync counters with the engine statistics",

@@ -48,6 +48,14 @@ subsystem:
   strictly one-outstanding per worker, so the pending request travels
   in the handover and the reply comes from the resumed image.
 
+  The hierarchical coordinator's depth-2 pipelining needs no change
+  here: it allows *two* requests in flight per pipe, but at most one is
+  ever being processed — the one whose conflict triggers the handover.
+  A queued follow-up is still unread bytes in the kernel pipe buffer,
+  and the buffer belongs to the pipe, not the process: the resumed
+  child inherits the same descriptors at fork time, so the queued
+  request is simply read next, in order, by the new image.
+
 The subsystem degrades exactly as the protocol requires: workers
 started under a ``spawn`` context (or platforms without ``os.fork``,
 or ``checkpoint_every=0``) never fork checkpoints and keep the full

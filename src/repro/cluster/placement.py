@@ -6,7 +6,27 @@ decomposition, zeroing, VF init), so the cluster layer only needs to
 spread load the way a serverless control plane would — round-robin for
 uniformity, least-loaded to absorb bursty skew.  Ties break by host
 index so every run is reproducible.
+
+Two implementations of least-loaded exist on purpose:
+
+* :class:`LeastLoadedPlacement` — the O(hosts) exact scan over the load
+  vector.  It is the *semantic definition* (minimum load, ties to the
+  lowest host index) and the oracle the differential tests compare
+  against.
+* :class:`LeastLoadedTracker` — an incremental lazy min-heap of
+  ``(load, host)`` entries with stale-entry invalidation, O(log hosts)
+  amortized per pick/release.  The sharded coordinator places every
+  spread arrival centrally, so the exact scan made its per-epoch work
+  O(arrivals x hosts) — the serial bottleneck that capped shard
+  speedup and made a 1M-host cell unplaceable.  The heap is
+  *bit-identical* to the scan: heap order on ``(load, host)`` tuples is
+  exactly "minimum load, ties to the lowest index", and a fresh entry
+  is pushed on every load change, so after stale tops are popped the
+  heap top is a valid entry that lower-bounds every host's current
+  entry — i.e. the exact argmin.
 """
+
+import heapq
 
 
 class RoundRobinPlacement:
@@ -41,6 +61,95 @@ class LeastLoadedPlacement:
                 best = index
                 best_load = load
         return best
+
+
+class LeastLoadedTracker:
+    """Incremental least-loaded placement over a lazy min-heap.
+
+    Maintains the coordinator's load vector plus a heap of ``(load,
+    host)`` entries.  Entries are never updated in place: every load
+    change pushes a fresh entry, and :meth:`pick` lazily pops entries
+    whose load no longer matches the vector (each push creates at most
+    one such stale pop, so the amortized cost stays O(log hosts)).
+
+    Bit-identity with the exact scan: every host always has one entry
+    carrying its *current* load (pushed by the last change, or the
+    initial build), and the heap top is the minimum ``(load, host)``
+    tuple over all entries.  :meth:`pick` pops tops until the top
+    matches the load vector; because that top was the heap minimum, it
+    lower-bounds every host's current entry — so it is exactly the
+    ``(min load, min index)`` host the scan would return.
+
+    ``heap_ops`` counts pushes + stale pops — exported through the
+    sync stats as ``placement_heap_ops`` so the coordinator's placement
+    cost is observable next to its wait time.
+    """
+
+    __slots__ = ("loads", "_heap", "heap_ops")
+
+    def __init__(self, hosts):
+        self.loads = [0] * hosts
+        # Already sorted -> a valid heap, no heapify pass needed.
+        self._heap = [(0, host) for host in range(hosts)]
+        self.heap_ops = 0
+
+    def pick(self):
+        """Place one arrival on the least-loaded host; returns it."""
+        heap = self._heap
+        loads = self.loads
+        load, host = heap[0]
+        while load != loads[host]:
+            heapq.heappop(heap)
+            self.heap_ops += 1
+            load, host = heap[0]
+        loads[host] = load + 1
+        heapq.heappush(heap, (load + 1, host))
+        self.heap_ops += 1
+        return host
+
+    def release(self, host, count=1):
+        """Apply a teardown delta: ``count`` containers left ``host``."""
+        load = self.loads[host] - count
+        self.loads[host] = load
+        heapq.heappush(self._heap, (load, host))
+        self.heap_ops += 1
+
+
+class ScanTracker:
+    """The same tracker interface over a plain policy scan.
+
+    Fallback for placement policies without an incremental
+    implementation; also the oracle shape the differential property
+    test drives against :class:`LeastLoadedTracker`.
+    """
+
+    __slots__ = ("loads", "_policy", "heap_ops")
+
+    def __init__(self, hosts, policy=None):
+        self.loads = [0] * hosts
+        self._policy = policy or LeastLoadedPlacement()
+        self.heap_ops = 0
+
+    def pick(self):
+        host = self._policy.pick(self.loads)
+        self.loads[host] += 1
+        return host
+
+    def release(self, host, count=1):
+        self.loads[host] -= count
+
+
+def make_load_tracker(placement, hosts):
+    """The coordinator's incremental load tracker for ``placement``.
+
+    Least-loaded gets the lazy min-heap; anything else scans through
+    its policy object.  Both expose ``pick()``/``release()``/
+    ``heap_ops`` and are bit-identical to placing against the policy's
+    ``pick(loads)`` directly.
+    """
+    if placement == LeastLoadedPlacement.name:
+        return LeastLoadedTracker(hosts)
+    return ScanTracker(hosts, make_placement(placement))
 
 
 PLACEMENT_POLICIES = {

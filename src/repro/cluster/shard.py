@@ -241,6 +241,14 @@ class ClusterShard:
         worker re-drops them with ``upto`` at its reported watermark —
         so the coordinator's load vector never sees a delta twice no
         matter which process image produced it.
+
+        Optimistic/hierarchical step replies do not ship these pairs
+        verbatim: the worker summarizes each committed batch of them
+        into a per-host load digest (``wire.digest_deltas``) — the
+        coordinator only ever decrements loads with them, and every
+        reply is applied before the next placement decision, so the
+        digest is information-lossless for placement and relay nodes
+        can merge child replies by addition.
         """
         deltas = self._teardowns
         if upto is None:

@@ -143,6 +143,53 @@ window (halved on rollback, grown on confirmed speculation, zeroed for
 good when rollbacks dominate commits) degrades pathological cells to
 the conservative protocol instead of thrashing on O(history) replays.
 
+Hierarchical: relay tree, digest replies, pipelined coordinator
+---------------------------------------------------------------
+
+At high shard counts the *coordinator* becomes the bottleneck the
+protocol was built to remove: every epoch it pays one pipe write plus
+one pipe read per worker (O(shards) sequential syscalls on the serial
+path), walks an O(hosts) argmin per arrival, and sits idle between
+sending a step and receiving its replies.  ``sync="hierarchical"``
+keeps the worker protocol *exactly* optimistic — same combined steps,
+same speculation, same fork checkpoints — and restructures the paths
+around it, all behind the same byte-identity contract:
+
+* **Relay tree.**  When the worker count exceeds the fan-in
+  (:data:`RELAY_FAN_IN`, default 4), workers hang off intermediate
+  *relay* processes (recursively, so depth grows as log_fanin).  A
+  relay routes step batches down to its children and *tree-reduces*
+  their replies — load digests merge by per-host addition — so the
+  coordinator touches fan-in pipes per epoch instead of one per
+  worker, and the reduction work runs in the relays, in parallel.
+* **Load-digest replies (wire tag ``L``).**  Optimistic step replies
+  carry ``[(host, freed_count), ...]`` instead of every ``(time,
+  host)`` teardown pair.  The coordinator only ever *decremented its
+  load vector* with those pairs, and every reply is applied before the
+  next placement decision, so the digest is information-lossless for
+  placement — while making replies O(distinct hosts) and mergeable in
+  the relays.
+* **Incremental placement.**  The per-arrival O(hosts) argmin becomes
+  a lazy min-heap of ``(load, host)`` entries
+  (:class:`repro.cluster.placement.LeastLoadedTracker`) fed by the
+  digests, with stale-entry invalidation.  Heap order on ``(load,
+  host)`` tuples *is* "least load, ties to the lowest index", so every
+  pick is provably the host the exact scan would return — placement
+  stays bit-identical while per-epoch coordinator work drops from
+  O(arrivals x hosts) to O(arrivals log hosts).
+* **Depth-2 epoch pipelining.**  After shipping a batched step the
+  coordinator immediately streams the *next* epoch's batchless jump
+  (when the next arrival sits beyond the epoch just stepped) without
+  waiting for replies — two requests in flight per pipe, both replies
+  drained before the next placement decision.  The message sequence,
+  and with it the committed timeline, is exactly the serial protocol's;
+  what changes is that workers advance through the empty epochs while
+  the previous step's replies are still in the pipe, halving round-trip
+  waits on sparse-arrival cells.  The fork-checkpoint handover needs no
+  change for depth 2: at most one request is ever *in processing* (the
+  one the handover carries), and a queued follow-up lives in the kernel
+  pipe buffer, which survives the process swap with the inherited pipe.
+
 End-of-run under speculation: a speculated clock may overshoot the
 shard's natural end, so ``drain`` reports max(committed frontier, last
 lifecycle completion) — the end time the conservative run would have —
@@ -176,7 +223,7 @@ from repro.cluster.checkpoint import (
     ForkCheckpointer,
     fork_checkpoints_supported,
 )
-from repro.cluster.placement import make_placement
+from repro.cluster.placement import make_load_tracker
 from repro.cluster.shard import ClusterShard
 from repro.metrics.stats import Distribution
 from repro.spec import PAPER_TESTBED
@@ -199,6 +246,20 @@ MIN_HOSTS_PER_SHARD = 8
 #: round-trips, so its floor sits lower.
 MIN_HOSTS_PER_SHARD_EPOCH = 32
 MIN_HOSTS_PER_SHARD_OPTIMISTIC = 16
+#: Hierarchical sync runs the identical optimistic worker protocol —
+#: speculation overlaps the same barrier wait — so its floor matches
+#: the optimistic one; the relay tree only changes who fans the step
+#: out, not how much synchronization a shard must amortize.
+MIN_HOSTS_PER_SHARD_HIERARCHICAL = MIN_HOSTS_PER_SHARD_OPTIMISTIC
+
+#: Relay-tree fan-in: how many child pipes any one node (the
+#: coordinator, or a relay) serves before another relay layer is
+#: inserted.  Four keeps the coordinator's per-epoch pipe work at
+#: fan_in writes + fan_in reads while the tree stays shallow (depth 2
+#: covers 16 workers, depth 3 covers 64).  Worker counts at or below
+#: the fan-in keep the flat star — a single relay layer would add a
+#: hop without removing any coordinator work.
+RELAY_FAN_IN = 4
 
 
 def resolve_shards(shards, hosts, placement="least-loaded", rate_per_s=0.0,
@@ -218,7 +279,12 @@ def resolve_shards(shards, hosts, placement="least-loaded", rate_per_s=0.0,
     least-loaded, burst           none (single epoch 0)      8
     least-loaded, spread, cons.   2 round-trips per epoch    32
     least-loaded, spread, opt.    1 round-trip + overlap     16
+    least-loaded, spread, hier.   1 round-trip + overlap     16
     ============================  =========================  =========
+
+    Hierarchical shares the optimistic floor: the per-shard
+    synchronization cost is identical (the worker protocol *is*
+    optimistic); relays and pipelining only cut coordinator-side work.
 
     A cell below its floor falls back to the in-process single-shard
     path (with a note on stderr), so auto never picks a sharded config
@@ -234,8 +300,8 @@ def resolve_shards(shards, hosts, placement="least-loaded", rate_per_s=0.0,
     if shards == "auto":
         if placement == "round-robin" or not rate_per_s:
             floor = MIN_HOSTS_PER_SHARD
-        elif sync in ("optimistic", "auto"):
-            floor = MIN_HOSTS_PER_SHARD_OPTIMISTIC
+        elif sync in ("optimistic", "hierarchical", "auto"):
+            floor = MIN_HOSTS_PER_SHARD_HIERARCHICAL
         else:
             floor = MIN_HOSTS_PER_SHARD_EPOCH
         resolved = max(1, min(os.cpu_count() or 1, hosts // floor))
@@ -253,24 +319,27 @@ def resolve_shards(shards, hosts, placement="least-loaded", rate_per_s=0.0,
 def resolve_sync(sync, shards=1, placement="least-loaded"):
     """Resolve a ``--sync`` request to the protocol actually run.
 
-    ``conservative`` and ``optimistic`` are honored for any cell that
-    runs the epoch protocol; both degrade to ``conservative`` when
-    there is no barrier to speculate past (a single shard, or
-    round-robin placement, which is placed entirely up front with zero
-    synchronization).  ``auto`` picks ``optimistic`` exactly when the
-    epoch protocol runs: the adaptive window bounds its downside to
-    conservative-plus-noise, and results are byte-identical either
-    way, so — like :func:`resolve_shards` — this is purely a
-    wall-clock decision.
+    ``conservative``, ``optimistic`` and ``hierarchical`` are honored
+    for any cell that runs the epoch protocol; all degrade to
+    ``conservative`` when there is no barrier to speculate past (a
+    single shard, or round-robin placement, which is placed entirely
+    up front with zero synchronization).  ``auto`` picks
+    ``hierarchical`` exactly when the epoch protocol runs: the worker
+    side *is* the optimistic protocol (the adaptive window bounds its
+    downside to conservative-plus-noise), the relay tree only forms
+    when the worker count exceeds the fan-in, and the pipelined
+    coordinator sends the identical message sequence — results are
+    byte-identical across all of it, so — like :func:`resolve_shards`
+    — this is purely a wall-clock decision.
     """
     if sync is None:
         return "conservative"
-    if sync not in ("conservative", "optimistic", "auto"):
+    if sync not in ("conservative", "optimistic", "hierarchical", "auto"):
         raise ValueError(f"unknown sync mode {sync!r}")
     if shards <= 1 or placement == "round-robin":
         return "conservative"
     if sync == "auto":
-        return "optimistic"
+        return "hierarchical"
     return sync
 
 
@@ -807,14 +876,21 @@ class _OptimisticInProcessGroup:
     *deterministically*: speculation depth depends only on the adaptive
     window, never on OS timing.  That is what makes rollback counts
     assertable in tests.
+
+    The pipelined coordinator's split ``step_send``/``step_recv`` is
+    served by executing each step the moment it is sent and queueing
+    its digest — in-process there is no one to overlap with, so
+    immediate execution is both the simplest and the deterministic
+    reading of "two requests in flight".
     """
 
     def __init__(self, shard_specs, lookahead):
         self.states = [
             _SpeculativeShard(spec, lookahead) for _, spec in shard_specs
         ]
+        self._replies = []
 
-    def step(self, barrier, epoch_end, safe, batches):
+    def step_send(self, barrier, epoch_end, safe, batches):
         deltas = []
         for shard_id, state in enumerate(self.states):
             deltas.extend(
@@ -823,7 +899,14 @@ class _OptimisticInProcessGroup:
         for state in self.states:
             while state.speculate_quantum():
                 pass
-        return deltas
+        self._replies.append(wire.digest_deltas(deltas))
+
+    def step_recv(self):
+        return self._replies.pop(0)
+
+    def step(self, barrier, epoch_end, safe, batches):
+        self.step_send(barrier, epoch_end, safe, batches)
+        return self.step_recv()
 
     def drain(self):
         return [state.drain() for state in self.states]
@@ -852,9 +935,15 @@ class _OptimisticInProcessGroup:
 def _shard_worker_main(conn, shard_specs, sync="conservative",
                        lookahead=0.0, checkpoint_every=None,
                        eager=False, use_fork=True):
-    """Worker entry: serve the protocol for the assigned shards."""
+    """Worker entry: serve the protocol for the assigned shards.
+
+    ``hierarchical`` is the optimistic worker protocol verbatim — the
+    tree topology and the pipelined coordinator live entirely above
+    this loop (relays speak the same ops), so a leaf worker cannot
+    tell the modes apart.
+    """
     try:
-        if sync == "optimistic":
+        if sync in ("optimistic", "hierarchical"):
             _optimistic_worker_loop(
                 conn, shard_specs, lookahead,
                 checkpoint_every=checkpoint_every, eager=eager,
@@ -1021,7 +1110,12 @@ def _optimistic_worker_loop(conn, shard_specs, lookahead,
                     state.step(barrier, epoch_end, safe,
                                batches.get(shard_id))
                 )
-            wire.send(conn, ("ok", deltas))
+            # Reply with the load digest, not the raw deltas: the
+            # coordinator applies every reply before the next placement
+            # decision, so per-host freed counts carry exactly the
+            # information placement consumes — and relays can merge
+            # digests by addition on the way up.
+            wire.send(conn, ("loads", wire.digest_deltas(deltas)))
             if ckpt is not None:
                 resumed = ckpt.after_step()
                 if resumed is not None:
@@ -1082,6 +1176,190 @@ def _optimistic_worker_loop(conn, shard_specs, lookahead,
             return
 
 
+def _spawn_workers(context_name, chunks, sync, lookahead, checkpoint_every,
+                   eager, fan_in, label="repro-shard"):
+    """Spawn the processes serving ``chunks`` (one shard-spec list each).
+
+    Flat star when the chunk count fits the fan-in (or ``fan_in`` is
+    None): one leaf worker per chunk.  Otherwise the chunks are grouped
+    under ``fan_in`` relay processes — each relay re-enters this
+    function for its own sub-tree, so depth grows logarithmically and
+    no node ever serves more than ``fan_in`` pipes.  Returns
+    ``(procs, conns, shard_ids_per_conn)``.
+    """
+    context = multiprocessing.get_context(context_name)
+    # Fork checkpoints need the worker itself to be fork-started: a
+    # spawn context stands in for platforms without os.fork, so its
+    # workers keep the full journal and roll back by replay.
+    use_fork = context_name == "fork"
+    procs = []
+    conns = []
+    owners = []
+    if fan_in is not None and len(chunks) > fan_in:
+        groups = [chunks[index::fan_in] for index in range(fan_in)]
+        for index, group_chunks in enumerate(groups):
+            parent_conn, child_conn = context.Pipe()
+            proc = context.Process(
+                target=_relay_main,
+                args=(child_conn, group_chunks, sync, lookahead,
+                      checkpoint_every, eager, fan_in, context_name),
+                name=f"{label}-relay-{index}",
+            )
+            proc.start()
+            child_conn.close()
+            procs.append(proc)
+            conns.append(parent_conn)
+            owners.append([shard_id for chunk in group_chunks
+                           for shard_id, _ in chunk])
+        return procs, conns, owners
+    for index, chunk in enumerate(chunks):
+        parent_conn, child_conn = context.Pipe()
+        proc = context.Process(
+            target=_shard_worker_main,
+            args=(child_conn, chunk, sync, lookahead,
+                  checkpoint_every, eager, use_fork),
+            name=f"{label}-worker-{index}",
+        )
+        proc.start()
+        child_conn.close()
+        procs.append(proc)
+        conns.append(parent_conn)
+        owners.append([shard_id for shard_id, _ in chunk])
+    return procs, conns, owners
+
+
+def _relay_main(conn, chunks, sync, lookahead, checkpoint_every, eager,
+                fan_in, context_name):
+    """Relay entry: aggregate a sub-tree of workers behind one pipe."""
+    try:
+        procs, conns, owners = _spawn_workers(
+            context_name, chunks, sync, lookahead, checkpoint_every,
+            eager, fan_in, label=multiprocessing.current_process().name,
+        )
+        owner = {}
+        for index, shard_ids in enumerate(owners):
+            for shard_id in shard_ids:
+                owner[shard_id] = index
+        _relay_loop(conn, procs, conns, owner)
+    except BaseException as exc:  # noqa: BLE001 - ship it to the parent
+        try:
+            wire.send(
+                conn, ("error", f"{exc!r}\n{traceback.format_exc()}")
+            )
+        except OSError:  # pragma: no cover - parent already gone
+            pass
+
+
+def _relay_loop(parent, procs, conns, owner):
+    """Serve the shard-group protocol by fan-out and tree reduction.
+
+    A relay is protocol-transparent: it routes batch payloads down by
+    shard ownership, reduces the children's replies (digests merge by
+    per-host addition, result/clock dicts by union, wait by sum), and
+    answers with exactly the frame a leaf worker would — so the parent,
+    which may itself be a relay, cannot tell tree depth apart.
+
+    Steps forward opportunistically at depth 2: if the parent already
+    streamed a follow-up step (the pipelined coordinator's batchless
+    empty-epoch jump), it is routed down *before* blocking on the first
+    step's replies, so leaf workers cross both epochs without a relay
+    round-trip between them.  Replies still flow up strictly in request
+    order — the pipelining is invisible to everything above.
+    """
+    def route(batches):
+        routed = [{} for _ in conns]
+        for shard_id, batch in batches.items():
+            routed[owner[shard_id]][shard_id] = batch
+        return routed
+
+    def forward_step(message):
+        _op, barrier, epoch_end, safe, batches = message
+        for conn, payload in zip(conns, route(batches)):
+            wire.send(conn, ("step", barrier, epoch_end, safe, payload))
+
+    def gather():
+        replies = []
+        for conn in conns:
+            reply = wire.recv(conn)
+            if reply[0] == "error":
+                raise RuntimeError(f"shard worker failed:\n{reply[1]}")
+            replies.append(reply[1])
+        return replies
+
+    backlog = []
+    while True:
+        message = backlog.pop(0) if backlog else wire.recv(parent)
+        op = message[0]
+        if op == "step":
+            forwarded = 1
+            forward_step(message)
+            if parent.poll(0):
+                follow = wire.recv(parent)
+                if follow[0] == "step":
+                    forward_step(follow)
+                    forwarded += 1
+                else:
+                    backlog.append(follow)
+            for _ in range(forwarded):
+                wire.send(
+                    parent, ("loads", wire.merge_digests(gather()))
+                )
+        elif op == "submit":
+            for conn, payload in zip(conns, route(message[1])):
+                wire.send(conn, ("submit", payload))
+            gather()
+            wire.send(parent, ("ok", None))
+        elif op == "run_until":
+            for conn in conns:
+                wire.send(conn, message)
+            deltas = []
+            for payload in gather():
+                deltas.extend(payload)
+            wire.send(parent, ("ok", deltas))
+        elif op == "checkpoint":
+            for conn in conns:
+                wire.send(conn, message)
+            flags = []
+            for payload in gather():
+                if isinstance(payload, list):
+                    flags.extend(payload)
+                else:
+                    flags.append(bool(payload))
+            wire.send(parent, ("ok", flags))
+        elif op in ("resume", "drain"):
+            for conn in conns:
+                wire.send(conn, message)
+            merged = {}
+            for payload in gather():
+                merged.update(payload)
+            wire.send(parent, ("ok", merged))
+        elif op == "finish":
+            for conn in conns:
+                wire.send(conn, message)
+            results = {}
+            wait_s = 0.0
+            epochs = 0
+            for payload in gather():
+                results.update(payload["results"])
+                wait_s += payload["wait_s"]
+                epochs = max(epochs, payload["epochs"])
+            wire.send(parent, ("ok", {"results": results,
+                                      "wait_s": wait_s,
+                                      "epochs": epochs}))
+        elif op == "stop":
+            for conn in conns:
+                wire.send(conn, ("stop", None))
+            for conn in conns:
+                wire.recv(conn)
+            for proc in procs:
+                proc.join(timeout=5)
+            wire.send(parent, ("ok", None))
+            return
+        else:  # pragma: no cover - protocol guard
+            wire.send(parent, ("error", f"unknown op {op!r}"))
+            return
+
+
 class _WorkerGroup:
     """Shards spread over ``workers`` forked processes.
 
@@ -1090,38 +1368,28 @@ class _WorkerGroup:
     serve them.  Protocol messages travel struct-packed
     (:mod:`repro.cluster.wire`); after a checkpoint handover the
     process behind a pipe is a different PID, but the Connection — and
-    the one-outstanding-request framing on it — carries over
+    the bounded-outstanding-request framing on it — carries over
     untouched, so the group never needs to know.
+
+    With ``fan_in`` set and more workers than the fan-in, the pipes
+    below are relay sub-trees instead of leaf workers — same protocol,
+    fewer pipes on the coordinator's serial path.
     """
 
     def __init__(self, shard_specs, workers, sync="conservative",
                  lookahead=0.0, checkpoint_every=None, context=None,
-                 eager=False):
+                 eager=False, fan_in=None):
         context_name = context or "fork"
-        context = multiprocessing.get_context(context_name)
-        # Fork checkpoints need the worker itself to be fork-started:
-        # a spawn context stands in for platforms without os.fork, so
-        # its workers keep the full journal and roll back by replay.
-        use_fork = context_name == "fork"
         chunks = [shard_specs[index::workers] for index in range(workers)]
         chunks = [chunk for chunk in chunks if chunk]
+        self._procs, self._conns, owners = _spawn_workers(
+            context_name, chunks, sync, lookahead, checkpoint_every,
+            eager, fan_in,
+        )
         self._owner = {}
-        self._procs = []
-        self._conns = []
-        for worker_index, chunk in enumerate(chunks):
-            parent_conn, child_conn = context.Pipe()
-            proc = context.Process(
-                target=_shard_worker_main,
-                args=(child_conn, chunk, sync, lookahead,
-                      checkpoint_every, eager, use_fork),
-                name=f"repro-shard-worker-{worker_index}",
-            )
-            proc.start()
-            child_conn.close()
-            self._procs.append(proc)
-            self._conns.append(parent_conn)
-            for shard_id, _ in chunk:
-                self._owner[shard_id] = worker_index
+        for index, shard_ids in enumerate(owners):
+            for shard_id in shard_ids:
+                self._owner[shard_id] = index
 
     def _broadcast(self, message):
         for conn in self._conns:
@@ -1153,33 +1421,54 @@ class _WorkerGroup:
             deltas.extend(payload)
         return deltas
 
-    def step(self, barrier, epoch_end, safe, batches):
-        """Optimistic combined op: submit + advance + collect deltas in
-        one round-trip (workers speculate while this one is in flight
-        on their idle siblings' pipes)."""
+    def step_send(self, barrier, epoch_end, safe, batches):
+        """Ship one combined step without waiting for its replies.
+
+        The pipelined coordinator calls this back-to-back (at most two
+        outstanding per pipe — the depth the checkpoint handover
+        tolerates: one request in processing travels in the handover,
+        a queued one survives in the kernel pipe buffer); every send
+        must be matched by a later :meth:`step_recv`, in order.
+        """
         routed = [{} for _ in self._conns]
         for shard_id, batch in batches.items():
             routed[self._owner[shard_id]][shard_id] = batch
         for conn, payload in zip(self._conns, routed):
             wire.send(conn, ("step", barrier, epoch_end, safe, payload))
-        deltas = []
+
+    def step_recv(self):
+        """Collect one step's replies: the merged load digest."""
+        digests = []
         for conn in self._conns:
             status, payload = wire.recv(conn)
-            if status != "ok":
+            if status != "loads":
                 self.close()
                 raise RuntimeError(f"shard worker failed:\n{payload}")
-            deltas.extend(payload)
-        return deltas
+            digests.append(payload)
+        return wire.merge_digests(digests)
+
+    def step(self, barrier, epoch_end, safe, batches):
+        """Optimistic combined op: submit + advance + collect digests
+        in one round-trip (workers speculate while this one is in
+        flight on their idle siblings' pipes)."""
+        self.step_send(barrier, epoch_end, safe, batches)
+        return self.step_recv()
 
     def checkpoint(self):
         """Ask every worker to fork a checkpoint now (if commit-safe).
 
         Returns one taken/skipped flag per worker — False where the
         worker has no fork support, checkpoints are disabled, or some
-        shard's clock is not at a commit-safe instant.
+        shard's clock is not at a commit-safe instant.  A relay replies
+        with its whole sub-tree's flags as a list, flattened here.
         """
-        return [bool(taken)
-                for taken in self._broadcast(("checkpoint", None))]
+        flags = []
+        for taken in self._broadcast(("checkpoint", None)):
+            if isinstance(taken, list):
+                flags.extend(bool(flag) for flag in taken)
+            else:
+                flags.append(bool(taken))
+        return flags
 
     def resume(self, barrier):
         """Roll every shard that speculated past ``barrier`` back to
@@ -1232,7 +1521,8 @@ class _WorkerGroup:
 
 
 def _make_group(shard_specs, workers, sync="conservative", lookahead=0.0,
-                checkpoint_every=None, context=None, eager=False):
+                checkpoint_every=None, context=None, eager=False,
+                fan_in=None):
     if workers is None:
         workers = len(shard_specs)
     # A multiprocessing.Pool worker is daemonic and may not fork
@@ -1240,12 +1530,13 @@ def _make_group(shard_specs, workers, sync="conservative", lookahead=0.0,
     if multiprocessing.current_process().daemon:
         workers = 0
     if workers < 1:
-        if sync == "optimistic":
+        if sync in ("optimistic", "hierarchical"):
             return _OptimisticInProcessGroup(shard_specs, lookahead)
         return _InProcessGroup(shard_specs)
     return _WorkerGroup(
         shard_specs, min(workers, len(shard_specs)), sync, lookahead,
         checkpoint_every=checkpoint_every, context=context, eager=eager,
+        fan_in=fan_in,
     )
 
 
@@ -1258,7 +1549,8 @@ def run_sharded_cluster(preset, concurrency, hosts, seed=0, shards=2,
                         vf_count=None, arrivals=None, workers=None,
                         name_prefix="w", trace=None, sync="conservative",
                         engine_stats=None, checkpoint_every=None,
-                        worker_context=None, eager_speculation=False):
+                        worker_context=None, eager_speculation=False,
+                        fan_in=None):
     """Run one cluster churn burst over K shards; returns the summary.
 
     The summary has exactly the shape (and, for round-robin and for
@@ -1278,9 +1570,11 @@ def run_sharded_cluster(preset, concurrency, hosts, seed=0, shards=2,
             The returned summary never contains trace data.
         sync: ``"conservative"`` (lockstep epoch barriers),
             ``"optimistic"`` (speculate past the barrier, replay on
-            conflict), or ``"auto"``; resolved by :func:`resolve_sync`.
-            Results are byte-identical across modes — this knob moves
-            wall-clock only.
+            conflict), ``"hierarchical"`` (optimistic workers under a
+            relay tree with a pipelined coordinator), or ``"auto"``;
+            resolved by :func:`resolve_sync`.  Results are
+            byte-identical across modes — this knob moves wall-clock
+            only.
         engine_stats: Optional dict, filled with aggregated per-shard
             wheel stats plus the sync-protocol counters (epochs,
             barrier wait, rollbacks, speculated/replayed events,
@@ -1297,6 +1591,10 @@ def run_sharded_cluster(preset, concurrency, hosts, seed=0, shards=2,
             blocking on the next protocol message instead of racing
             the pipe.  Deterministic rollback counts (for tests and
             benches) at the cost of the overlap the racing loop buys.
+        fan_in: Relay-tree fan-in for hierarchical sync (``None`` =
+            :data:`RELAY_FAN_IN`).  A relay layer forms only when the
+            worker count exceeds it.  Wall-clock only — results are
+            invariant to this knob.
         Other arguments: as for ``run_cluster_cell``.
     """
     if concurrency <= 0:
@@ -1327,38 +1625,54 @@ def run_sharded_cluster(preset, concurrency, hosts, seed=0, shards=2,
         for shard_id, (start, stop) in enumerate(bounds)
     ]
 
-    def shard_of(host_index):
-        for shard_id, (start, stop) in enumerate(bounds):
-            if start <= host_index < stop:
-                return shard_id
-        raise IndexError(host_index)
-
-    host_shard = [shard_of(index) for index in range(hosts)]
+    # Host -> shard map, filled range by range (O(hosts), not
+    # O(hosts x shards) — at 1M hosts the difference is the build).
+    host_shard = [0] * hosts
+    for shard_id, (start, stop) in enumerate(bounds):
+        for host_index in range(start, stop):
+            host_shard[host_index] = shard_id
 
     lookahead = min_startup_lookahead(spec)
+    if fan_in is None and sync == "hierarchical":
+        fan_in = RELAY_FAN_IN
+    trace_coordinator = trace is not None and os.environ.get(
+        "REPRO_TRACE_COORDINATOR", ""
+    ) not in ("", "0")
+    stats = _CoordinatorStats(record_spans=trace_coordinator)
+    tracker = None
     group = _make_group(
         shard_specs, workers, sync, lookahead,
         checkpoint_every=checkpoint_every, context=worker_context,
         eager=eager_speculation,
+        fan_in=fan_in if sync == "hierarchical" else None,
     )
     try:
         if placement == "round-robin":
             _place_round_robin(group, order, offsets, hosts, host_shard)
-        elif sync == "optimistic":
-            _place_epoch_optimistic(
-                group, order, offsets, hosts, host_shard, placement,
-                lookahead,
-            )
         else:
-            _place_epoch_barrier(
-                group, order, offsets, hosts, host_shard, placement,
-                lookahead,
-            )
+            tracker = make_load_tracker(placement, hosts)
+            if sync == "conservative":
+                _place_epoch_barrier(
+                    group, order, offsets, host_shard, tracker,
+                    lookahead, stats,
+                )
+            else:
+                _place_epoch_steps(
+                    group, order, offsets, host_shard, tracker,
+                    lookahead, stats,
+                    pipelined=(sync == "hierarchical"),
+                )
         ends = group.drain()
         results, sync_stats = group.finish(max(ends))
     finally:
         group.close()
     sync_stats["mode"] = sync
+    sync_stats["coordinator_wait_s"] = stats.wait_s
+    sync_stats["coordinator_place_s"] = stats.place_s
+    sync_stats["coordinator_reduce_s"] = stats.reduce_s
+    sync_stats["placement_heap_ops"] = (
+        tracker.heap_ops if tracker is not None else 0
+    )
     wheels = [result.pop("wheel_stats", None) for result in results]
     if engine_stats is not None:
         engine_stats.update(_aggregate_wheel_stats(wheels))
@@ -1383,6 +1697,13 @@ def run_sharded_cluster(preset, concurrency, hosts, seed=0, shards=2,
         trace["metrics"] = merge_metrics(
             [trace["metrics"], registry.snapshot()]
         )
+        if trace_coordinator:
+            # Opt-in (REPRO_TRACE_COORDINATOR=1): the coordinator's
+            # wait/place/reduce spans on a synthetic wall-clock track.
+            # Never on by default — wall-clock spans differ run to run,
+            # and the default bundle is byte-identical across shard
+            # counts (the trace-determinism CI gate).
+            trace["tracks"]["coordinator"] = stats.track_events()
     return _merge(results, hosts, concurrency)
 
 
@@ -1424,11 +1745,51 @@ def _place_round_robin(group, order, offsets, hosts, host_shard):
     group.submit(batches)
 
 
-def _place_epoch_barrier(group, order, offsets, hosts, host_shard,
-                         placement, lookahead):
+class _CoordinatorStats:
+    """Wall-clock occupancy of the placement coordinator.
+
+    Splits the coordinator's epoch-loop time into three buckets —
+    ``wait`` (blocked on shard replies), ``place`` (walking arrivals
+    against the load tracker), ``reduce`` (applying reply digests to
+    the tracker) — exported through the sync stats as
+    ``coordinator_*_s`` gauges.  With span recording enabled
+    (``REPRO_TRACE_COORDINATOR=1`` on a traced run) every bucket also
+    becomes a Perfetto span on a synthetic ``coordinator`` track, in
+    *wall-clock seconds since the run started* (every simulation track
+    is in virtual time — the coordinator has no virtual clock, and its
+    occupancy is precisely a wall-clock question).  The track is
+    opt-in because wall-clock spans differ run to run, and the default
+    trace bundle must stay byte-identical across shard counts.
+    """
+
+    __slots__ = ("wait_s", "place_s", "reduce_s", "_events", "_record",
+                 "_start")
+
+    def __init__(self, record_spans=False):
+        self.wait_s = 0.0
+        self.place_s = 0.0
+        self.reduce_s = 0.0
+        self._record = record_spans
+        self._events = []
+        self._start = time.perf_counter()
+
+    def note(self, kind, began):
+        """Account one ``kind`` span from ``began`` to now; returns now."""
+        now = time.perf_counter()
+        setattr(self, kind + "_s", getattr(self, kind + "_s") + now - began)
+        if self._record:
+            self._events.append(("B", began - self._start, kind))
+            self._events.append(("E", now - self._start))
+        return now
+
+    def track_events(self):
+        """The recorded span stream, recorder-track shaped."""
+        return list(self._events)
+
+
+def _place_epoch_barrier(group, order, offsets, host_shard, tracker,
+                         lookahead, stats):
     """Least-loaded over the fixed epoch grid (see module docstring)."""
-    policy = make_placement(placement)
-    loads = [0] * hosts
     # Epochs are tracked by integer index so barrier times are always
     # the product ``k * lookahead`` — products of increasing integers
     # with the same positive float are monotonic, so shard clocks never
@@ -1437,69 +1798,102 @@ def _place_epoch_barrier(group, order, offsets, hosts, host_shard,
     barrier_epoch = 0
     position = 0
     count = len(order)
+
+    def advance(when):
+        began = time.perf_counter()
+        deltas = group.run_until(when)
+        began = stats.note("wait", began)
+        for _time, host_index in deltas:
+            tracker.release(host_index)
+        stats.note("reduce", began)
+
     while position < count:
         epoch = int(offsets[order[position]] // lookahead)
         if epoch > barrier_epoch:
             # Jump over empty epochs in one step; the teardowns
             # collected here all have time <= the epoch start, so the
             # grid-visibility rule is unaffected by the jump.
-            for _time, host_index in group.run_until(epoch * lookahead):
-                loads[host_index] -= 1
+            advance(epoch * lookahead)
             barrier_epoch = epoch
         epoch_end = (epoch + 1) * lookahead
         batches = {}
+        began = time.perf_counter()
         while position < count and offsets[order[position]] < epoch_end:
             n = order[position]
             position += 1
-            host_index = policy.pick(loads)
-            loads[host_index] += 1
+            host_index = tracker.pick()
             batches.setdefault(host_shard[host_index], []).append(
                 (n, offsets[n], host_index)
             )
+        stats.note("place", began)
         group.submit(batches)
-        for _time, host_index in group.run_until(epoch_end):
-            loads[host_index] -= 1
+        advance(epoch_end)
         barrier_epoch = epoch + 1
 
 
-def _place_epoch_optimistic(group, order, offsets, hosts, host_shard,
-                            placement, lookahead):
+def _place_epoch_steps(group, order, offsets, host_shard, tracker,
+                       lookahead, stats, pipelined=False):
     """The conservative epoch walk, driven by combined ``step`` ops.
 
     Placement decisions, their order, and the teardown-visibility rule
-    are identical to :func:`_place_epoch_barrier` — each step returns
-    exactly the deltas with time <= its epoch end — so the placement
-    sequence (and with it the results) is byte-identical.  What changes
-    is wall-clock: one round-trip per epoch instead of two, and shards
-    speculate into future epochs while the coordinator computes.
+    are identical to :func:`_place_epoch_barrier` — each step's digest
+    reply carries exactly the load decrements with time <= its epoch
+    end — so the placement sequence (and with it the results) is
+    byte-identical.  What changes is wall-clock: one round-trip per
+    epoch instead of two, and shards speculate into future epochs while
+    the coordinator computes.
+
+    ``pipelined`` adds depth-2 streaming: after shipping a batched
+    step, the next epoch's *batchless jump* (when the next arrival sits
+    beyond the epoch just stepped) is sent before the batched step's
+    replies are drained.  The message sequence is provably the serial
+    one — a jump's content is three copies of its barrier, independent
+    of any reply — and every reply is still applied to the tracker
+    before the next placement decision, so the load vector each pick
+    sees is identical.  Only the waiting overlaps.
     """
-    policy = make_placement(placement)
-    loads = [0] * hosts
     barrier_epoch = 0
+    pending = 0
     position = 0
     count = len(order)
+    adversarial = _adversarial_safe()
+
+    def drain_replies():
+        nonlocal pending
+        while pending:
+            began = time.perf_counter()
+            digest = group.step_recv()
+            began = stats.note("wait", began)
+            for host_index, freed in digest:
+                tracker.release(host_index, freed)
+            stats.note("reduce", began)
+            pending -= 1
+
     while position < count:
         epoch = int(offsets[order[position]] // lookahead)
         if epoch > barrier_epoch:
             # Jump over empty epochs in one batchless step — no batch
             # means no rollback can trigger; speculating shards simply
-            # commit whatever they ran ahead.
+            # commit whatever they ran ahead.  (Pipelined, this branch
+            # only fires for the very first arrival: later jumps were
+            # already streamed right behind their batched step.)
             barrier = epoch * lookahead
-            for _time, host_index in group.step(barrier, barrier, barrier,
-                                                {}):
-                loads[host_index] -= 1
+            group.step_send(barrier, barrier, barrier, {})
+            pending += 1
             barrier_epoch = epoch
+        drain_replies()
         barrier = epoch * lookahead
         epoch_end = (epoch + 1) * lookahead
         batches = {}
+        began = time.perf_counter()
         while position < count and offsets[order[position]] < epoch_end:
             n = order[position]
             position += 1
-            host_index = policy.pick(loads)
-            loads[host_index] += 1
+            host_index = tracker.pick()
             batches.setdefault(host_shard[host_index], []).append(
                 (n, offsets[n], host_index)
             )
+        stats.note("place", began)
         # The arrival schedule is known up front, so the earliest
         # barrier any *future* batch can carry is the next unplaced
         # arrival's epoch start — shipped with the step as the shards'
@@ -1508,16 +1902,29 @@ def _place_epoch_optimistic(group, order, offsets, hosts, host_shard,
         # — a valid bound, just maximally pessimistic), so pinned-open
         # windows speculate riskily and conflict on nearly every
         # batched epoch: the rollback-storm regime.
-        if _adversarial_safe():
+        if adversarial:
             safe = barrier
         elif position < count:
             safe = int(offsets[order[position]] // lookahead) * lookahead
         else:
             safe = float("inf")
-        for _time, host_index in group.step(barrier, epoch_end, safe,
-                                            batches):
-            loads[host_index] -= 1
+        group.step_send(barrier, epoch_end, safe, batches)
+        pending += 1
         barrier_epoch = epoch + 1
+        if pipelined and position < count:
+            next_epoch = int(offsets[order[position]] // lookahead)
+            if next_epoch > barrier_epoch:
+                # Stream the next jump behind the batched step: its
+                # payload is independent of the in-flight replies, and
+                # the jump's safe bound equals its own barrier exactly
+                # as the serial loop would send it.
+                jump = next_epoch * lookahead
+                group.step_send(jump, jump, jump, {})
+                pending += 1
+                barrier_epoch = next_epoch
+        if not pipelined:
+            drain_replies()
+    drain_replies()
 
 
 def _merge(results, hosts, concurrency):

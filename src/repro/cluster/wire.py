@@ -22,9 +22,22 @@ tag   frame
 ``B`` submit: batch sections only (conservative protocol)
 ``R`` run_until: one double
 ``D`` delta reply: count + times ``array('d')`` + hosts ``array('q')``
+``L`` load digest: count + hosts ``array('q')`` + counts ``array('q')``
 ``K`` bare ``("ok", None)`` acknowledgement
 ``P`` pickled payload (everything else)
 ====  ==============================================================
+
+The ``L`` frame is the optimistic/hierarchical step reply: instead of
+every individual ``(time, host)`` teardown pair, the worker ships the
+*digest* — how many containers left each host within the committed
+epoch, as sorted ``(host, freed_count)`` pairs
+(:func:`digest_deltas`).  The coordinator only ever used the deltas to
+decrement its load vector, and every delta in a step reply is applied
+before the next placement decision, so the digest carries exactly the
+information placement consumes — while shrinking the reply from
+O(teardowns) to O(distinct hosts) and, crucially, letting relay nodes
+in a hierarchical topology *merge* their children's replies
+(:func:`merge_digests`) into one frame instead of concatenating them.
 
 A batch section is ``shard_id, count`` followed by three parallel
 arrays: global container indices (``q``), arrival offsets (``d``), and
@@ -42,6 +55,30 @@ _HEAD_STEP = struct.Struct("=ddd")
 _HEAD_COUNT = struct.Struct("=I")
 _HEAD_BATCH = struct.Struct("=II")
 _HEAD_WHEN = struct.Struct("=d")
+
+
+def digest_deltas(deltas):
+    """Teardown deltas ``[(time, host), ...]`` -> sorted load digest.
+
+    The digest is ``[(host, freed_count), ...]`` in host order: the
+    exact decrement the coordinator's load vector needs, independent of
+    the order the teardowns happened in (all of a step reply's deltas
+    are applied before the next placement decision, so only the sums
+    matter).
+    """
+    counts = {}
+    for _when, host in deltas:
+        counts[host] = counts.get(host, 0) + 1
+    return sorted(counts.items())
+
+
+def merge_digests(digests):
+    """Combine child load digests into one (relay tree reduction)."""
+    counts = {}
+    for digest in digests:
+        for host, freed in digest:
+            counts[host] = counts.get(host, 0) + freed
+    return sorted(counts.items())
 
 
 def _pack_batches(out, batches):
@@ -94,6 +131,17 @@ def encode(message):
         return b"".join(out)
     if op == "run_until":
         return b"R" + _HEAD_WHEN.pack(message[1])
+    if op == "loads" and len(message) == 2:
+        digest = message[1]
+        hosts = array("q")
+        counts = array("q")
+        for host, freed in digest:
+            hosts.append(host)
+            counts.append(freed)
+        return b"".join((
+            b"L", _HEAD_COUNT.pack(len(digest)),
+            hosts.tobytes(), counts.tobytes(),
+        ))
     if op == "ok" and len(message) == 2:
         payload = message[1]
         if payload is None:
@@ -136,6 +184,15 @@ def decode(payload):
         hosts = array("q")
         hosts.frombytes(payload[cursor:cursor + 8 * count])
         return ("ok", list(zip(times, hosts)))
+    if tag == b"L":
+        (count,) = _HEAD_COUNT.unpack_from(payload, 1)
+        cursor = 1 + _HEAD_COUNT.size
+        hosts = array("q")
+        hosts.frombytes(payload[cursor:cursor + 8 * count])
+        cursor += 8 * count
+        counts = array("q")
+        counts.frombytes(payload[cursor:cursor + 8 * count])
+        return ("loads", list(zip(hosts, counts)))
     if tag == b"P":
         return pickle.loads(payload[1:])
     raise ValueError(f"unknown wire tag {tag!r}")

@@ -24,7 +24,9 @@ Knobs (``repro run scale --hosts N --placement P --shards K --sync M``
 or :meth:`Experiment.configure`): ``hosts`` (default 8 quick / 48
 full), ``placement`` ("least-loaded" default, or "round-robin"),
 ``shards`` (default 1 = single-process), ``sync`` (sharded barrier
-protocol: "conservative" default, "optimistic", or "auto"), ``rate``
+protocol: "conservative" default, "optimistic", "hierarchical" —
+optimistic workers under a relay tree with a pipelined coordinator —
+or "auto", which picks hierarchical), ``rate``
 (arrival rate per second; 0 = the paper's simultaneous burst —
 positive rates spread arrivals and exercise the epoch protocol the
 sync knob selects), ``checkpoint_every`` (optimistic workers'

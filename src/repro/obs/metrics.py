@@ -98,16 +98,16 @@ class MetricsRegistry:
                 self.set_gauge(name, value)
 
     #: Sharded-sync protocol statistics that are monotone counts; the
-    #: rest (mode string, barrier-wait seconds — a wall-clock reading,
-    #: so nondeterministic by nature — and the checkpoint-age
-    #: high-water mark) merge as gauges.  Keys ending in ``_hist`` are
-    #: already bucket dicts (the runner's power-of-two rollback-depth
-    #: and replay-distance histograms) and fold straight into the
-    #: histogram store.
+    #: rest (mode string, barrier-wait and coordinator-occupancy
+    #: seconds — wall-clock readings, so nondeterministic by nature —
+    #: and the checkpoint-age high-water mark) merge as gauges.  Keys
+    #: ending in ``_hist`` are already bucket dicts (the runner's
+    #: power-of-two rollback-depth and replay-distance histograms) and
+    #: fold straight into the histogram store.
     _SYNC_COUNTERS = frozenset({
         "epochs", "rollbacks", "speculated_events", "replayed_events",
         "speculation_commits", "throttled_shards", "checkpoints",
-        "checkpoint_resumes", "full_replays",
+        "checkpoint_resumes", "full_replays", "placement_heap_ops",
     })
 
     def ingest_sync_stats(self, stats, scope="sync"):

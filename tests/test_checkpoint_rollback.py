@@ -106,6 +106,85 @@ def test_wire_rejects_unknown_tags():
         wire.decode(b"Zjunk")
 
 
+def test_wire_load_digest_round_trips_exactly():
+    digest = [(0, 3), (7, 1), (11, 128)]
+    payload = wire.encode(("loads", digest))
+    assert payload[:1] == b"L"
+    assert wire.decode(payload) == ("loads", digest)
+    empty = wire.encode(("loads", []))
+    assert empty[:1] == b"L"
+    assert wire.decode(empty) == ("loads", [])
+
+
+def test_wire_digest_helpers_summarize_and_merge():
+    deltas = [(0.5, 3), (0.75, 1), (1.0, 3), (1.5, 3)]
+    assert wire.digest_deltas(deltas) == [(1, 1), (3, 3)]
+    assert wire.digest_deltas([]) == []
+    merged = wire.merge_digests([[(1, 1), (3, 3)], [(0, 2), (3, 1)], []])
+    assert merged == [(0, 2), (1, 1), (3, 4)]
+
+
+def _pipe_round_trip(messages):
+    """Round-trip each message over a real pipe; returns what arrived.
+
+    Frames past the OS pipe buffer (64 KiB on Linux) block the writer
+    until a reader drains them, so the send runs on a thread — the
+    overlap a real coordinator/worker pair has for free.
+    """
+    import threading
+
+    received = []
+    parent, child = multiprocessing.Pipe()
+    try:
+        for message in messages:
+            writer = threading.Thread(
+                target=wire.send, args=(parent, message)
+            )
+            writer.start()
+            try:
+                received.append(wire.recv(child))
+            finally:
+                writer.join(timeout=10)
+            assert not writer.is_alive()
+    finally:
+        parent.close()
+        child.close()
+    return received
+
+
+def test_wire_large_frames_round_trip_over_a_real_pipe():
+    """Frames past 64 KiB exercise multiprocessing's large-payload
+    path (a length-prefixed second write on POSIX pipes); the packed
+    arrays must come back intact on every hot frame shape."""
+    batch = [(index, index * 0.5, index % 997) for index in range(6000)]
+    messages = [
+        ("step", 0.0, 0.5, 2.5, {0: batch, 1: batch}),
+        ("ok", [(index * 0.25, index % 991) for index in range(9000)]),
+        ("loads", [(host, host % 7 + 1) for host in range(9000)]),
+    ]
+    for message in messages:
+        assert len(wire.encode(message)) > 64 * 1024
+    assert _pipe_round_trip(messages) == messages
+
+
+def test_wire_pickle_fallback_carries_non_ascii_and_nested_payloads():
+    """The one-byte-tag fallback ``P`` must be transparent to anything
+    picklable — unicode well outside ASCII, deep nesting, bytes — and
+    must survive a real pipe, large payloads included."""
+    messages = [
+        ("error", "champs-élysées → 京都 → Ωμέγα\n" + "traceé " * 10),
+        ("ok", {"nested": {"résumé": ["naïve", ("tuple", b"\x00\xff")],
+                           "depth": [{"k": [1, 2, {"deep": "végétal"}]}]}}),
+        ("finish", float("inf")),
+        ("error", "🔥" * 30000),  # multi-byte runes past 64 KiB encoded
+    ]
+    for message in messages:
+        payload = wire.encode(message)
+        assert payload[:1] == b"P"
+        assert wire.decode(payload) == message
+    assert _pipe_round_trip(messages) == messages
+
+
 # ----------------------------------------------------------------------
 # ForkCheckpointer cadence (no forking: gated states never capture)
 # ----------------------------------------------------------------------

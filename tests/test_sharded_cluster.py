@@ -47,6 +47,21 @@ def test_partition_hosts_is_contiguous_and_balanced():
     sizes = [stop - start for start, stop in ranges]
     assert max(sizes) - min(sizes) <= 1
     assert all(a[1] == b[0] for a, b in zip(ranges, ranges[1:]))
+    # Regression: 50 hosts over 8 shards must spread the remainder one
+    # host at a time across the leading shards — never pile the whole
+    # remainder onto one shard (a skew of up to shards-1 hosts).
+    ranges = partition_hosts(50, 8)
+    sizes = [stop - start for start, stop in ranges]
+    assert sizes == [7, 7, 6, 6, 6, 6, 6, 6]
+    assert ranges[0][0] == 0 and ranges[-1][1] == 50
+    assert all(a[1] == b[0] for a, b in zip(ranges, ranges[1:]))
+    # Property: the remainder never skews any split by more than one.
+    for hosts in range(1, 97):
+        for shards in range(1, hosts + 1):
+            sizes = [stop - start
+                     for start, stop in partition_hosts(hosts, shards)]
+            assert sum(sizes) == hosts
+            assert max(sizes) - min(sizes) <= 1, (hosts, shards)
 
 
 def test_partition_hosts_rejects_bad_shard_counts():
@@ -396,6 +411,160 @@ def test_engine_stats_exports_sync_counters():
 
 
 # ----------------------------------------------------------------------
+# Hierarchical sync: relay tree, digest replies, pipelined coordinator
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("shards", [2, 4, 8])
+def test_hierarchical_spread_is_byte_identical_across_shards(shards):
+    """The relay tree, digest replies and depth-2 pipelining must not
+    move a single byte: hierarchical == conservative == unsharded for
+    every shard count and transport."""
+    reference = _bytes(run_sharded_cluster(
+        "fastiov", 60, hosts=8, seed=9, shards=1, workers=0,
+        arrivals=cluster_arrivals(9, 15.0), sync="conservative",
+    ))
+    for workers in (0, None):
+        summary = run_sharded_cluster(
+            "fastiov", 60, hosts=8, seed=9, shards=shards,
+            workers=workers, arrivals=cluster_arrivals(9, 15.0),
+            sync="hierarchical",
+        )
+        assert _bytes(summary) == reference, (
+            f"hierarchical diverged at K={shards} workers={workers}"
+        )
+
+
+@pytest.mark.parametrize("fan_in", [2, 3])
+def test_hierarchical_fan_in_is_results_invariant(fan_in):
+    """8 workers over fan-in 2 or 3 forms a real relay tree (the
+    default fan-in of 4 covers 8 workers at depth 2 already); tree
+    depth must be invisible in the results."""
+    reference = _bytes(run_sharded_cluster(
+        "fastiov", 60, hosts=8, seed=9, shards=8, workers=0,
+        arrivals=cluster_arrivals(9, 15.0), sync="conservative",
+    ))
+    summary = run_sharded_cluster(
+        "fastiov", 60, hosts=8, seed=9, shards=8, workers=None,
+        arrivals=cluster_arrivals(9, 15.0), sync="hierarchical",
+        fan_in=fan_in,
+    )
+    assert _bytes(summary) == reference
+
+
+def test_hierarchical_rollback_storm_is_byte_identical(monkeypatch):
+    """The adversarial regime (safe pinned to the barrier, windows
+    pinned open) hammers the checkpoint handover *through the relay
+    tree*: conflicts swap worker processes mid-run while up to two
+    step requests ride the inherited pipes."""
+    reference = _bytes(run_sharded_cluster(
+        "fastiov", 60, hosts=8, seed=9, shards=2, workers=0,
+        arrivals=cluster_arrivals(9, 15.0), sync="conservative",
+    ))
+    monkeypatch.setenv("REPRO_OPTIMISTIC_ADVERSARIAL_SAFE", "1")
+    summary = run_sharded_cluster(
+        "fastiov", 60, hosts=8, seed=9, shards=8, workers=None,
+        arrivals=cluster_arrivals(9, 15.0), sync="hierarchical",
+        fan_in=2, checkpoint_every=1,
+    )
+    assert _bytes(summary) == reference
+
+
+def test_engine_stats_export_coordinator_occupancy():
+    """The coordinator's occupancy split and the placement tracker's
+    heap traffic ride the sync stats for every epoch-protocol cell."""
+    for sync in ("conservative", "optimistic", "hierarchical"):
+        stats = {}
+        run_sharded_cluster(
+            "fastiov", 40, hosts=8, seed=2, shards=2, workers=0,
+            arrivals=cluster_arrivals(2, 12.0), sync=sync,
+            engine_stats=stats,
+        )
+        for key in ("sync_coordinator_wait_s", "sync_coordinator_place_s",
+                    "sync_coordinator_reduce_s", "sync_placement_heap_ops"):
+            assert key in stats, f"{sync} missing {key}"
+        assert stats["sync_coordinator_wait_s"] >= 0.0
+        # Least-loaded runs the lazy heap: every arrival pushes at
+        # least one entry, so the op count is bounded below by the
+        # arrival count.
+        assert stats["sync_placement_heap_ops"] >= 40
+
+
+def test_heap_tracker_is_bit_identical_to_exact_scan():
+    """Differential property test: the lazy min-heap tracker and the
+    O(hosts) scan oracle must agree on every pick across interleaved
+    place/release traffic, for several seeds."""
+    import random
+
+    from repro.cluster.placement import (
+        LeastLoadedPlacement,
+        LeastLoadedTracker,
+        ScanTracker,
+    )
+
+    for seed in range(5):
+        rng = random.Random(seed)
+        hosts = rng.randrange(1, 40)
+        heap = LeastLoadedTracker(hosts)
+        scan = ScanTracker(hosts, LeastLoadedPlacement())
+        placed = []
+        for _ in range(400):
+            if placed and rng.random() < 0.45:
+                # Release a random prior placement, sometimes batched
+                # (the digest path frees several at once).
+                host = placed.pop(rng.randrange(len(placed)))
+                count = 1
+                while placed and count < 3 and rng.random() < 0.3:
+                    try:
+                        placed.remove(host)
+                    except ValueError:
+                        break
+                    count += 1
+                heap.release(host, count)
+                scan.release(host, count)
+            else:
+                picked_heap = heap.pick()
+                picked_scan = scan.pick()
+                assert picked_heap == picked_scan, (
+                    f"seed {seed}: heap {picked_heap} != scan {picked_scan}"
+                )
+                placed.append(picked_heap)
+            assert heap.loads == scan.loads, f"seed {seed}: load drift"
+        assert heap.heap_ops > 0
+
+
+def test_coordinator_trace_track_is_opt_in(monkeypatch):
+    """Wall-clock coordinator spans would break trace byte-identity
+    across shard counts, so the track only appears under
+    REPRO_TRACE_COORDINATOR=1 — and then as well-formed B/E pairs."""
+    def traced():
+        trace = {}
+        run_sharded_cluster(
+            "fastiov", 40, hosts=8, seed=2, shards=2, workers=0,
+            arrivals=cluster_arrivals(2, 12.0), sync="hierarchical",
+            trace=trace,
+        )
+        return trace
+
+    monkeypatch.delenv("REPRO_TRACE_COORDINATOR", raising=False)
+    assert "coordinator" not in traced()["tracks"]
+    monkeypatch.setenv("REPRO_TRACE_COORDINATOR", "1")
+    events = traced()["tracks"]["coordinator"]
+    assert events, "no coordinator spans recorded"
+    depth = 0
+    kinds = set()
+    for event in events:
+        if event[0] == "B":
+            depth += 1
+            kinds.add(event[2])
+        else:
+            assert event[0] == "E"
+            depth -= 1
+        assert 0 <= depth <= 1
+    assert depth == 0
+    assert kinds <= {"wait", "place", "reduce"}
+    assert "place" in kinds
+
+
+# ----------------------------------------------------------------------
 # resolve_shards / resolve_sync decision tables
 # ----------------------------------------------------------------------
 def test_resolve_shards_auto_decision_table(monkeypatch):
@@ -414,10 +583,13 @@ def test_resolve_shards_auto_decision_table(monkeypatch):
         ("least-loaded", 0.0, "conservative", 64, 8),    # burst: floor 8
         ("least-loaded", 150.0, "conservative", 64, 2),  # epoch: floor 32
         ("least-loaded", 150.0, "optimistic", 64, 4),    # overlap: floor 16
-        ("least-loaded", 150.0, "auto", 64, 4),          # auto -> optimistic
+        ("least-loaded", 150.0, "hierarchical", 64, 4),  # same floor as opt.
+        ("least-loaded", 150.0, "auto", 64, 4),          # auto -> hierarchical
         # Below the floor every plan degrades to single-shard.
         ("least-loaded", 150.0, "conservative", 48, 1),
         ("least-loaded", 150.0, "optimistic", 8, 1),
+        ("least-loaded", 150.0, "hierarchical", 8, 1),
+        ("round-robin", 150.0, "hierarchical", 64, 8),   # zero-sync floor 8
         ("round-robin", 150.0, "conservative", 8, 1),
     ]
     for placement, rate, sync, hosts, expected in table:
@@ -443,8 +615,10 @@ def test_resolve_shards_auto_caps_at_cpu_count(monkeypatch):
         ("round-robin", 150.0, "conservative", 64, 2),   # 64//8=8 -> cap 2
         ("least-loaded", 0.0, "conservative", 256, 2),   # 256//8=32 -> cap 2
         ("least-loaded", 150.0, "optimistic", 64, 2),    # 64//16=4 -> cap 2
+        ("least-loaded", 150.0, "hierarchical", 64, 2),  # 64//16=4 -> cap 2
         ("least-loaded", 150.0, "conservative", 64, 2),  # 64//32=2 at cap
         ("least-loaded", 150.0, "optimistic", 16, 1),    # floor binds first
+        ("least-loaded", 150.0, "hierarchical", 16, 1),  # floor binds first
     ]
     for placement, rate, sync, hosts, expected in table:
         resolved = mod.resolve_shards(
@@ -469,7 +643,9 @@ def test_resolve_shards_auto_spread_never_beats_its_floor(monkeypatch):
     for hosts in range(1, 129):
         for sync, floor in (("conservative", mod.MIN_HOSTS_PER_SHARD_EPOCH),
                             ("optimistic",
-                             mod.MIN_HOSTS_PER_SHARD_OPTIMISTIC)):
+                             mod.MIN_HOSTS_PER_SHARD_OPTIMISTIC),
+                            ("hierarchical",
+                             mod.MIN_HOSTS_PER_SHARD_HIERARCHICAL)):
             resolved = mod.resolve_shards(
                 "auto", hosts, placement="least-loaded",
                 rate_per_s=100.0, sync=sync,
@@ -487,10 +663,16 @@ def test_resolve_sync_decision_table():
     assert resolve_sync("optimistic", shards=4,
                         placement="round-robin") == "conservative"
     assert resolve_sync("auto", shards=1) == "conservative"
-    # The epoch protocol runs: requests are honored, auto goes fast.
+    assert resolve_sync("hierarchical", shards=1) == "conservative"
+    assert resolve_sync("hierarchical", shards=4,
+                        placement="round-robin") == "conservative"
+    # The epoch protocol runs: requests are honored, auto goes fast —
+    # the relay tree + pipelined coordinator, whose worker side is the
+    # optimistic protocol and whose results are byte-identical.
     assert resolve_sync("optimistic", shards=4) == "optimistic"
     assert resolve_sync("conservative", shards=4) == "conservative"
-    assert resolve_sync("auto", shards=4) == "optimistic"
+    assert resolve_sync("hierarchical", shards=4) == "hierarchical"
+    assert resolve_sync("auto", shards=4) == "hierarchical"
     with pytest.raises(ValueError):
         resolve_sync("yolo", shards=4)
 
