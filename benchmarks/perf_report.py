@@ -21,12 +21,25 @@ tooling; CI uploads it as an artifact) at the repo root::
     python benchmarks/perf_report.py --jobs 4        # parallel cells
     python benchmarks/perf_report.py --sharded-speedup
                                    # heavy 48-host cell, 1 vs 8 shards
+    python benchmarks/perf_report.py --compare BENCH_a.json BENCH_b.json
+                                   # delta table between two runs
 
 ``--check`` compares against the committed baseline and exits non-zero
 if any experiment regressed by more than ``--threshold`` (default 20%)
 or either engine storm's events/sec dropped by more than the same
 threshold, which is what CI runs.  After an intentional perf change,
 regenerate the baseline with ``--update-baseline``.
+
+The sharded quick scale is also timed with runtime probes armed
+(``scale_probes4`` — the wall-clock telemetry plane of ``repro trace
+--wallclock`` / ``repro top``), and ``--check`` gates it against the
+probes-off twin: telemetry must stay in the measurement noise.
+``--compare A.json B.json`` diffs two runstamped flat metric files
+(older run first): every shared metric prints with its delta,
+>threshold moves in the worse direction are flagged, and a flagged
+move on a gated key (experiment timings, engine storms) exits
+non-zero — the ad-hoc bisection tool the baseline gate is too coarse
+for.
 
 ``--sharded-speedup`` is the headline number of the sharded runner: one
 heavy cluster cell (48 hosts, 2000 startups) timed single-process and at
@@ -269,6 +282,32 @@ def measure(experiment_ids, jobs=None, repeats=2):
         jobs, repeats,
     )
     print(f"{label:14s} {timings[label]:8.3f} s")
+    # The same sharded run again, immediately, with runtime probes
+    # armed (``repro.obs.runtime``): the telemetry plane's overhead
+    # rides the baseline ratio gate, and --check additionally gates it
+    # against the probes-off twin just measured — wall-clock spans
+    # around every epoch-loop phase must stay in the noise, or the
+    # plane is too expensive to leave on for ``repro trace`` /
+    # ``repro top``.  The pair is timed back to back (not with the
+    # probed leg at the end of the schedule) so both legs fork their
+    # workers from the same parent-heap state; anything else charges
+    # unrelated allocator growth to the probes.
+    label = f"scale_probes{GATE_SHARDS}"
+    previous = os.environ.get("REPRO_RUNTIME_PROBES")
+    os.environ["REPRO_RUNTIME_PROBES"] = "1"
+    try:
+        timings[label] = _timed_run(
+            lambda: get_experiment("scale").configure(shards=GATE_SHARDS),
+            jobs, repeats,
+        )
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_RUNTIME_PROBES", None)
+        else:
+            os.environ["REPRO_RUNTIME_PROBES"] = previous
+    overhead = timings[label] / timings[f"scale_shards{GATE_SHARDS}"] - 1.0
+    print(f"{label:14s} {timings[label]:8.3f} s  "
+          f"(probe overhead {overhead * 100:+5.1f}%)")
     # The sync-protocol pair: the same spread-arrival sharded quick
     # scale run under both barrier protocols.  Each rides the baseline
     # ratio gate, and --check additionally asserts optimistic never
@@ -333,7 +372,7 @@ def measure_optimistic_stats(preset="fastiov", concurrency=40, hosts=4,
 
 def measure_optimistic_smoke(hosts=100000, concurrency=5000, rate=500.0,
                              shards=4, seed=0, sync="hierarchical",
-                             ceiling_s=None):
+                             ceiling_s=None, live=False):
     """Completion smoke: a 100k-host-and-up cell under the speculative
     protocol (hierarchical by default: optimistic workers behind the
     pipelined digest-reply coordinator — the configuration that has to
@@ -366,12 +405,26 @@ def measure_optimistic_smoke(hosts=100000, concurrency=5000, rate=500.0,
         PAPER_TESTBED, fastiovd_scan_interval_s=scan_interval
     )
     stats = {}
+
+    def drive():
+        return run_sharded_cluster(
+            "fastiov", concurrency, hosts=hosts, seed=seed, shards=shards,
+            vf_count=2, spec=spec, arrivals=cluster_arrivals(seed, rate),
+            sync=sync, engine_stats=stats,
+            telemetry={} if live else None,
+        )
+
     started = time.perf_counter()
-    summary = run_sharded_cluster(
-        "fastiov", concurrency, hosts=hosts, seed=seed, shards=shards,
-        vf_count=2, spec=spec, arrivals=cluster_arrivals(seed, rate),
-        sync=sync, engine_stats=stats,
-    )
+    if live:
+        # ``--top``: repaint the live engine dashboard while the smoke
+        # runs (wall-clock telemetry only; the counters and the
+        # summary below are byte-identical with the dashboard off).
+        from repro.obs.live import LiveView
+
+        with LiveView():
+            summary = drive()
+    else:
+        summary = drive()
     elapsed = time.perf_counter() - started
     assert summary["count"] == concurrency, "smoke cell lost containers"
     counters = {
@@ -526,6 +579,7 @@ REQUIRED_BASELINE_TIMINGS = (
     f"scale_conservative{GATE_SHARDS}",
     f"scale_optimistic{GATE_SHARDS}",
     f"scale_hier{HIER_SHARDS}",
+    f"scale_probes{GATE_SHARDS}",
 )
 
 
@@ -608,7 +662,92 @@ def check(timings, engine_rates, threshold):
             f"{'sync-gate':8s} conservative {conservative:7.3f} s  "
             f"optimistic {optimistic:7.3f} s ({ratio * 100:5.1f}%)  {status}"
         )
+    # Probes-on vs probes-off twin: the telemetry plane's per-run cost,
+    # gated so probe instrumentation creep fails CI even when the
+    # absolute timing still clears its baseline ratio.
+    plain = timings.get(f"scale_shards{GATE_SHARDS}")
+    probed = timings.get(f"scale_probes{GATE_SHARDS}")
+    if plain and probed:
+        ratio = probed / plain
+        status = "ok"
+        if ratio > 1.0 + threshold:
+            status = "REGRESSION"
+            failures.append(
+                ("probes-vs-plain", plain, probed, ratio)
+            )
+        print(
+            f"{'probe-gate':8s} plain {plain:7.3f} s  "
+            f"probed {probed:7.3f} s ({ratio * 100:5.1f}%)  {status}"
+        )
     return failures
+
+
+def _metric_direction(key):
+    """Whether a flat BENCH metric is better high, better low, or
+    informational: ``_s`` suffixes are wall-clock (lower is better),
+    ``_per_sec``/``_x``/``_rate`` are throughput-like (higher is
+    better), anything else is a counter (reported, never gated)."""
+    if key.endswith("_s"):
+        return "lower"
+    if key.endswith("_per_sec") or key.endswith("_x") \
+            or key.endswith("_rate"):
+        return "higher"
+    return "info"
+
+
+#: Flat-metric keys whose regression fails ``--compare`` with a
+#: nonzero exit (the same quantities the baseline gate holds):
+#: the gated experiment timings and the engine throughput storms.
+GATED_COMPARE_KEYS = tuple(
+    f"{name}_s" for name in REQUIRED_BASELINE_TIMINGS
+) + (
+    "engine_events_per_sec",
+    "engine_timer_events_per_sec",
+    "engine_daemon_tick_events_per_sec",
+)
+
+
+def compare(path_a, path_b, threshold):
+    """Delta table between two runstamped BENCH metric files.
+
+    ``A`` is the reference (older) run, ``B`` the candidate.  Every
+    shared key prints with its delta; moves beyond ``threshold`` in
+    the *worse* direction are marked ``REGRESSION`` (better ones
+    ``improved``).  Returns the regressed keys that are *gated*
+    (:data:`GATED_COMPARE_KEYS`) — the caller exits nonzero on any.
+    """
+    a = json.loads(pathlib.Path(path_a).read_text())
+    b = json.loads(pathlib.Path(path_b).read_text())
+    shared = sorted(set(a) & set(b))
+    only = sorted(set(a) ^ set(b))
+    width = max((len(key) for key in shared), default=10)
+    gated_failures = []
+    print(f"{'metric':{width}s} {'A':>12s} {'B':>12s} {'delta':>8s}")
+    print("-" * (width + 36))
+    for key in shared:
+        va, vb = a[key], b[key]
+        if not isinstance(va, (int, float)) \
+                or not isinstance(vb, (int, float)):
+            continue
+        delta = (vb - va) / va if va else 0.0
+        direction = _metric_direction(key)
+        status = ""
+        if direction != "info" and abs(delta) > threshold:
+            worse = delta > 0 if direction == "lower" else delta < 0
+            status = "  REGRESSION" if worse else "  improved"
+            if worse and key in GATED_COMPARE_KEYS:
+                gated_failures.append((key, va, vb, delta))
+        print(f"{key:{width}s} {va:12,.4g} {vb:12,.4g} "
+              f"{delta * 100:+7.1f}%{status}")
+    for key in only:
+        source = "A" if key in a else "B"
+        print(f"{key}: only in {source}")
+    if gated_failures:
+        print(f"\n{len(gated_failures)} gated regression(s) beyond "
+              f"{threshold * 100:.0f}%:")
+        for key, va, vb, delta in gated_failures:
+            print(f"  {key}: {va:,.4g} -> {vb:,.4g} ({delta * 100:+.1f}%)")
+    return gated_failures
 
 
 def main(argv=None):
@@ -637,7 +776,23 @@ def main(argv=None):
                         help="fail the smoke if it exceeds this wall-clock "
                              "budget in seconds (the weekly CI leg sets "
                              "one; default: no ceiling)")
+    parser.add_argument("--top", action="store_true",
+                        help="repaint the repro top live dashboard while "
+                             "--optimistic-smoke runs (telemetry only; "
+                             "results unchanged)")
+    parser.add_argument("--compare", nargs=2, default=None,
+                        metavar=("A.json", "B.json"),
+                        help="diff two runstamped BENCH metric files "
+                             "(A = reference, B = candidate) instead of "
+                             "measuring; >threshold moves are "
+                             "highlighted and a regression on a gated "
+                             "key exits nonzero")
     args = parser.parse_args(argv)
+
+    if args.compare:
+        failures = compare(args.compare[0], args.compare[1],
+                           args.threshold)
+        return 1 if failures else 0
 
     events_per_sec = round(engine_events_per_sec())
     print(f"{'engine':14s} {events_per_sec:9,} events/s")
@@ -671,8 +826,13 @@ def main(argv=None):
           f"speculated={optimistic_sync['speculated_events']} "
           f"replayed={optimistic_sync['replayed_events']}")
     checkpoint_rollback = measure_checkpoint_rollback()
+    probe_overhead = round(
+        timings[f"scale_probes{GATE_SHARDS}"]
+        / timings[f"scale_shards{GATE_SHARDS}"] - 1.0, 4
+    )
     report = {
         "timings": timings,
+        "probe_overhead_frac": probe_overhead,
         "optimistic_sync": optimistic_sync,
         "checkpoint_rollback": checkpoint_rollback,
         "engine_events_per_sec": events_per_sec,
@@ -697,7 +857,7 @@ def main(argv=None):
     if args.optimistic_smoke:
         smoke_s, smoke_counters = measure_optimistic_smoke(
             hosts=args.smoke_hosts, concurrency=args.smoke_concurrent,
-            ceiling_s=args.smoke_ceiling_s,
+            ceiling_s=args.smoke_ceiling_s, live=args.top,
         )
         report["optimistic_smoke"] = {
             "elapsed_s": smoke_s,
@@ -721,6 +881,7 @@ def main(argv=None):
         daemon_eps_per_timer
     )
     metrics["daemon_ticker_speedup_x"] = ticker_speedup
+    metrics["probe_overhead_frac"] = probe_overhead
     for key, value in optimistic_sync.items():
         metrics[f"optimistic_{key}"] = value
     metrics["checkpoint_replayed_per_rollback"] = (

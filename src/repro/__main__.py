@@ -12,6 +12,8 @@ Usage::
     python -m repro profile fig11 --quick    # cProfile an experiment
     python -m repro profile fig11 --hot      # cProfile its heaviest cell
     python -m repro trace fig13c --out trace.json   # Perfetto timeline
+    python -m repro trace scale --shards 4   # + dual-clock wallclock file
+    python -m repro top scale --shards 8 --rate 200  # live engine view
 
 ``run`` caches per-launch summaries under ``.repro-cache/`` (override
 with ``REPRO_CACHE_DIR``), keyed by source digest + host spec + cell
@@ -164,21 +166,10 @@ def cmd_profile(args):
     return 0
 
 
-def cmd_trace(args):
-    """Run one experiment cell with the flight recorder and export it.
-
-    Picks the experiment's heaviest cell (same choice as ``profile
-    --hot``), re-runs it with ``trace=True``, and writes the resulting
-    timeline as Chrome trace-event JSON — load it at https://ui.perfetto.dev
-    — plus an optional flat metrics dump.  Tracing never changes the
-    cell's summary; the traced run bypasses the result cache.
-    """
+def _pick_trace_cell(args):
+    """The experiment's heaviest cell, with the CLI's cluster knobs
+    applied — shared by ``trace`` and ``top``."""
     import dataclasses
-
-    from repro.experiments import parallel
-    from repro.experiments.parallel import run_cell
-    from repro.obs.export import (render_span_summary, write_chrome_trace,
-                                  write_metrics)
 
     experiment = get_experiment(args.experiment)
     experiment.configure(
@@ -191,19 +182,74 @@ def cmd_trace(args):
     )
     cells = experiment._cells(quick=args.quick, seed=args.seed)
     if not cells:
-        print(f"{args.experiment}: no launch cells to trace", file=sys.stderr)
-        return 1
+        return None
     cell = max(cells, key=lambda c: (c.concurrency, c.hosts))
-    replacements = {"trace": True}
+    replacements = {"trace": getattr(args, "trace", True)}
     if args.shards is not None and cell.kind == "cluster":
         replacements["shards"] = args.shards
     if args.sync is not None and cell.kind == "cluster":
         replacements["sync"] = args.sync
     if args.checkpoint_every is not None and cell.kind == "cluster":
         replacements["checkpoint_every"] = args.checkpoint_every
-    cell = dataclasses.replace(cell, **replacements)
+    return dataclasses.replace(cell, **replacements)
+
+
+class _armed_probes:
+    """Context manager: force runtime probes on for one traced run."""
+
+    def __enter__(self):
+        import os
+
+        self._previous = os.environ.get("REPRO_RUNTIME_PROBES")
+        os.environ["REPRO_RUNTIME_PROBES"] = "1"
+        return self
+
+    def __exit__(self, *exc_info):
+        import os
+
+        if self._previous is None:
+            os.environ.pop("REPRO_RUNTIME_PROBES", None)
+        else:
+            os.environ["REPRO_RUNTIME_PROBES"] = self._previous
+
+
+def cmd_trace(args):
+    """Run one experiment cell with the flight recorder and export it.
+
+    Picks the experiment's heaviest cell (same choice as ``profile
+    --hot``), re-runs it with ``trace=True``, and writes the resulting
+    timeline as Chrome trace-event JSON — load it at https://ui.perfetto.dev
+    — plus an optional flat metrics dump.  Tracing never changes the
+    cell's summary; the traced run bypasses the result cache.
+
+    Cluster cells additionally run with runtime probes on and get a
+    *dual-clock* companion file (``--wallclock``, default
+    ``<out>.wallclock.json``): the same virtual tracks grouped under
+    the worker process that simulated them, side by side with each
+    process's wall-clock phase spans, rollback/checkpoint instants,
+    and the coordinator's wait/place/reduce occupancy — which is how
+    the once opt-in coordinator track is now part of the default trace
+    output.  The ``--out`` file itself stays byte-identical across
+    shard counts, sync modes, and probes on/off (the trace-determinism
+    CI gate diffs it), which is why wall-clock data lives in its own
+    file.  ``--no-wallclock`` skips the probes entirely.
+    """
+    from repro.experiments import parallel
+    from repro.experiments.parallel import run_cell
+    from repro.obs.export import (render_span_summary, write_chrome_trace,
+                                  write_dual_clock_trace, write_metrics)
+
+    cell = _pick_trace_cell(args)
+    if cell is None:
+        print(f"{args.experiment}: no launch cells to trace", file=sys.stderr)
+        return 1
+    wallclock = not args.no_wallclock and cell.kind == "cluster"
     print(f"tracing cell {cell}")
-    run_cell(cell)
+    if wallclock:
+        with _armed_probes():
+            run_cell(cell)
+    else:
+        run_cell(cell)
     bundle = parallel.LAST_TRACE
     if not bundle:
         print("no trace produced", file=sys.stderr)
@@ -212,11 +258,71 @@ def cmd_trace(args):
     events = sum(len(track) for track in bundle["tracks"].values())
     print(f"{len(bundle['tracks'])} tracks, {events} events "
           f"written to {args.out} (open in https://ui.perfetto.dev)")
+    telemetry = parallel.LAST_TELEMETRY
+    if wallclock and telemetry:
+        wallclock_path = args.wallclock or f"{args.out}.wallclock.json"
+        write_dual_clock_trace(telemetry, wallclock_path, bundle=bundle)
+        print(f"dual-clock trace ({len(telemetry['processes'])} process "
+              f"groups) written to {wallclock_path}")
+        if args.telemetry:
+            import json
+
+            with open(args.telemetry, "w") as handle:
+                json.dump(telemetry, handle, sort_keys=True, indent=2)
+                handle.write("\n")
+            print(f"telemetry snapshot written to {args.telemetry}")
     if args.metrics:
         write_metrics(bundle, args.metrics)
         print(f"metrics written to {args.metrics}")
     print()
     print(render_span_summary(bundle))
+    return 0
+
+
+def cmd_top(args):
+    """Run one experiment cell with the live engine dashboard.
+
+    Same cell choice as ``trace``, with runtime probes forced on and a
+    ``repro top`` terminal view repainting while the cell runs: per-
+    process commit rate, wire throughput, rollback rate, and phase
+    occupancy, plus the coordinator's placement progress and ETA.  The
+    final frame and the cell summary print when the run completes.
+    """
+    from repro.experiments import parallel
+    from repro.experiments.parallel import run_cell
+    from repro.obs.live import LiveView, render
+
+    cell = _pick_trace_cell(args)
+    if cell is None:
+        print(f"{args.experiment}: no launch cells to watch",
+              file=sys.stderr)
+        return 1
+    if cell.kind != "cluster":
+        print(f"{args.experiment}: heaviest cell is not a cluster cell; "
+              "repro top needs the sharded runner", file=sys.stderr)
+        return 1
+    print(f"watching cell {cell}")
+    with _armed_probes():
+        with LiveView(interval_s=args.interval):
+            summary = run_cell(cell)
+    from repro.obs.runtime import TelemetryAggregator
+
+    telemetry = parallel.LAST_TELEMETRY
+    if telemetry:
+        # Re-render the final frame from the finished snapshot so the
+        # last state stays on screen after the live region clears.
+        aggregator = TelemetryAggregator()
+        for record in telemetry["processes"].values():
+            aggregator._ingest_one(record)
+        if telemetry.get("progress"):
+            aggregator.note_progress(*telemetry["progress"])
+        print(render(aggregator))
+        print()
+    for key in ("count", "mean", "p50", "p99"):
+        if isinstance(summary, dict) and key in summary:
+            print(f"  {key:5s} {summary[key]:.3f}"
+                  if isinstance(summary[key], float)
+                  else f"  {key:5s} {summary[key]}")
     return 0
 
 
@@ -346,6 +452,61 @@ def main(argv=None):
         help="also dump the flat metrics registry (counters/gauges/"
              "histograms) to this file",
     )
+    trace_p.add_argument(
+        "--wallclock", default=None, metavar="PATH",
+        help="dual-clock companion trace for cluster cells (default "
+             "<out>.wallclock.json): wall-clock phase spans per "
+             "process, coordinator occupancy, and the virtual tracks "
+             "grouped under their owning worker",
+    )
+    trace_p.add_argument(
+        "--no-wallclock", action="store_true",
+        help="skip runtime probes and the dual-clock companion file",
+    )
+    trace_p.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="also dump the raw wall-clock telemetry snapshot (JSON) "
+             "alongside the dual-clock trace",
+    )
+
+    top_p = sub.add_parser(
+        "top", help="live dashboard of a running cluster cell"
+    )
+    top_p.add_argument("experiment")
+    top_p.add_argument("--quick", action="store_true")
+    top_p.add_argument(
+        "--hosts", type=int, default=None,
+        help="cluster size for experiments that take one",
+    )
+    top_p.add_argument(
+        "--placement", choices=("least-loaded", "round-robin"), default=None,
+        help="cluster placement policy (default least-loaded)",
+    )
+    top_p.add_argument(
+        "--shards", type=shard_count, default=None,
+        help="shard simulators for the watched cluster cell",
+    )
+    top_p.add_argument(
+        "--sync",
+        choices=("conservative", "optimistic", "hierarchical", "auto"),
+        default=None,
+        help="sharded barrier protocol for the watched cell",
+    )
+    top_p.add_argument(
+        "--rate", type=float, default=None, metavar="PER_S",
+        help="arrival rate; positive rates spread arrivals so there "
+             "is an epoch frontier to watch",
+    )
+    top_p.add_argument(
+        "--checkpoint-every", type=checkpoint_interval, default=None,
+        metavar="EPOCHS",
+        help="fork-checkpoint cadence for optimistic shard workers",
+    )
+    top_p.add_argument(
+        "--interval", type=float, default=0.5, metavar="SECONDS",
+        help="dashboard repaint interval (default 0.5s)",
+    )
+    top_p.set_defaults(trace=False)
 
     launch_p = sub.add_parser("launch", help="concurrent container launch")
     launch_p.add_argument("preset", choices=sorted(PRESETS))
@@ -403,6 +564,7 @@ def main(argv=None):
         "launch": cmd_launch,
         "profile": cmd_profile,
         "trace": cmd_trace,
+        "top": cmd_top,
     }
     return handler[args.command](args)
 

@@ -70,6 +70,8 @@ conservative at every shard count) hold to.
 import multiprocessing
 import os
 
+from repro.obs import runtime
+
 #: Fallback cadence floor, in confirmed epochs, when the adaptive
 #: interval is in use and the AIMD window is still in slow-start.
 MIN_ADAPTIVE_INTERVAL = 2
@@ -160,6 +162,8 @@ class ForkCheckpointer:
         at which point the call returns the handover payload in the
         (now live) child.
         """
+        probe = runtime.get_probe()
+        began = probe.begin() if probe is not None else 0.0
         control_parent, control_child = multiprocessing.Pipe()
         pid = os.fork()
         if pid:
@@ -171,6 +175,10 @@ class ForkCheckpointer:
                 state.mark_checkpoint()
             if previous is not None:
                 self._dismiss(previous)
+            if probe is not None:
+                probe.lap("checkpoint_fork", began)
+                probe.instant("checkpoint_fork")
+                probe.count("checkpoint_forks")
             return None
         control_parent.close()
         # Drop the inherited handle of the *previous* checkpoint's
@@ -223,12 +231,14 @@ class ForkCheckpointer:
         coordinator pipe it inherited.  Never returns.
         """
         pid, control = self.live
+        probe = runtime.get_probe()
         handover = {
             "pending": pending_payload,
             "shards": {
                 shard_id: state.pack_state()
                 for shard_id, state in self.states.items()
             },
+            "probe": probe.pack() if probe is not None else None,
         }
         control.send(handover)
         control.close()

@@ -16,6 +16,7 @@ function of the seed.
 from repro.containers.engine import ContainerRequest
 from repro.metrics.stats import Distribution
 from repro.metrics.timeline import StartupRecord
+from repro.obs import runtime
 from repro.sim.core import Timeout
 from repro.workloads.generator import ArrivalPattern
 from repro.workloads.serverless import make_app
@@ -158,7 +159,7 @@ def run_cluster_cell(preset, concurrency, hosts, seed=0, app_name=None,
                      placement="least-loaded", teardown=True, shards=1,
                      workers=None, rate_per_s=0.0, engine_stats=None,
                      trace=None, sync="conservative",
-                     checkpoint_every=None):
+                     checkpoint_every=None, telemetry=None):
     """One cluster-scale launch cell; returns a plain-JSON summary.
 
     The cluster analogue of ``launch_preset`` + ``summarize_launch``:
@@ -186,6 +187,13 @@ def run_cluster_cell(preset, concurrency, hosts, seed=0, app_name=None,
     recorder; sharded runs record per shard and merge by track.  Never
     part of the returned summary, so the summary stays byte-identical
     with tracing on or off.
+
+    ``telemetry``, if given, is a dict filled with the wall-clock
+    telemetry snapshot (``repro.obs.runtime``): per-process phase
+    totals, spans, instants and wire accounting.  Sharded runs probe
+    the coordinator and every worker/relay; a single-process run gets
+    one ``main`` probe timing the whole drive.  Same contract as
+    ``trace``: never part of the summary.
     """
     from repro.cluster.sharded import resolve_shards
 
@@ -199,7 +207,7 @@ def run_cluster_cell(preset, concurrency, hosts, seed=0, app_name=None,
             placement=placement, app_name=app_name, teardown=teardown,
             arrivals=cluster_arrivals(seed, rate_per_s), workers=workers,
             trace=trace, sync=sync, engine_stats=engine_stats,
-            checkpoint_every=checkpoint_every,
+            checkpoint_every=checkpoint_every, telemetry=telemetry,
         )
     from repro.cluster.cluster import Cluster
 
@@ -208,11 +216,37 @@ def run_cluster_cell(preset, concurrency, hosts, seed=0, app_name=None,
         from repro.obs.recorder import TraceRecorder
 
         recorder = TraceRecorder()
+    probe = None
+    aggregator = None
+    if telemetry is not None or runtime.probes_enabled():
+        from repro.obs.runtime import RuntimeProbe, TelemetryAggregator
+
+        aggregator = TelemetryAggregator()
+        probe = RuntimeProbe("main", hosts=[[0, hosts]])
+        aggregator.attach_local(probe)
+        runtime.set_aggregator(aggregator)
+        runtime.set_probe(probe)
     cluster = Cluster(preset, hosts=hosts, seed=seed, placement=placement,
                       trace=recorder)
     driver = ClusterChurnDriver(cluster, app_name=app_name, teardown=teardown)
     driver.submit(concurrency, arrivals=cluster_arrivals(seed, rate_per_s))
-    driver.run()
+    try:
+        if probe is not None:
+            cluster.sim.runtime_probe = probe
+            began = probe.begin()
+            driver.run()
+            probe.lap("compute", began)
+        else:
+            driver.run()
+    finally:
+        if probe is not None:
+            runtime.set_probe(None)
+            runtime.set_aggregator(None)
+    if telemetry is not None and aggregator is not None:
+        snapshot = aggregator.snapshot()
+        snapshot["mode"] = "single"
+        snapshot["shards"] = 1
+        telemetry.update(snapshot)
     if engine_stats is not None:
         engine_stats.update(cluster.sim.wheel_stats())
     if recorder is not None:

@@ -226,6 +226,12 @@ from repro.cluster.checkpoint import (
 from repro.cluster.placement import make_load_tracker
 from repro.cluster.shard import ClusterShard
 from repro.metrics.stats import Distribution
+from repro.obs import runtime
+from repro.obs.runtime import (
+    RecordBuffer,
+    RuntimeProbe,
+    TelemetryAggregator,
+)
 from repro.spec import PAPER_TESTBED
 from repro.workloads.generator import ArrivalPattern
 
@@ -460,6 +466,9 @@ class _SpeculativeShard:
         self._spec = dict(spec)
         self._lookahead = lookahead
         self.shard = ClusterShard(**self._spec)
+        # Wall-clock plane: let the engine publish its live frontier.
+        # Telemetry-only — the probe never feeds back into the sim.
+        self.shard.sim.runtime_probe = runtime.get_probe()
         #: Committed inputs, in submission order: ``(barrier, batch)``.
         #: After a checkpoint this holds only the post-checkpoint
         #: *suffix* — the prefix lives applied inside the CoW image.
@@ -525,17 +534,26 @@ class _SpeculativeShard:
         shard = self.shard
         speculated = shard.sim.now > self._frontier
         rolled_back = False
+        if batch and shard.sim.now > barrier:
+            self._rollback(barrier)
+            rolled_back = True
+            shard = self.shard
+        # Phase attribution: the rollback replay (if any) was timed by
+        # _rollback itself; everything from here to the epoch end is
+        # committed simulation work.  A rolled-back shard's clock sits
+        # exactly at the barrier, so the run_until(barrier) catch-up
+        # below never re-runs replayed work.
+        probe = runtime.get_probe()
+        began = probe.begin() if probe is not None else 0.0
         if batch:
-            if shard.sim.now > barrier:
-                self._rollback(barrier)
-                rolled_back = True
-                shard = self.shard
-            elif shard.sim.now < barrier:
+            if shard.sim.now < barrier:
                 shard.sim.run_until(barrier)
             shard.submit(batch)
             self._journal.append((barrier, batch))
         if shard.sim.now < epoch_end:
             shard.sim.run_until(epoch_end)
+        if probe is not None:
+            probe.lap("compute", began)
         if speculated:
             # Adaptive throttle, AIMD with a slow additive increase:
             # a rollback halves the window toward zero (replay costs
@@ -650,6 +668,8 @@ class _SpeculativeShard:
         _reported`` drops them, so the coordinator's load vector never
         sees a delta twice.
         """
+        probe = runtime.get_probe()
+        began = probe.begin() if probe is not None else 0.0
         sim = self.shard.sim
         before = sim.events_dispatched
         self._journal = list(packed["journal"])
@@ -673,6 +693,10 @@ class _SpeculativeShard:
         self.stats["replayed_events"] += replayed
         self.stats["checkpoint_resumes"] += 1
         _hist_add(self.stats["replay_distance_hist"], replayed)
+        if probe is not None:
+            probe.lap("checkpoint_resume", began)
+            probe.instant("checkpoint_resume")
+            probe.count("checkpoint_resumes")
 
     def note_checkpoint_rollback(self, barrier):
         """Dying-image accounting for a checkpoint-resolved conflict.
@@ -683,6 +707,12 @@ class _SpeculativeShard:
         applied before the state packs itself into the handover.
         """
         self.stats["rollbacks"] += 1
+        probe = runtime.get_probe()
+        if probe is not None:
+            # The count must cross the handover (it rides pack()); the
+            # instant is recorded by the *resumed* child, which is the
+            # image the telemetry timeline keeps.
+            probe.count("rollbacks")
         _hist_add(
             self.stats["rollback_depth_hist"],
             self.shard.sim.now - barrier,
@@ -721,6 +751,8 @@ class _SpeculativeShard:
                 "the journal prefix; conflicts must resume from the "
                 "checkpoint image"
             )
+        probe = runtime.get_probe()
+        began = probe.begin() if probe is not None else 0.0
         self.stats["rollbacks"] += 1
         self.stats["full_replays"] += 1
         _hist_add(
@@ -730,6 +762,7 @@ class _SpeculativeShard:
         self.shard.discard()
         self.shard = ClusterShard(**self._spec)
         sim = self.shard.sim
+        sim.runtime_probe = probe
         for submit_time, batch in self._journal:
             sim.run_until(submit_time)
             self.shard.submit(batch)
@@ -741,6 +774,10 @@ class _SpeculativeShard:
         _hist_add(
             self.stats["replay_distance_hist"], sim.events_dispatched
         )
+        if probe is not None:
+            probe.lap("rollback_replay", began)
+            probe.instant("rollback")
+            probe.count("rollbacks")
 
     def drain(self):
         """Run lifecycles to completion; returns the conservative end.
@@ -943,6 +980,17 @@ def _shard_worker_main(conn, shard_specs, sync="conservative",
     tell the modes apart.
     """
     try:
+        if runtime.probes_enabled():
+            name = multiprocessing.current_process().name
+            probe = RuntimeProbe(
+                name.replace("repro-shard-", "") or "worker",
+                hosts=sorted(
+                    [spec["host_start"], spec["host_stop"]]
+                    for _sid, spec in shard_specs
+                ),
+            )
+            runtime.set_probe(probe)
+            wire.set_probe(probe)
         if sync in ("optimistic", "hierarchical"):
             _optimistic_worker_loop(
                 conn, shard_specs, lookahead,
@@ -964,37 +1012,52 @@ def _conservative_worker_loop(conn, shard_specs):
     """Lockstep worker: build the assigned shards, serve barrier ops."""
     shards = {shard_id: ClusterShard(**spec)
               for shard_id, spec in shard_specs}
+    probe = runtime.get_probe()
+    if probe is not None:
+        for shard in shards.values():
+            shard.sim.runtime_probe = probe
     wait_s = 0.0
     epochs = 0
     while True:
         waited = time.perf_counter()
+        if probe is not None:
+            # Separate the blocked wait from the decode: poll first so
+            # barrier_wait covers only the blocking, and wire.recv's
+            # internal ipc_recv lap covers only the decode.
+            conn.poll(None)
+            probe.lap("barrier_wait", waited)
         message = wire.recv(conn)
         wait_s += time.perf_counter() - waited
         op = message[0]
+        began = probe.begin() if probe is not None else 0.0
         if op == "submit":
             for shard_id, batch in message[1].items():
                 shards[shard_id].submit(batch)
-            wire.send(conn, ("ok", None))
+            wire.send(conn, ("ok", None), piggyback=True)
         elif op == "run_until":
             epochs += 1
             deltas = []
             for shard in shards.values():
                 deltas.extend(shard.run_until(message[1]))
-            wire.send(conn, ("ok", deltas))
+            if probe is not None:
+                probe.lap("compute", began)
+                probe.count("epochs")
+            wire.send(conn, ("ok", deltas), piggyback=True)
         elif op == "drain":
-            wire.send(
-                conn,
-                ("ok", {sid: shard.drain()
-                        for sid, shard in shards.items()}),
-            )
+            reply = {sid: shard.drain()
+                     for sid, shard in shards.items()}
+            if probe is not None:
+                probe.lap("compute", began)
+            wire.send(conn, ("ok", reply), piggyback=True)
         elif op == "checkpoint":
             # Lockstep shards never speculate: nothing to checkpoint.
-            wire.send(conn, ("ok", False))
+            wire.send(conn, ("ok", False), piggyback=True)
         elif op == "resume":
             wire.send(
                 conn,
                 ("ok", {sid: shard.sim.now
                         for sid, shard in shards.items()}),
+                piggyback=True,
             )
         elif op == "finish":
             results = {}
@@ -1002,10 +1065,12 @@ def _conservative_worker_loop(conn, shard_specs):
                 if shard.sim.now < message[1]:
                     shard.sim.run_until(message[1])
                 results[shard_id] = shard.result()
+            if probe is not None:
+                probe.lap("compute", began)
             wire.send(conn, ("ok", {"results": results, "wait_s": wait_s,
-                                    "epochs": epochs}))
+                                    "epochs": epochs}), piggyback=True)
         elif op == "stop":
-            wire.send(conn, ("ok", None))
+            wire.send(conn, ("ok", None), piggyback=True)
             return
         else:  # pragma: no cover - protocol guard
             wire.send(conn, ("error", f"unknown op {op!r}"))
@@ -1027,6 +1092,14 @@ def _apply_handover(states, handover, ckpt):
     credit, the first commit-safe step after a deep resume re-captures
     at the new frontier and the suffix stays short.
     """
+    probe = runtime.get_probe()
+    if probe is not None and handover.get("probe") is not None:
+        # Adopt the dead image's cumulative accounting before the
+        # per-shard resumes below add their replay spans, then mark
+        # the rollback this handover resolved (the dying image's
+        # pending instants died with it).
+        probe.adopt(handover["probe"])
+        probe.instant("rollback")
     for shard_id, packed in handover["shards"].items():
         states[shard_id].apply_resume(packed)
     ckpt.confirmed = max(
@@ -1060,6 +1133,7 @@ def _optimistic_worker_loop(conn, shard_specs, lookahead,
     """
     states = {shard_id: _SpeculativeShard(spec, lookahead)
               for shard_id, spec in shard_specs}
+    probe = runtime.get_probe()
     ckpt = None
     if (use_fork and checkpoint_every != 0
             and fork_checkpoints_supported()):
@@ -1070,22 +1144,35 @@ def _optimistic_worker_loop(conn, shard_specs, lookahead,
         if pending is not None:
             message, pending = pending, None
         elif eager:
+            began = probe.begin() if probe is not None else 0.0
+            moved = False
             for state in states.values():
                 while state.speculate_quantum():
-                    pass
+                    moved = True
+            if probe is not None and moved:
+                probe.lap("speculate", began)
             waited = time.perf_counter()
+            if probe is not None:
+                conn.poll(None)
+                probe.lap("barrier_wait", waited)
             message = wire.recv(conn)
             wait_s += time.perf_counter() - waited
         else:
             while not conn.poll(0):
+                began = probe.begin() if probe is not None else 0.0
                 moved = False
                 for state in states.values():
                     if state.speculate_quantum():
                         moved = True
-                if not moved:
+                if moved:
+                    if probe is not None:
+                        probe.lap("speculate", began)
+                else:
                     waited = time.perf_counter()
                     conn.poll(None)
                     wait_s += time.perf_counter() - waited
+                    if probe is not None:
+                        probe.lap("barrier_wait", waited)
                     break
             message = wire.recv(conn)
         op = message[0]
@@ -1115,7 +1202,14 @@ def _optimistic_worker_loop(conn, shard_specs, lookahead,
             # decision, so per-host freed counts carry exactly the
             # information placement consumes — and relays can merge
             # digests by addition on the way up.
-            wire.send(conn, ("loads", wire.digest_deltas(deltas)))
+            if probe is not None:
+                probe.count("epochs")
+                if lookahead > 0:
+                    probe.gauge(
+                        "frontier_epoch", round(epoch_end / lookahead)
+                    )
+            wire.send(conn, ("loads", wire.digest_deltas(deltas)),
+                      piggyback=True)
             if ckpt is not None:
                 resumed = ckpt.after_step()
                 if resumed is not None:
@@ -1133,7 +1227,7 @@ def _optimistic_worker_loop(conn, shard_specs, lookahead,
                     pending = _apply_handover(states, resumed, ckpt)
                     continue
                 taken = True
-            wire.send(conn, ("ok", taken))
+            wire.send(conn, ("ok", taken), piggyback=True)
         elif op == "resume":
             barrier = message[1]
             over = [
@@ -1146,10 +1240,14 @@ def _optimistic_worker_loop(conn, shard_specs, lookahead,
                 ckpt.hand_over(wire.encode(message))
             clocks = {sid: state.resume_to(barrier)
                       for sid, state in states.items()}
-            wire.send(conn, ("ok", clocks))
+            wire.send(conn, ("ok", clocks), piggyback=True)
         elif op == "drain":
-            wire.send(conn, ("ok", {sid: state.drain()
-                                    for sid, state in states.items()}))
+            began = probe.begin() if probe is not None else 0.0
+            reply = {sid: state.drain()
+                     for sid, state in states.items()}
+            if probe is not None:
+                probe.lap("compute", began)
+            wire.send(conn, ("ok", reply), piggyback=True)
         elif op == "finish":
             horizon = message[1]
             if ckpt is not None and ckpt.live is not None:
@@ -1165,11 +1263,11 @@ def _optimistic_worker_loop(conn, shard_specs, lookahead,
                 ckpt.close()
                 ckpt = None
             wire.send(conn, ("ok", {"results": results, "wait_s": wait_s,
-                                    "epochs": 0}))
+                                    "epochs": 0}), piggyback=True)
         elif op == "stop":
             if ckpt is not None:
                 ckpt.close()
-            wire.send(conn, ("ok", None))
+            wire.send(conn, ("ok", None), piggyback=True)
             return
         else:  # pragma: no cover - protocol guard
             wire.send(conn, ("error", f"unknown op {op!r}"))
@@ -1232,6 +1330,15 @@ def _relay_main(conn, chunks, sync, lookahead, checkpoint_every, eager,
                 fan_in, context_name):
     """Relay entry: aggregate a sub-tree of workers behind one pipe."""
     try:
+        if runtime.probes_enabled():
+            name = multiprocessing.current_process().name
+            probe = RuntimeProbe(name.replace("repro-shard-", ""))
+            runtime.set_probe(probe)
+            wire.set_probe(probe)
+            # Children's piggybacked records buffer here and ride this
+            # relay's next upward reply — the tree reduction costs the
+            # telemetry plane no extra frames.
+            wire.set_telemetry_sink(RecordBuffer())
         procs, conns, owners = _spawn_workers(
             context_name, chunks, sync, lookahead, checkpoint_every,
             eager, fan_in, label=multiprocessing.current_process().name,
@@ -1266,6 +1373,8 @@ def _relay_loop(parent, procs, conns, owner):
     round-trip between them.  Replies still flow up strictly in request
     order — the pipelining is invisible to everything above.
     """
+    probe = runtime.get_probe()
+
     def route(batches):
         routed = [{} for _ in conns]
         for shard_id, batch in batches.items():
@@ -1280,15 +1389,26 @@ def _relay_loop(parent, procs, conns, owner):
     def gather():
         replies = []
         for conn in conns:
+            if probe is not None:
+                waited = probe.begin()
+                conn.poll(None)
+                probe.lap("barrier_wait", waited)
             reply = wire.recv(conn)
             if reply[0] == "error":
                 raise RuntimeError(f"shard worker failed:\n{reply[1]}")
             replies.append(reply[1])
         return replies
 
+    def recv_parent():
+        if probe is not None:
+            waited = probe.begin()
+            parent.poll(None)
+            probe.lap("barrier_wait", waited)
+        return wire.recv(parent)
+
     backlog = []
     while True:
-        message = backlog.pop(0) if backlog else wire.recv(parent)
+        message = backlog.pop(0) if backlog else recv_parent()
         op = message[0]
         if op == "step":
             forwarded = 1
@@ -1302,20 +1422,21 @@ def _relay_loop(parent, procs, conns, owner):
                     backlog.append(follow)
             for _ in range(forwarded):
                 wire.send(
-                    parent, ("loads", wire.merge_digests(gather()))
+                    parent, ("loads", wire.merge_digests(gather())),
+                    piggyback=True,
                 )
         elif op == "submit":
             for conn, payload in zip(conns, route(message[1])):
                 wire.send(conn, ("submit", payload))
             gather()
-            wire.send(parent, ("ok", None))
+            wire.send(parent, ("ok", None), piggyback=True)
         elif op == "run_until":
             for conn in conns:
                 wire.send(conn, message)
             deltas = []
             for payload in gather():
                 deltas.extend(payload)
-            wire.send(parent, ("ok", deltas))
+            wire.send(parent, ("ok", deltas), piggyback=True)
         elif op == "checkpoint":
             for conn in conns:
                 wire.send(conn, message)
@@ -1325,14 +1446,14 @@ def _relay_loop(parent, procs, conns, owner):
                     flags.extend(payload)
                 else:
                     flags.append(bool(payload))
-            wire.send(parent, ("ok", flags))
+            wire.send(parent, ("ok", flags), piggyback=True)
         elif op in ("resume", "drain"):
             for conn in conns:
                 wire.send(conn, message)
             merged = {}
             for payload in gather():
                 merged.update(payload)
-            wire.send(parent, ("ok", merged))
+            wire.send(parent, ("ok", merged), piggyback=True)
         elif op == "finish":
             for conn in conns:
                 wire.send(conn, message)
@@ -1345,7 +1466,8 @@ def _relay_loop(parent, procs, conns, owner):
                 epochs = max(epochs, payload["epochs"])
             wire.send(parent, ("ok", {"results": results,
                                       "wait_s": wait_s,
-                                      "epochs": epochs}))
+                                      "epochs": epochs}),
+                      piggyback=True)
         elif op == "stop":
             for conn in conns:
                 wire.send(conn, ("stop", None))
@@ -1353,7 +1475,7 @@ def _relay_loop(parent, procs, conns, owner):
                 wire.recv(conn)
             for proc in procs:
                 proc.join(timeout=5)
-            wire.send(parent, ("ok", None))
+            wire.send(parent, ("ok", None), piggyback=True)
             return
         else:  # pragma: no cover - protocol guard
             wire.send(parent, ("error", f"unknown op {op!r}"))
@@ -1550,7 +1672,7 @@ def run_sharded_cluster(preset, concurrency, hosts, seed=0, shards=2,
                         name_prefix="w", trace=None, sync="conservative",
                         engine_stats=None, checkpoint_every=None,
                         worker_context=None, eager_speculation=False,
-                        fan_in=None):
+                        fan_in=None, telemetry=None):
     """Run one cluster churn burst over K shards; returns the summary.
 
     The summary has exactly the shape (and, for round-robin and for
@@ -1595,6 +1717,14 @@ def run_sharded_cluster(preset, concurrency, hosts, seed=0, shards=2,
             :data:`RELAY_FAN_IN`).  A relay layer forms only when the
             worker count exceeds it.  Wall-clock only — results are
             invariant to this knob.
+        telemetry: Optional dict, filled with the wall-clock telemetry
+            snapshot (``repro.obs.runtime``): per-process phase
+            totals, spans, instants and wire accounting for the
+            coordinator, every relay, and every worker.  Passing it
+            (or setting ``REPRO_RUNTIME_PROBES=1``) enables the
+            probes; either way results stay byte-identical — the
+            telemetry-invariance CI gate holds this plane to the same
+            contract as every other wall-clock knob.
         Other arguments: as for ``run_cluster_cell``.
     """
     if concurrency <= 0:
@@ -1638,7 +1768,24 @@ def run_sharded_cluster(preset, concurrency, hosts, seed=0, shards=2,
     trace_coordinator = trace is not None and os.environ.get(
         "REPRO_TRACE_COORDINATOR", ""
     ) not in ("", "0")
-    stats = _CoordinatorStats(record_spans=trace_coordinator)
+    probes = telemetry is not None or runtime.probes_enabled()
+    prev_probes_env = os.environ.get("REPRO_RUNTIME_PROBES")
+    aggregator = None
+    coord_probe = None
+    if probes:
+        # Workers decide from the environment (inherited across fork
+        # and spawn starts), so an explicit ``telemetry=`` request
+        # must arm it before the group spawns; restored below.
+        os.environ["REPRO_RUNTIME_PROBES"] = "1"
+        aggregator = TelemetryAggregator()
+        coord_probe = RuntimeProbe("coordinator")
+        aggregator.attach_local(coord_probe)
+        runtime.set_aggregator(aggregator)
+        runtime.set_probe(coord_probe)
+        wire.set_probe(coord_probe)
+        wire.set_telemetry_sink(aggregator.ingest)
+    stats = _CoordinatorStats(record_spans=trace_coordinator,
+                              probe=coord_probe)
     tracker = None
     group = _make_group(
         shard_specs, workers, sync, lookahead,
@@ -1666,6 +1813,21 @@ def run_sharded_cluster(preset, concurrency, hosts, seed=0, shards=2,
         results, sync_stats = group.finish(max(ends))
     finally:
         group.close()
+        if probes:
+            wire.set_probe(None)
+            wire.set_telemetry_sink(None)
+            runtime.set_probe(None)
+            runtime.set_aggregator(None)
+            if prev_probes_env is None:
+                os.environ.pop("REPRO_RUNTIME_PROBES", None)
+            else:
+                os.environ["REPRO_RUNTIME_PROBES"] = prev_probes_env
+    if telemetry is not None and aggregator is not None:
+        snapshot = aggregator.snapshot()
+        snapshot["mode"] = sync
+        snapshot["shards"] = shards
+        snapshot["lookahead"] = lookahead
+        telemetry.update(snapshot)
     sync_stats["mode"] = sync
     sync_stats["coordinator_wait_s"] = stats.wait_s
     sync_stats["coordinator_place_s"] = stats.place_s
@@ -1763,13 +1925,14 @@ class _CoordinatorStats:
     """
 
     __slots__ = ("wait_s", "place_s", "reduce_s", "_events", "_record",
-                 "_start")
+                 "_start", "_probe")
 
-    def __init__(self, record_spans=False):
+    def __init__(self, record_spans=False, probe=None):
         self.wait_s = 0.0
         self.place_s = 0.0
         self.reduce_s = 0.0
         self._record = record_spans
+        self._probe = probe
         self._events = []
         self._start = time.perf_counter()
 
@@ -1780,6 +1943,8 @@ class _CoordinatorStats:
         if self._record:
             self._events.append(("B", began - self._start, kind))
             self._events.append(("E", now - self._start))
+        if self._probe is not None:
+            self._probe.lap(kind, began, now)
         return now
 
     def track_events(self):
@@ -1826,6 +1991,7 @@ def _place_epoch_barrier(group, order, offsets, host_shard, tracker,
                 (n, offsets[n], host_index)
             )
         stats.note("place", began)
+        runtime.note_progress(position, count, epoch)
         group.submit(batches)
         advance(epoch_end)
         barrier_epoch = epoch + 1
@@ -1894,6 +2060,7 @@ def _place_epoch_steps(group, order, offsets, host_shard, tracker,
                 (n, offsets[n], host_index)
             )
         stats.note("place", began)
+        runtime.note_progress(position, count, epoch)
         # The arrival schedule is known up front, so the earliest
         # barrier any *future* batch can carry is the next unplaced
         # arrival's epoch start — shipped with the step as the shards'

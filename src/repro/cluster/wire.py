@@ -25,6 +25,7 @@ tag   frame
 ``L`` load digest: count + hosts ``array('q')`` + counts ``array('q')``
 ``K`` bare ``("ok", None)`` acknowledgement
 ``P`` pickled payload (everything else)
+``T`` telemetry envelope: inner frame + piggybacked probe records
 ====  ==============================================================
 
 The ``L`` frame is the optimistic/hierarchical step reply: instead of
@@ -45,16 +46,57 @@ global host indices (``q``).  Floats round-trip exactly through
 ``struct``/``array`` doubles, so the encoding is byte-transparent to
 the placement protocol: decoded messages compare equal to the tuples
 the pickled protocol carried.
+
+Telemetry envelope (wall-clock plane, ``repro.obs.runtime``)
+------------------------------------------------------------
+
+When a :class:`~repro.obs.runtime.RuntimeProbe` is installed in this
+process (:func:`set_probe`), upward replies sent with
+``send(..., piggyback=True)`` travel inside a ``T`` envelope: the
+inner frame's bytes, length-prefixed, followed by a pickled list of
+probe records — the worker's own flush plus, in a relay, whatever its
+children piggybacked since the last upward send
+(:func:`set_telemetry_sink` installs the buffer).  ``decode`` strips
+the envelope, routes the records to the local sink (the coordinator's
+:class:`~repro.obs.runtime.TelemetryAggregator`), and returns exactly
+the inner message — the protocol above never sees telemetry, which is
+what makes the plane results-invariant by construction.  The probe
+also accounts every frame by *inner* tag (frames, bytes, both
+directions) and attributes encode+write time to ``ipc_send`` and
+decode time to ``ipc_recv``; blocked receive time stays with the
+caller (that is barrier wait, not IPC cost).
 """
 
 import pickle
 import struct
+import time
 from array import array
 
 _HEAD_STEP = struct.Struct("=ddd")
 _HEAD_COUNT = struct.Struct("=I")
 _HEAD_BATCH = struct.Struct("=II")
 _HEAD_WHEN = struct.Struct("=d")
+
+#: Installed :class:`~repro.obs.runtime.RuntimeProbe` for this process
+#: (None = telemetry off: send/recv take the original zero-overhead
+#: path after one attribute read and a None check).
+_PROBE = None
+#: Callable fed each incoming envelope's record list (the
+#: coordinator's aggregator ``ingest``, or a relay's
+#: :class:`~repro.obs.runtime.RecordBuffer`).
+_SINK = None
+
+
+def set_probe(probe):
+    """Install this process's runtime probe (None disables)."""
+    global _PROBE
+    _PROBE = probe
+
+
+def set_telemetry_sink(sink):
+    """Install the handler for piggybacked telemetry records."""
+    global _SINK
+    _SINK = sink
 
 
 def digest_deltas(deltas):
@@ -195,14 +237,65 @@ def decode(payload):
         return ("loads", list(zip(hosts, counts)))
     if tag == b"P":
         return pickle.loads(payload[1:])
+    if tag == b"T":
+        (inner_len,) = _HEAD_COUNT.unpack_from(payload, 1)
+        inner_end = 1 + _HEAD_COUNT.size + inner_len
+        records = pickle.loads(payload[inner_end:])
+        if _SINK is not None:
+            _SINK(records)
+        return decode(payload[1 + _HEAD_COUNT.size:inner_end])
     raise ValueError(f"unknown wire tag {tag!r}")
 
 
-def send(conn, message):
-    """Encode and ship one message on a multiprocessing Connection."""
-    conn.send_bytes(encode(message))
+def _frame_tag(payload):
+    """The accounting tag of a frame: the inner tag for envelopes."""
+    tag = payload[:1]
+    if tag == b"T":
+        offset = 1 + _HEAD_COUNT.size
+        return payload[offset:offset + 1].decode()
+    return tag.decode()
+
+
+def send(conn, message, piggyback=False):
+    """Encode and ship one message on a multiprocessing Connection.
+
+    With a probe installed and ``piggyback=True`` (upward replies
+    only: worker -> relay -> coordinator), the frame travels inside a
+    ``T`` envelope carrying this process's probe flush plus any
+    buffered child records — telemetry rides existing replies, never
+    its own round-trips.
+    """
+    probe = _PROBE
+    if probe is None:
+        conn.send_bytes(encode(message))
+        return
+    began = time.perf_counter()
+    payload = encode(message)
+    tag = payload[:1].decode()
+    if piggyback:
+        records = _SINK.drain() if hasattr(_SINK, "drain") else []
+        records.append(probe.flush())
+        payload = b"".join((
+            b"T", _HEAD_COUNT.pack(len(payload)), payload,
+            pickle.dumps(records, protocol=pickle.HIGHEST_PROTOCOL),
+        ))
+    conn.send_bytes(payload)
+    probe.wire.note_tx(tag, len(payload))
+    probe.lap("ipc_send", began)
 
 
 def recv(conn):
-    """Receive and decode one message from a Connection."""
-    return decode(conn.recv_bytes())
+    """Receive and decode one message from a Connection.
+
+    Blocking time belongs to the caller (barrier wait); only the
+    decode — envelope stripping included — counts as ``ipc_recv``.
+    """
+    payload = conn.recv_bytes()
+    probe = _PROBE
+    if probe is None:
+        return decode(payload)
+    began = time.perf_counter()
+    message = decode(payload)
+    probe.wire.note_rx(_frame_tag(payload), len(payload))
+    probe.lap("ipc_recv", began)
+    return message

@@ -99,15 +99,25 @@ LAST_ENGINE_STATS = None
 #: CLI (``repro trace``), never part of a summary.
 LAST_TRACE = None
 
+#: Wall-clock telemetry snapshot (``repro.obs.runtime``) of the most
+#: recent cluster :func:`run_cell` with runtime probes enabled
+#: (``REPRO_RUNTIME_PROBES=1``), None otherwise.  Same contract as
+#: LAST_TRACE: read by ``repro trace --wallclock`` and ``repro top``
+#: after the run, never part of a summary.
+LAST_TELEMETRY = None
+
 
 def run_cell(cell):
     """Execute one cell in this process; returns its summary."""
-    global LAST_ENGINE_STATS, LAST_TRACE
+    global LAST_ENGINE_STATS, LAST_TRACE, LAST_TELEMETRY
     stats = {}
     trace = {} if cell.trace else None
+    telemetry = None
     if cell.kind == "cluster":
         from repro.cluster.churn import run_cluster_cell
+        from repro.obs import runtime
 
+        telemetry = {} if runtime.probes_enabled() else None
         summary = run_cluster_cell(
             cell.preset,
             cell.concurrency,
@@ -120,6 +130,7 @@ def run_cell(cell):
             trace=trace,
             sync=cell.sync,
             checkpoint_every=cell.checkpoint_every,
+            telemetry=telemetry,
         )
     elif cell.kind == "churn":
         from repro.experiments.churn import run_churn_cell
@@ -149,6 +160,7 @@ def run_cell(cell):
         summary = summarize_launch(result)
     LAST_ENGINE_STATS = stats or None
     LAST_TRACE = trace or None
+    LAST_TELEMETRY = telemetry or None
     return summary
 
 

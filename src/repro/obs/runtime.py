@@ -1,0 +1,458 @@
+"""Wall-clock telemetry plane: runtime probes and their aggregation.
+
+The flight recorder (``repro.obs.recorder``) sees only *virtual* time —
+by design, so its output is byte-identical across shard counts.  What
+it cannot see is the actual runtime: forked shard workers, the
+hierarchical relay tree, checkpoint forks, rollback replays, and the
+pipe IPC that dominates the 1M-host smoke.  This module is the other
+clock: every worker (and relay, and the coordinator) carries a
+:class:`RuntimeProbe` that samples monotonic-clock spans around the
+epoch loop's phases and counts wire frames by type, and a
+:class:`TelemetryAggregator` in the coordinator process assembles the
+per-process records into one cross-process wall-clock timeline.
+
+Phase vocabulary (every wall-second of a worker's life is attributed
+to exactly one of these; the ``Decomposing Docker Container Startup
+Performance`` methodology, applied to the simulator's own runtime):
+
+==================  ====================================================
+phase               meaning
+==================  ====================================================
+``compute``         committed simulation work (``step``/``run_until``)
+``barrier_wait``    blocked on the protocol pipe
+``speculate``       free-running past the committed frontier
+``rollback_replay`` rebuilding state after a mis-speculation
+``checkpoint_fork`` forking a CoW checkpoint image
+``checkpoint_resume`` replaying the journal suffix in a resumed child
+``ipc_send``        encoding + writing protocol frames
+``ipc_recv``        decoding received frames (blocked time is wait)
+==================  ====================================================
+
+Invariance contract — the reason this file can exist at all: probes
+only ever *read* clocks and count bytes.  No probe call feeds back
+into simulation state, placement, speculation pacing, or message
+content (telemetry piggybacks on replies inside a ``T`` envelope that
+:func:`repro.cluster.wire.decode` strips before the protocol sees the
+message).  Every result byte is therefore identical with probes on or
+off — enforced by the telemetry-invariance CI gate.
+
+Cross-process clock alignment: each probe records one
+``(time.time(), time.perf_counter())`` pair at birth and stores spans
+as perf-counter offsets from it.  The aggregator places each process
+on the shared timeline via ``wall0 - origin + offset`` — immune to
+perf-counter epoch differences across processes, good to wall-clock
+sync (sub-millisecond on one machine, which is all the dual-clock
+trace needs).
+"""
+
+import os
+import time
+from collections import deque
+
+#: Canonical phase order (drives table layouts in ``repro top`` and
+#: the dual-clock export's track ordering).
+PHASES = (
+    "compute",
+    "barrier_wait",
+    "speculate",
+    "rollback_replay",
+    "checkpoint_fork",
+    "checkpoint_resume",
+    "ipc_send",
+    "ipc_recv",
+)
+
+#: Span-buffer cap between flushes.  Totals are always exact; only the
+#: *drawable* span list is bounded, so a pathological flush interval
+#: cannot grow a worker's telemetry buffer without bound.  Dropped
+#: spans are counted and reported.
+MAX_PENDING_SPANS = 8192
+MAX_PENDING_INSTANTS = 2048
+
+
+def probes_enabled():
+    """Whether runtime probes are on (``REPRO_RUNTIME_PROBES=1``).
+
+    Environment-based so forked/spawned shard workers inherit the
+    decision without a protocol change; the CLI sets it for
+    ``repro top`` and ``repro trace --wallclock``.
+    """
+    return os.environ.get("REPRO_RUNTIME_PROBES", "") not in ("", "0")
+
+
+class WireStats:
+    """Per-frame-type wire accounting: frames and bytes by tag.
+
+    One instance per direction pair lives on each probe; updated by
+    :func:`repro.cluster.wire.send`/``recv`` when a probe is
+    installed.  The pickle-fallback count is simply the ``P`` row —
+    the wire module's cold path — surfaced separately in records
+    because a hot path regressing to pickle is exactly the kind of
+    drift this plane exists to catch.
+    """
+
+    __slots__ = ("tx", "rx")
+
+    def __init__(self):
+        self.tx = {}
+        self.rx = {}
+
+    def note_tx(self, tag, nbytes):
+        entry = self.tx.get(tag)
+        if entry is None:
+            self.tx[tag] = [1, nbytes]
+        else:
+            entry[0] += 1
+            entry[1] += nbytes
+
+    def note_rx(self, tag, nbytes):
+        entry = self.rx.get(tag)
+        if entry is None:
+            self.rx[tag] = [1, nbytes]
+        else:
+            entry[0] += 1
+            entry[1] += nbytes
+
+    def snapshot(self):
+        return {
+            "tx": {tag: list(entry) for tag, entry in self.tx.items()},
+            "rx": {tag: list(entry) for tag, entry in self.rx.items()},
+        }
+
+
+class RuntimeProbe:
+    """Monotonic-clock phase sampling for one process.
+
+    The hot API is ``t0 = probe.begin()`` ... ``probe.lap(phase, t0)``
+    — two ``perf_counter`` reads and a couple of dict/list operations
+    per span, cheap enough to wrap every epoch-loop phase.  ``flush``
+    packages the cumulative totals plus the spans/instants recorded
+    *since the last flush* into a compact picklable record, so
+    piggybacked telemetry frames stay O(new activity), not O(uptime).
+    """
+
+    __slots__ = (
+        "ident", "pid", "wall0", "perf0", "phase_s", "phase_n",
+        "counters", "gauges", "wire", "hosts",
+        "_spans", "_instants", "_dropped_spans",
+    )
+
+    def __init__(self, ident, hosts=None):
+        self.ident = ident
+        self.pid = os.getpid()
+        self.wall0 = time.time()
+        self.perf0 = time.perf_counter()
+        self.phase_s = {}
+        self.phase_n = {}
+        self.counters = {}
+        self.gauges = {}
+        self.wire = WireStats()
+        self.hosts = hosts
+        self._spans = []
+        self._instants = []
+        self._dropped_spans = 0
+
+    def begin(self):
+        """Start a span: returns the raw ``perf_counter`` timestamp."""
+        return time.perf_counter()
+
+    def lap(self, phase, began, now=None):
+        """Account ``phase`` from ``began`` to now; returns now (so
+        back-to-back phases chain without an extra clock read).  A
+        caller that already read the clock passes it as ``now``."""
+        if now is None:
+            now = time.perf_counter()
+        self.phase_s[phase] = (
+            self.phase_s.get(phase, 0.0) + now - began
+        )
+        self.phase_n[phase] = self.phase_n.get(phase, 0) + 1
+        if len(self._spans) < MAX_PENDING_SPANS:
+            self._spans.append(
+                (phase, began - self.perf0, now - self.perf0)
+            )
+        else:
+            self._dropped_spans += 1
+        return now
+
+    def instant(self, name):
+        """Mark a point event (rollback, checkpoint fork/resume)."""
+        if len(self._instants) < MAX_PENDING_INSTANTS:
+            self._instants.append(
+                (time.perf_counter() - self.perf0, name)
+            )
+
+    def count(self, key, value=1):
+        self.counters[key] = self.counters.get(key, 0) + value
+
+    def gauge(self, key, value):
+        self.gauges[key] = value
+
+    def rebirth(self, ident=None):
+        """Re-stamp identity inside a resumed checkpoint child.
+
+        The CoW image inherits the probe object; pid changes, the
+        clock pair does not (CLOCK_MONOTONIC is system-wide, and the
+        record format only ever ships offsets against the inherited
+        pair, so spans stay aligned across the process swap).
+        """
+        self.pid = os.getpid()
+        if ident is not None:
+            self.ident = ident
+
+    def pack(self):
+        """Cumulative state for the checkpoint handover.
+
+        The dying image's not-yet-flushed spans/instants die with it
+        (counted as dropped); cumulative totals and wire accounting
+        carry over, so the resumed child's records stay monotonic and
+        the aggregator's rate rings never see totals go backwards.
+        """
+        return {
+            "phase_s": dict(self.phase_s),
+            "phase_n": dict(self.phase_n),
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "wire_tx": {
+                tag: list(entry) for tag, entry in self.wire.tx.items()
+            },
+            "wire_rx": {
+                tag: list(entry) for tag, entry in self.wire.rx.items()
+            },
+            "dropped": self._dropped_spans + len(self._spans),
+        }
+
+    def adopt(self, packed):
+        """Resume cumulative accounting inside a checkpoint child."""
+        self.phase_s = dict(packed["phase_s"])
+        self.phase_n = dict(packed["phase_n"])
+        self.counters = dict(packed["counters"])
+        self.gauges = dict(packed["gauges"])
+        self.wire.tx = {
+            tag: list(entry)
+            for tag, entry in packed["wire_tx"].items()
+        }
+        self.wire.rx = {
+            tag: list(entry)
+            for tag, entry in packed["wire_rx"].items()
+        }
+        self._dropped_spans = packed["dropped"]
+        self._spans = []
+        self._instants = []
+        self.rebirth()
+
+    def flush(self):
+        """The telemetry record: cumulative scalars + incremental spans."""
+        record = {
+            "ident": self.ident,
+            "pid": self.pid,
+            "wall0": self.wall0,
+            "up_s": time.perf_counter() - self.perf0,
+            "phases": {
+                name: [self.phase_s[name], self.phase_n[name]]
+                for name in self.phase_s
+            },
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "wire": self.wire.snapshot(),
+            "spans": self._spans,
+            "instants": self._instants,
+            "dropped_spans": self._dropped_spans,
+        }
+        if self.hosts is not None:
+            record["hosts"] = list(self.hosts)
+        self._spans = []
+        self._instants = []
+        return record
+
+
+class RecordBuffer:
+    """A relay's telemetry sink: hold children's records for the next
+    upward reply (the relay contributes its own probe record when the
+    buffer is drained, so the tree reduction costs no extra frames)."""
+
+    __slots__ = ("_records",)
+
+    def __init__(self):
+        self._records = []
+
+    def __call__(self, records):
+        self._records.extend(records)
+
+    def drain(self):
+        records, self._records = self._records, []
+        return records
+
+
+class TelemetryAggregator:
+    """Coordinator-side assembly of probe records into one timeline.
+
+    ``ingest`` is the coordinator's ``wire.TELEMETRY_SINK``: called
+    with every batch of records a ``T`` envelope carried.  The latest
+    cumulative scalars are kept per process identity, spans/instants
+    accumulate (they arrive incrementally), and a short rate history
+    ring per identity feeds the live view's bytes/s and commit-rate
+    columns.  ``snapshot`` renders the whole thing as a plain
+    JSON-able dict — the telemetry artifact CI uploads.
+    """
+
+    #: Rate-history ring depth per identity (at one record per epoch
+    #: reply, 128 samples cover the window any live refresh needs).
+    HISTORY = 128
+
+    def __init__(self):
+        self.latest = {}
+        self.spans = {}
+        self.instants = {}
+        self.history = {}
+        self.progress = None
+        self.started = time.time()
+        self._locals = []
+
+    def attach_local(self, probe):
+        """Poll ``probe`` at snapshot time (single-process runs have
+        no wire to piggyback on — the probe lives right here)."""
+        self._locals.append(probe)
+
+    def ingest(self, records):
+        for record in records:
+            self._ingest_one(record)
+
+    def _ingest_one(self, record):
+        ident = record["ident"]
+        self.latest[ident] = {
+            key: record[key]
+            for key in ("ident", "pid", "wall0", "up_s", "phases",
+                        "counters", "gauges", "wire", "dropped_spans")
+        }
+        if "hosts" in record:
+            self.latest[ident]["hosts"] = record["hosts"]
+        if record["spans"]:
+            self.spans.setdefault(ident, []).extend(record["spans"])
+        if record["instants"]:
+            self.instants.setdefault(ident, []).extend(
+                record["instants"]
+            )
+        ring = self.history.get(ident)
+        if ring is None:
+            ring = self.history[ident] = deque(maxlen=self.HISTORY)
+        total_rx = sum(
+            entry[1] for entry in record["wire"]["rx"].values()
+        )
+        total_tx = sum(
+            entry[1] for entry in record["wire"]["tx"].values()
+        )
+        ring.append((
+            time.time(),
+            record["counters"].get("epochs", 0),
+            total_tx + total_rx,
+            record["counters"].get("rollbacks", 0),
+        ))
+
+    def note_progress(self, placed, total, frontier_epoch):
+        self.progress = (placed, total, frontier_epoch)
+
+    def wall_origin(self):
+        """Earliest probe birth on the shared wall clock."""
+        origins = [rec["wall0"] for rec in self.latest.values()]
+        return min(origins) if origins else self.started
+
+    def idents(self):
+        """Stable display order: coordinator, relays, workers, rest."""
+        def rank(ident):
+            if ident == "coordinator":
+                return (0, 0, ident)
+            for prefix, tier in (("relay", 1), ("worker", 2)):
+                if ident.startswith(prefix):
+                    tail = ident[len(prefix):].lstrip("-")
+                    try:
+                        return (tier, int(tail), ident)
+                    except ValueError:
+                        return (tier, 0, ident)
+            return (3, 0, ident)
+        return sorted(self.latest, key=rank)
+
+    def rates(self, ident, window_s=5.0):
+        """(epochs/s, bytes/s, rollbacks/s) over the trailing window."""
+        ring = self.history.get(ident)
+        if not ring or len(ring) < 2:
+            return (0.0, 0.0, 0.0)
+        newest = ring[-1]
+        oldest = newest
+        for sample in reversed(ring):
+            oldest = sample
+            if newest[0] - sample[0] >= window_s:
+                break
+        dt = newest[0] - oldest[0]
+        if dt <= 0:
+            return (0.0, 0.0, 0.0)
+        return (
+            (newest[1] - oldest[1]) / dt,
+            (newest[2] - oldest[2]) / dt,
+            (newest[3] - oldest[3]) / dt,
+        )
+
+    def snapshot(self):
+        """The full telemetry bundle as a plain JSON-able dict."""
+        for probe in self._locals:
+            self._ingest_one(probe.flush())
+        return {
+            "origin": self.wall_origin(),
+            "progress": list(self.progress) if self.progress else None,
+            "processes": {
+                ident: {
+                    **self.latest[ident],
+                    "spans": [
+                        list(span)
+                        for span in self.spans.get(ident, [])
+                    ],
+                    "instants": [
+                        list(mark)
+                        for mark in self.instants.get(ident, [])
+                    ],
+                }
+                for ident in self.idents()
+            },
+        }
+
+
+#: This process's probe (None = telemetry off).  A module global, not
+#: a parameter: probe lookups happen inside the epoch loop's hot
+#: phases, where threading one more argument through every layer would
+#: couple the protocol signatures to an observability concern.  Fork
+#: children inherit the parent's probe and overwrite it first thing in
+#: their main (``_shard_worker_main`` / ``_relay_main``).
+_PROBE = None
+
+
+def set_probe(probe):
+    """Install this process's runtime probe (None disables)."""
+    global _PROBE
+    _PROBE = probe
+
+
+def get_probe():
+    """This process's probe, or None when telemetry is off."""
+    return _PROBE
+
+
+#: Module-global aggregator hook: the coordinator registers its
+#: aggregator here so the CLI's live view (which starts before
+#: ``run_sharded_cluster`` is entered) can find it, and the placement
+#: loops can publish progress without threading the object through
+#: every call.  Telemetry-only — never consulted by simulation code.
+_AGGREGATOR = None
+
+
+def set_aggregator(aggregator):
+    global _AGGREGATOR
+    _AGGREGATOR = aggregator
+
+
+def current_aggregator():
+    return _AGGREGATOR
+
+
+def note_progress(placed, total, frontier_epoch):
+    """Publish coordinator progress to the registered aggregator."""
+    if _AGGREGATOR is not None:
+        _AGGREGATOR.note_progress(placed, total, frontier_epoch)

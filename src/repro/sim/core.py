@@ -442,6 +442,7 @@ class Simulator:
         "_max_bucket",
         # -- observability -----------------------------------------------
         "trace",
+        "runtime_probe",
     )
 
     def __init__(self, bucket_width=DEFAULT_BUCKET_WIDTH):
@@ -503,6 +504,13 @@ class Simulator:
         #: default; every instrumented site guards on it, so a disabled
         #: recorder costs one slot read.
         self.trace = None
+        #: Optional :class:`repro.obs.runtime.RuntimeProbe` (wall-clock
+        #: telemetry).  Sampled once per :meth:`run` exit — never per
+        #: event — so the enabled cost is two gauge writes per epoch
+        #: and the disabled cost is one slot read.  Telemetry is
+        #: strictly out-of-band: the probe never feeds back into
+        #: simulation state.
+        self.runtime_probe = None
 
     # ------------------------------------------------------------------
     # scheduling
@@ -1139,6 +1147,11 @@ class Simulator:
             # larger seq and is appended behind it.
             self._pop_cohort(when)
         self.events_dispatched += dispatched
+        if self.runtime_probe is not None:
+            # Wall-clock plane: publish the live virtual frontier and
+            # event total so `repro top` can show per-shard progress.
+            self.runtime_probe.gauge("sim_now", self.now)
+            self.runtime_probe.gauge("sim_events", self.events_dispatched)
         if self._failure is not None:
             failure, cause = self._failure
             self._failure = None
